@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation (DESIGN.md decision 5): balanced partial grants versus the
+ * literal Algorithm 1 under isolation pressure.
+ *
+ * The literal algorithm skips over-budget CUs but still counts them
+ * against the request, which can hand a kernel a ragged (or nearly
+ * empty) mask when the GPU is busy; the even per-SE workgroup split
+ * then makes that kernel pathologically slow. The balanced variant
+ * shrinks the request (at most to half, the Sec. IV-C2 overlap
+ * escape hatch) and grants an even mask instead. This bench
+ * quantifies the difference at 4-way co-location.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "core/mask_allocator.hh"
+#include "gpu/gpu_device.hh"
+#include "kern/kernel_builder.hh"
+#include "models/model_zoo.hh"
+#include "profile/kernel_profiler.hh"
+#include "sim/event_queue.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+/** 4 streams x N inferences with per-kernel isolation; return RPS. */
+double
+runFleet(const std::string &model, bool balanced)
+{
+    EventQueue eq;
+    const GpuConfig gpu = GpuConfig::mi50();
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    ModelZoo zoo(gpu.arch);
+    const auto &seq = zoo.kernels(model, 32);
+
+    KernelProfiler prof(gpu);
+    PerfDatabase db;
+    prof.profileInto(db, seq);
+    ProfiledSizer sizer(db, gpu.arch.totalCus());
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    alloc.setBalancedGrants(balanced);
+    KrispRuntime krisp(hip, sizer, alloc, EnforcementMode::Native);
+
+    const int inferences = bench::quickMode() ? 4 : 10;
+    const int workers = 4;
+    int completed = 0;
+    std::vector<Stream *> streams;
+    for (int w = 0; w < workers; ++w)
+        streams.push_back(&hip.createStream());
+
+    std::function<void(int, int)> start_inference =
+        [&](int w, int left) {
+            if (left == 0)
+                return;
+            auto sig = HsaSignal::create(
+                static_cast<std::int64_t>(seq.size()));
+            sig->waitZero([&, w, left] {
+                ++completed;
+                start_inference(w, left - 1);
+            });
+            for (const auto &k : seq)
+                krisp.launch(*streams[w], k, sig);
+        };
+    for (int w = 0; w < workers; ++w)
+        start_inference(w, inferences);
+    eq.run();
+    return completed / ticksToSec(eq.now());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ablation_balanced_grants",
+                  "design ablation: balanced vs literal Algorithm 1 "
+                  "grants under isolation");
+
+    TextTable table({"model", "literal_alg1_rps", "balanced_rps",
+                     "balanced_speedup"});
+    for (const std::string model :
+         {"resnet152", "vgg19", "densenet201"}) {
+        const double strict = runFleet(model, false);
+        const double balanced = runFleet(model, true);
+        table.row()
+            .cell(model)
+            .cell(strict, 2)
+            .cell(balanced, 2)
+            .cell(balanced / strict, 2);
+    }
+    table.print("4-way KRISP-I co-location throughput");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: common experiment
+ * configuration and environment-variable knobs.
+ *
+ * KRISP_BENCH_QUICK=1 shrinks request counts for smoke runs.
+ */
+
+#ifndef KRISP_BENCH_BENCH_UTIL_HH
+#define KRISP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/experiment.hh"
+
+namespace krisp
+{
+namespace bench
+{
+
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("KRISP_BENCH_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Standard experiment configuration for the paper reproductions. */
+inline ServerConfig
+paperConfig(unsigned batch = 32)
+{
+    ServerConfig cfg;
+    cfg.batch = batch;
+    cfg.warmupRequests = 3;
+    cfg.measuredRequests = quickMode() ? 10 : 30;
+    return cfg;
+}
+
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n################################################\n"
+                "# %s\n# reproduces: %s\n"
+                "################################################\n",
+                title.c_str(), paper_ref.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace bench
+} // namespace krisp
+
+#endif // KRISP_BENCH_BENCH_UTIL_HH

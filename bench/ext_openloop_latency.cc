@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension experiment (beyond the paper's max-load evaluation):
+ * latency under open-loop Poisson load with dynamic batching, the
+ * regime rate-adaptive servers (GSLICE / Gpulet / ELSA) operate in.
+ *
+ * Expectation: the latency-vs-load curve is a hockey stick; KRISP-I
+ * sustains a higher knee than unrestricted MPS sharing because
+ * kernel-wise partitions bound cross-worker interference, and its
+ * energy per request stays lower at every load.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "server/load_generator.hh"
+
+using namespace krisp;
+
+int
+main()
+{
+    bench::banner("ext_openloop_latency",
+                  "extension: open-loop Poisson load, dynamic "
+                  "batching (frontend/queue/worker architecture of "
+                  "Sec. VI-A)");
+
+    const std::vector<double> rates = {100, 300, 600, 900, 1200,
+                                       1500};
+    for (const PartitionPolicy policy :
+         {PartitionPolicy::MpsDefault,
+          PartitionPolicy::KrispIsolated}) {
+        TextTable table({"offered_rps", "achieved_rps", "p50_ms",
+                         "p95_ms", "p99_ms", "queue_ms",
+                         "mean_batch", "drop_rate", "J_per_req"});
+        for (const double rate : rates) {
+            OpenLoopConfig cfg;
+            cfg.model = "resnet152";
+            cfg.numWorkers = 4;
+            cfg.policy = policy;
+            cfg.arrivalRatePerSec = rate;
+            cfg.measureNs = bench::quickMode() ? ticksFromSec(1.0)
+                                               : ticksFromSec(4.0);
+            const OpenLoopResult r = OpenLoopServer(cfg).run();
+            table.row()
+                .cell(r.offeredRps, 0)
+                .cell(r.achievedRps, 1)
+                .cell(r.p50Ms, 1)
+                .cell(r.p95Ms, 1)
+                .cell(r.p99Ms, 1)
+                .cell(r.meanQueueDelayMs, 2)
+                .cell(r.meanBatchSize, 1)
+                .cell(r.dropRate, 3)
+                .cell(r.energyPerRequestJ, 3);
+        }
+        table.print(std::string("resnet152 x4 workers, ") +
+                    partitionPolicyName(policy));
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 2 / Table II reproduction: cost of resizing a spatial
+ * partition. A single resnet152 worker serves at 60 CUs and is
+ * resized to 20 CUs one second in, under the three schemes:
+ *
+ *  - process-restart: drain, reconfigure the instance, restart the
+ *    backend, reload the model (paper: ~10s of downtime);
+ *  - shadow-instance: build the new instance in the background and
+ *    hot-swap at an inference boundary (GSLICE-style ~55 us
+ *    downtime, but seconds until the new size takes effect — hence
+ *    epoch-granular repartitioning);
+ *  - kernel-scoped (KRISP): the next kernel carries the new size;
+ *    both downtime and time-to-effect are in the milliseconds.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "server/reconfig.hh"
+
+using namespace krisp;
+
+int
+main()
+{
+    bench::banner("fig02_reconfig_timeline",
+                  "Fig. 2 / Table II (partition resize overheads)");
+
+    ReconfigExperiment exp;
+    exp.model = "resnet152";
+    exp.cusBefore = 60;
+    exp.cusAfter = 20;
+    exp.resizeAtNs = ticksFromSec(1.0);
+    exp.horizonNs = ticksFromSec(12.0);
+
+    TextTable table({"scheme", "downtime_ms", "time_to_effect_ms",
+                     "completed", "rps"});
+    for (const ResizeScheme scheme :
+         {ResizeScheme::ProcessRestart, ResizeScheme::ShadowInstance,
+          ResizeScheme::KernelScoped}) {
+        const ReconfigResult r = runReconfig(exp, scheme);
+        table.row()
+            .cell(resizeSchemeName(scheme))
+            .cell(r.downtimeMs, 2)
+            .cell(r.timeToEffectMs, 1)
+            .cell(r.completed)
+            .cell(r.rps, 2);
+    }
+    table.print("resnet152: resize 60 -> 20 CUs at t=1s "
+                "(12s horizon)");
+
+    // Throughput timeline: completions per 500 ms bucket.
+    TextTable timeline({"t_bucket_s", "process-restart",
+                        "shadow-instance", "kernel-scoped"});
+    std::vector<std::vector<double>> completions;
+    for (const ResizeScheme scheme :
+         {ResizeScheme::ProcessRestart, ResizeScheme::ShadowInstance,
+          ResizeScheme::KernelScoped}) {
+        completions.push_back(
+            runReconfig(exp, scheme).completionsMs);
+    }
+    const double bucket_ms = 500.0;
+    const unsigned buckets =
+        static_cast<unsigned>(ticksToMs(exp.horizonNs) / bucket_ms);
+    for (unsigned b = 0; b < buckets; ++b) {
+        const double lo = b * bucket_ms;
+        const double hi = lo + bucket_ms;
+        timeline.row().cell(lo / 1000.0, 1);
+        for (const auto &c : completions) {
+            unsigned count = 0;
+            for (const double t : c)
+                if (t >= lo && t < hi)
+                    ++count;
+            timeline.cell(count);
+        }
+    }
+    timeline.print("completions per 500 ms bucket (service gap "
+                   "visible for process-restart)");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 3 reproduction: inference model sensitivity to GPU resource
+ * restriction. For every Table III workload, sweep the number of
+ * active CUs and report normalized throughput and tail latency.
+ *
+ * Paper expectation: albert stays at peak throughput down to ~10-12
+ * CUs; vgg19 degrades immediately; the others fall in between, with
+ * a visible kneepoint at each model's right-size.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "models/model_zoo.hh"
+#include "profile/model_profiler.hh"
+
+using namespace krisp;
+
+int
+main()
+{
+    bench::banner("fig03_model_sensitivity",
+                  "Fig. 3 (model resource/latency curves)");
+
+    const GpuConfig gpu = GpuConfig::mi50();
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+
+    for (const auto &info : ModelZoo::workloads()) {
+        const auto &seq = zoo.kernels(info.name, 32);
+        const auto sweep = mprof.sweep(seq);
+        const unsigned rs = mprof.rightSizeCus(seq);
+
+        TextTable table({"active_cus", "norm_throughput",
+                         "latency_ms", "latency_vs_full"});
+        for (const auto &pt : sweep) {
+            if (pt.cus % 4 != 0 && pt.cus != 1)
+                continue; // plot granularity
+            table.row()
+                .cell(pt.cus)
+                .cell(pt.relativeThroughput, 3)
+                .cell(pt.latencyNs / 1e6, 2)
+                .cell(sweep.back().latencyNs > 0
+                          ? pt.latencyNs / sweep.back().latencyNs
+                          : 0.0,
+                      3);
+        }
+        table.print(info.name + "  (kneepoint/right-size: " +
+                    std::to_string(rs) + " CUs, paper: " +
+                    std::to_string(info.paperRightSizeCus) + ")");
+    }
+    return 0;
+}

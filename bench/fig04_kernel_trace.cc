@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 4 reproduction: per-kernel minimum-required-CU traces for
+ * albert (top) and resnext101 (bottom) over one inference pass.
+ *
+ * Paper expectation: albert sits mostly at <= 10 CUs with periodic
+ * spikes into the 50-60 range (FFN GEMMs); resnext101 sits mostly
+ * high with dips below 20 for its elementwise/norm kernels.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "models/model_zoo.hh"
+#include "profile/kernel_profiler.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+void
+traceModel(const ModelZoo &zoo, const KernelProfiler &prof,
+           const std::string &model)
+{
+    const auto &seq = zoo.kernels(model, 32);
+
+    // Sparkline-style trace: one character per kernel, scaled 0-60.
+    static const char glyphs[] = " .:-=+*#%@";
+    std::string line;
+    unsigned below10 = 0, above50 = 0;
+    double sum = 0;
+    TextTable spikes({"kernel_idx", "name", "min_cus"});
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const unsigned mc = prof.minCus(*seq[i]);
+        sum += mc;
+        if (mc <= 10)
+            ++below10;
+        if (mc >= 50) {
+            ++above50;
+            if (spikes.rows() < 12) {
+                spikes.row()
+                    .cell(i)
+                    .cell(seq[i]->name)
+                    .cell(mc);
+            }
+        }
+        line += glyphs[std::min<unsigned>(mc * 10 / 61, 9)];
+        if ((i + 1) % 100 == 0)
+            line += '\n';
+    }
+
+    std::printf("\n== %s kernel-wise min required CUs "
+                "(%zu kernels) ==\n", model.c_str(), seq.size());
+    std::printf("trace (each char one kernel; ' '=1 CU .. '@'=60):\n"
+                "%s\n", line.c_str());
+    std::printf("mean min-CU: %.1f | kernels <=10 CUs: %u (%.0f%%) | "
+                "kernels >=50 CUs: %u (%.0f%%)\n",
+                sum / seq.size(), below10,
+                100.0 * below10 / seq.size(), above50,
+                100.0 * above50 / seq.size());
+    if (spikes.rows() > 0)
+        spikes.print(model + " spike kernels (first 12)");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fig04_kernel_trace",
+                  "Fig. 4 (albert / resnext101 min-CU traces)");
+    const GpuConfig gpu = GpuConfig::mi50();
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler prof(gpu);
+    traceModel(zoo, prof, "albert");
+    traceModel(zoo, prof, "resnext101");
+    return 0;
+}

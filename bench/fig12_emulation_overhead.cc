@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 12 / Sec. V-B reproduction: the emulation overhead model.
+ * For every workload, measure a full inference pass under
+ *   - native kernel-scoped partition instances (proposed KRISP), and
+ *   - the barrier-packet emulation on stream-scoped CU masking
+ *     (the paper's evaluation vehicle),
+ * both with the resource mask fixed to all active CUs, and report
+ * L_over = L_emu - L_native and its per-kernel cost.
+ *
+ * Paper expectation: L_over scales with the number of kernel calls
+ * (each pays two barriers, a runtime callback and a serialised
+ * ioctl), which is why Sec. V-B normalises results against the
+ * emulated baseline.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_device.hh"
+#include "models/model_zoo.hh"
+#include "sim/event_queue.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+Tick
+runModel(const std::vector<KernelDescPtr> &seq, EnforcementMode mode)
+{
+    EventQueue eq;
+    const GpuConfig gpu = GpuConfig::mi50();
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    FixedSizer sizer(gpu.arch.totalCus()); // full mask: pure overhead
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    KrispRuntime krisp(hip, sizer, alloc, mode);
+    Stream &s = hip.createStream();
+    auto sig =
+        HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+    Tick end = 0;
+    sig->waitZero([&] { end = eq.now(); });
+    for (const auto &k : seq)
+        krisp.launch(s, k, sig);
+    eq.run();
+    return end;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fig12_emulation_overhead",
+                  "Fig. 12 / Sec. V-B (L_over accounting)");
+
+    ModelZoo zoo(ArchParams::mi50());
+    TextTable table({"model", "kernels", "L_native_ms", "L_emu_ms",
+                     "L_over_ms", "L_over_per_kernel_us",
+                     "overhead_pct"});
+    for (const auto &info : ModelZoo::workloads()) {
+        const auto &seq = zoo.kernels(info.name, 32);
+        const Tick native = runModel(seq, EnforcementMode::Native);
+        const Tick emu = runModel(seq, EnforcementMode::Emulated);
+        const Tick over = emu - native;
+        table.row()
+            .cell(info.name)
+            .cell(seq.size())
+            .cell(ticksToMs(native), 2)
+            .cell(ticksToMs(emu), 2)
+            .cell(ticksToMs(over), 2)
+            .cell(ticksToUs(over) / static_cast<double>(seq.size()),
+                  1)
+            .cell(100.0 * static_cast<double>(over) /
+                      static_cast<double>(emu),
+                  1);
+    }
+    table.print("emulation overhead per model (full-GPU masks)");
+    std::printf("\nL_over per kernel should be roughly constant "
+                "across models (barriers + callback + serialised "
+                "ioctl per launch).\n");
+    return 0;
+}

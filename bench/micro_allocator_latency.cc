@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sec. IV-D3 microbenchmark: wall-clock cost of the partition
+ * resource mask generation (Algorithm 1). The paper reports a 1 us
+ * tail for its software implementation; the command-processor
+ * firmware budget in the device model (allocLatencyNs) is derived
+ * from this.
+ *
+ * Uses google-benchmark; run with --benchmark_filter=... as usual.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "core/mask_allocator.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+/** Monitor preloaded with n random resident kernels. */
+ResourceMonitor
+loadedMonitor(unsigned kernels, std::uint64_t seed)
+{
+    ResourceMonitor mon(arch);
+    Rng rng(seed);
+    for (unsigned i = 0; i < kernels; ++i) {
+        CuMask m;
+        const unsigned count = 1 + rng.below(40);
+        while (m.count() < count)
+            m.set(static_cast<unsigned>(rng.below(60)));
+        mon.addKernel(m);
+    }
+    return mon;
+}
+
+void
+BM_AllocateIdle(benchmark::State &state)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    const auto cus = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.allocate(cus, idle));
+    }
+}
+BENCHMARK(BM_AllocateIdle)->Arg(8)->Arg(19)->Arg(32)->Arg(60);
+
+void
+BM_AllocateLoaded(benchmark::State &state)
+{
+    ResourceMonitor mon =
+        loadedMonitor(static_cast<unsigned>(state.range(0)), 42);
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.allocate(24, mon));
+    }
+}
+BENCHMARK(BM_AllocateLoaded)->Arg(1)->Arg(8)->Arg(31);
+
+void
+BM_AllocatePolicies(benchmark::State &state)
+{
+    ResourceMonitor mon = loadedMonitor(8, 7);
+    MaskAllocator alloc(
+        static_cast<DistributionPolicy>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.allocate(24, mon));
+    }
+}
+BENCHMARK(BM_AllocatePolicies)
+    ->Arg(static_cast<int>(DistributionPolicy::Distributed))
+    ->Arg(static_cast<int>(DistributionPolicy::Packed))
+    ->Arg(static_cast<int>(DistributionPolicy::Conserved));
+
+void
+BM_ResourceMonitorUpdate(benchmark::State &state)
+{
+    ResourceMonitor mon(arch);
+    const CuMask m = CuMask::firstN(30);
+    for (auto _ : state) {
+        mon.addKernel(m);
+        mon.removeKernel(m);
+    }
+}
+BENCHMARK(BM_ResourceMonitorUpdate);
+
+} // namespace

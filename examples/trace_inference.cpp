@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Kernel-timeline tracer: runs one inference under the stream-scoped
+ * baseline and under KRISP, captures every kernel's execution window
+ * and granted CU mask through the device trace hook, and prints a
+ * timeline plus a CU-time utilisation summary — making the
+ * fine-grain under-utilisation KRISP harvests directly visible.
+ *
+ * Usage: trace_inference [model] [batch] [max_rows]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_device.hh"
+#include "hip/hip_runtime.hh"
+#include "models/model_zoo.hh"
+#include "profile/kernel_profiler.hh"
+#include "sim/event_queue.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+struct TraceResult
+{
+    std::vector<KernelTraceEvent> events;
+    double latencyMs = 0;
+    double cuTimeUsedS = 0; // sum over kernels of CUs x runtime
+};
+
+TraceResult
+traceRun(const std::string &model, unsigned batch, bool use_krisp)
+{
+    EventQueue eq;
+    const GpuConfig gpu = GpuConfig::mi50();
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    ModelZoo zoo(gpu.arch);
+    const auto &seq = zoo.kernels(model, batch);
+
+    TraceResult result;
+    device.setTraceFn([&](const KernelTraceEvent &ev) {
+        result.events.push_back(ev);
+        result.cuTimeUsedS +=
+            ev.mask.count() * ticksToSec(ev.endTick - ev.startTick);
+    });
+
+    KernelProfiler profiler(gpu);
+    PerfDatabase db;
+    profiler.profileInto(db, seq);
+    ProfiledSizer sizer(db, gpu.arch.totalCus());
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    KrispRuntime krisp(hip, sizer, alloc, EnforcementMode::Native);
+
+    Stream &stream = hip.createStream();
+    auto sig =
+        HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+    Tick end = 0;
+    sig->waitZero([&] { end = eq.now(); });
+    for (const auto &k : seq) {
+        if (use_krisp) {
+            krisp.launch(stream, k, sig);
+        } else {
+            stream.launchWithSignal(k, sig);
+        }
+    }
+    eq.run();
+    result.latencyMs = ticksToMs(end);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "shufflenet";
+    const unsigned batch =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 32;
+    const std::size_t max_rows =
+        argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 20;
+    const ArchParams arch = ArchParams::mi50();
+
+    const TraceResult base = traceRun(model, batch, false);
+    const TraceResult krisp = traceRun(model, batch, true);
+
+    TextTable table({"idx", "kernel", "cus", "ses", "start_us",
+                     "dur_us"});
+    for (std::size_t i = 0;
+         i < krisp.events.size() && i < max_rows; ++i) {
+        const auto &ev = krisp.events[i];
+        table.row()
+            .cell(i)
+            .cell(ev.name.substr(0, 34))
+            .cell(ev.mask.count())
+            .cell(ev.mask.activeSeCount(arch))
+            .cell(ticksToUs(ev.startTick), 1)
+            .cell(ticksToUs(ev.endTick - ev.startTick), 1);
+    }
+    table.print(model + " under KRISP: first " +
+                std::to_string(max_rows) + " of " +
+                std::to_string(krisp.events.size()) + " kernels");
+
+    const double wall_s = krisp.latencyMs / 1e3;
+    const double device_cu_s = wall_s * arch.totalCus();
+    const double base_wall_s = base.latencyMs / 1e3;
+    const double base_device_cu_s = base_wall_s * arch.totalCus();
+    std::printf("\nbaseline (full masks): %.2f ms, CU-time reserved "
+                "%.3f CU-s of %.3f available (%.0f%%)\n",
+                base.latencyMs, base.cuTimeUsedS, base_device_cu_s,
+                100.0 * base.cuTimeUsedS / base_device_cu_s);
+    std::printf("KRISP (right-sized)  : %.2f ms, CU-time reserved "
+                "%.3f CU-s of %.3f available (%.0f%%)\n",
+                krisp.latencyMs, krisp.cuTimeUsedS, device_cu_s,
+                100.0 * krisp.cuTimeUsedS / device_cu_s);
+    std::printf("-> KRISP frees %.0f%% of the reserved CU-time for "
+                "co-located models at ~equal latency.\n",
+                100.0 * (1.0 - krisp.cuTimeUsedS / base.cuTimeUsedS));
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace krisp
+{
+
+namespace
+{
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *where, const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s (%s)\n", levelTag(level), what.c_str(),
+                 where);
+    std::fflush(stderr);
+}
+
+void
+panicExit(const char *where, const std::string &what)
+{
+    logMessage(LogLevel::Panic, where, what);
+    std::abort();
+}
+
+void
+fatalExit(const char *where, const std::string &what)
+{
+    logMessage(LogLevel::Fatal, where, what);
+    std::exit(1);
+}
+
+} // namespace krisp

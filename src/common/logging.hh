@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging and error-exit helpers.
+ *
+ * panic()  - internal invariant violated (a bug in this code base);
+ *            aborts so a core dump / debugger can inspect it.
+ * fatal()  - user error (bad configuration, invalid arguments);
+ *            exits with status 1.
+ * warn()   - suspicious but recoverable condition.
+ * inform() - normal status output.
+ */
+
+#ifndef KRISP_COMMON_LOGGING_HH
+#define KRISP_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace krisp
+{
+
+/** Severity levels understood by logMessage(). */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Panic,
+    Fatal,
+};
+
+/**
+ * Emit one formatted log line to stderr.
+ *
+ * @param level severity tag prepended to the line
+ * @param where "file:line" source location
+ * @param what  message body
+ */
+void logMessage(LogLevel level, const char *where, const std::string &what);
+
+/** Abort after logging; used by the panic() macro. */
+[[noreturn]] void panicExit(const char *where, const std::string &what);
+
+/** Exit(1) after logging; used by the fatal() macro. */
+[[noreturn]] void fatalExit(const char *where, const std::string &what);
+
+namespace detail
+{
+
+/** Fold a variadic pack into a string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace krisp
+
+#define KRISP_STRINGIZE2(x) #x
+#define KRISP_STRINGIZE(x) KRISP_STRINGIZE2(x)
+#define KRISP_WHERE __FILE__ ":" KRISP_STRINGIZE(__LINE__)
+
+/** Unrecoverable internal error: this should never happen. */
+#define panic(...) \
+    ::krisp::panicExit(KRISP_WHERE, ::krisp::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error. */
+#define fatal(...) \
+    ::krisp::fatalExit(KRISP_WHERE, ::krisp::detail::concat(__VA_ARGS__))
+
+/** Assert a condition that, if false, indicates an internal bug. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            ::krisp::panicExit(KRISP_WHERE,                               \
+                ::krisp::detail::concat("[", #cond, "] ", __VA_ARGS__));  \
+        }                                                                 \
+    } while (0)
+
+/** Assert a user-facing precondition. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            ::krisp::fatalExit(KRISP_WHERE,                               \
+                ::krisp::detail::concat("[", #cond, "] ", __VA_ARGS__));  \
+        }                                                                 \
+    } while (0)
+
+#define warn(...)                                                         \
+    ::krisp::logMessage(::krisp::LogLevel::Warn, KRISP_WHERE,             \
+        ::krisp::detail::concat(__VA_ARGS__))
+
+#define inform(...)                                                       \
+    ::krisp::logMessage(::krisp::LogLevel::Inform, KRISP_WHERE,           \
+        ::krisp::detail::concat(__VA_ARGS__))
+
+#endif // KRISP_COMMON_LOGGING_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator draws from these
+ * generators so that a run is fully determined by its seed; nothing in
+ * the code base may consult wall-clock time or std::random_device.
+ */
+
+#ifndef KRISP_COMMON_RANDOM_HH
+#define KRISP_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+/**
+ * SplitMix64: tiny, fast generator used both directly and to seed
+ * Xoshiro256**. Passes BigCrush when used as a 64-bit stream.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Xoshiro256** by Blackman & Vigna; the work-horse generator.
+ * Satisfies the UniformRandomBitGenerator concept.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5eedULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : state_)
+            word = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound). Rejection-free Lemire reduction. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        panic_if(lo > hi, "Rng::between: lo > hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork a statistically independent child generator. */
+    Rng
+    fork()
+    {
+        return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace krisp
+
+#endif // KRISP_COMMON_RANDOM_HH

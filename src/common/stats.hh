@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Statistics accumulators used by the profiler, the inference server
+ * and the benchmark harnesses: running mean/min/max, exact percentile
+ * sampling, fixed-bin histograms, and geometric means.
+ */
+
+#ifndef KRISP_COMMON_STATS_HH
+#define KRISP_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace krisp
+{
+
+/** Running scalar summary: count / sum / min / max / mean / variance. */
+class Accumulator
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    double mean_ = 0;
+    double m2_ = 0;
+};
+
+/**
+ * Exact percentile tracker. Stores every sample; adequate for the
+ * request volumes this simulator produces (<= millions per run).
+ */
+class PercentileTracker
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * Value at quantile q using nearest-rank on the sorted samples.
+     * @param q quantile in [0, 1]; 0.95 gives the p95 tail.
+     */
+    double percentile(double q) const;
+
+    double mean() const;
+    double min() const { return percentile(0.0); }
+    double max() const { return percentile(1.0); }
+
+  private:
+    /** Sorts the sample buffer on demand, caching the result. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range clamps. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void reset();
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+    std::size_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Geometric mean of strictly positive values (0 if any non-positive). */
+double geomean(const std::vector<double> &values);
+
+} // namespace krisp
+
+#endif // KRISP_COMMON_STATS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the KRISP code base.
+ *
+ * Simulated time is kept in integral nanoseconds (Tick) so that event
+ * ordering is exact and runs are bit-reproducible; floating point is
+ * used only for derived rates and report output.
+ */
+
+#ifndef KRISP_COMMON_TYPES_HH
+#define KRISP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace krisp
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel meaning "never" / "no deadline". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convenient tick construction helpers. */
+constexpr Tick
+ticksFromNs(double ns)
+{
+    return ns < 0 ? 0 : static_cast<Tick>(ns + 0.5);
+}
+
+constexpr Tick
+ticksFromUs(double us)
+{
+    return ticksFromNs(us * 1e3);
+}
+
+constexpr Tick
+ticksFromMs(double ms)
+{
+    return ticksFromNs(ms * 1e6);
+}
+
+constexpr Tick
+ticksFromSec(double s)
+{
+    return ticksFromNs(s * 1e9);
+}
+
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Identifier types. GPU-side ids are small dense integers. */
+using KernelId = std::uint64_t;
+using QueueId = std::uint32_t;
+using StreamId = std::uint32_t;
+using RequestId = std::uint64_t;
+using WorkerId = std::uint32_t;
+
+} // namespace krisp
+
+#endif // KRISP_COMMON_TYPES_HH

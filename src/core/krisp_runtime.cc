@@ -1,0 +1,94 @@
+#include "core/krisp_runtime.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+const char *
+enforcementModeName(EnforcementMode mode)
+{
+    switch (mode) {
+      case EnforcementMode::Native: return "native";
+      case EnforcementMode::Emulated: return "emulated";
+    }
+    panic("unknown enforcement mode");
+}
+
+KrispRuntime::KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
+                           MaskAllocator &allocator,
+                           EnforcementMode mode)
+    : hip_(hip), sizer_(sizer), allocator_(allocator), mode_(mode)
+{
+    if (mode_ == EnforcementMode::Native)
+        hip_.device().setKrispAllocator(&allocator_);
+}
+
+void
+KrispRuntime::launch(Stream &stream, KernelDescPtr kernel,
+                     HsaSignalPtr completion)
+{
+    fatal_if(!kernel, "KRISP launch of a null kernel");
+    const unsigned cus = sizer_.rightSize(*kernel);
+    panic_if(cus == 0, "sizer returned zero CUs");
+    ++stats_.launches;
+    stats_.requestedCusTotal += cus;
+
+    if (mode_ == EnforcementMode::Native) {
+        launchNative(stream, std::move(kernel), std::move(completion),
+                     cus);
+    } else {
+        launchEmulated(stream, std::move(kernel),
+                       std::move(completion), cus);
+    }
+}
+
+void
+KrispRuntime::launchNative(Stream &stream, KernelDescPtr kernel,
+                           HsaSignalPtr completion, unsigned cus)
+{
+    // The right-size rides in the AQL packet; the command processor
+    // does the rest.
+    stream.launchWithSignal(std::move(kernel), std::move(completion),
+                            cus);
+}
+
+void
+KrispRuntime::launchEmulated(Stream &stream, KernelDescPtr kernel,
+                             HsaSignalPtr completion, unsigned cus)
+{
+    // Fig. 11b: [B1][B2][K]. B1 drains prior kernels and triggers the
+    // runtime callback; B2 blocks K until the new queue mask landed.
+    auto drained = HsaSignal::create(1);   // B1 completion
+    auto mask_ready = HsaSignal::create(1); // set after the ioctl
+
+    AqlPacket b1 = AqlPacket::barrier({}, drained,
+                                      /*barrier_bit=*/true);
+    stream.enqueuePacket(std::move(b1));
+
+    AqlPacket b2 = AqlPacket::barrier({mask_ready}, nullptr,
+                                      /*barrier_bit=*/true);
+    stream.enqueuePacket(std::move(b2));
+
+    stream.launchWithSignal(std::move(kernel), std::move(completion),
+                            /*requested_cus=*/0);
+
+    Stream *stream_ptr = &stream;
+    drained->waitZero([this, stream_ptr, mask_ready, cus] {
+        // Host-side async handler: right-sizing already resolved to
+        // `cus`; run resource allocation against the live counters,
+        // then reconfigure the queue mask through the ioctl.
+        hip_.deferCallback([this, stream_ptr, mask_ready, cus] {
+            const CuMask mask = allocator_.allocate(
+                cus, hip_.device().monitor());
+            hip_.streamSetCuMask(*stream_ptr, mask, [this, mask_ready] {
+                ++stats_.emulatedReconfigs;
+                mask_ready->subtract(1);
+            });
+        });
+    });
+}
+
+} // namespace krisp

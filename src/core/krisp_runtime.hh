@@ -1,0 +1,102 @@
+/**
+ * @file
+ * KRISP runtime interception (Fig. 5 / Fig. 11).
+ *
+ * Programmer transparency: ML frameworks keep calling the ordinary
+ * stream launch API; this layer attaches the kernel-wise right-size
+ * to every launch and enforces it through one of two mechanisms:
+ *
+ *  - Native: the proposed hardware. The right-size is written into
+ *    the AQL packet's requestedCus field; the GPU command processor
+ *    (with the KRISP firmware extension installed) runs Algorithm 1
+ *    and tags the kernel with a resource mask. Per-kernel cost is
+ *    only the ~1 us mask generation.
+ *
+ *  - Emulated: the paper's evaluation methodology on real hardware.
+ *    Two barrier-AND packets are injected in front of every kernel
+ *    packet; the first drains the queue and triggers a host callback
+ *    that runs right-sizing + Algorithm 1 and reconfigures the
+ *    queue's stream-scoped CU mask via the serialised ioctl; the
+ *    second holds the kernel until the reconfiguration lands. The
+ *    extra host latency is the emulation overhead L_over that
+ *    Sec. V-B subtracts out.
+ */
+
+#ifndef KRISP_CORE_KRISP_RUNTIME_HH
+#define KRISP_CORE_KRISP_RUNTIME_HH
+
+#include <cstdint>
+
+#include "core/mask_allocator.hh"
+#include "core/perf_database.hh"
+#include "hip/hip_runtime.hh"
+#include "hip/stream.hh"
+
+namespace krisp
+{
+
+/** How kernel-scoped partition instances are enforced. */
+enum class EnforcementMode
+{
+    Native,
+    Emulated,
+};
+
+const char *enforcementModeName(EnforcementMode mode);
+
+/** Counters for the interception layer. */
+struct KrispRuntimeStats
+{
+    std::uint64_t launches = 0;
+    /** Emulated-mode queue CU-mask reconfigurations performed. */
+    std::uint64_t emulatedReconfigs = 0;
+    /** Sum of requested partition sizes (for averaging). */
+    std::uint64_t requestedCusTotal = 0;
+};
+
+/** The programmer-transparent launch interceptor. */
+class KrispRuntime
+{
+  public:
+    /**
+     * @param hip       host runtime owning the streams
+     * @param sizer     kernel-wise right-sizing policy
+     * @param allocator Algorithm 1 instance (shared with the device
+     *                  in Native mode)
+     * @param mode      enforcement mechanism
+     *
+     * In Native mode the allocator is installed into the GPU command
+     * processor as the KRISP firmware extension.
+     */
+    KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
+                 MaskAllocator &allocator, EnforcementMode mode);
+
+    KrispRuntime(const KrispRuntime &) = delete;
+    KrispRuntime &operator=(const KrispRuntime &) = delete;
+
+    EnforcementMode mode() const { return mode_; }
+    const KrispRuntimeStats &stats() const { return stats_; }
+
+    /**
+     * Launch @p kernel on @p stream with kernel-wise right-sizing;
+     * @p completion is decremented when the kernel retires.
+     */
+    void launch(Stream &stream, KernelDescPtr kernel,
+                HsaSignalPtr completion);
+
+  private:
+    void launchNative(Stream &stream, KernelDescPtr kernel,
+                      HsaSignalPtr completion, unsigned cus);
+    void launchEmulated(Stream &stream, KernelDescPtr kernel,
+                        HsaSignalPtr completion, unsigned cus);
+
+    HipRuntime &hip_;
+    const KernelSizer &sizer_;
+    MaskAllocator &allocator_;
+    EnforcementMode mode_;
+    KrispRuntimeStats stats_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_CORE_KRISP_RUNTIME_HH

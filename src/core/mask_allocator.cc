@@ -1,0 +1,238 @@
+#include "core/mask_allocator.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+const char *
+distributionPolicyName(DistributionPolicy policy)
+{
+    switch (policy) {
+      case DistributionPolicy::Distributed: return "distributed";
+      case DistributionPolicy::Packed: return "packed";
+      case DistributionPolicy::Conserved: return "conserved";
+    }
+    panic("unknown distribution policy");
+}
+
+namespace
+{
+
+/** Shader engines sorted by ascending kernel load (Alg. 1 line 8). */
+std::vector<unsigned>
+sesByLoad(const ResourceMonitor &monitor)
+{
+    const unsigned num_se = monitor.arch().numSe;
+    std::vector<unsigned> order(num_se);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+        return monitor.seKernelSum(a) < monitor.seKernelSum(b);
+    });
+    return order;
+}
+
+/** CUs of one SE sorted by ascending kernel count (Alg. 1 line 12). */
+std::vector<unsigned>
+cusByLoad(const ResourceMonitor &monitor, unsigned se)
+{
+    const unsigned cus = monitor.arch().cusPerSe;
+    std::vector<unsigned> order(cus);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+        return monitor.kernelsOnSeCu(se, a) <
+               monitor.kernelsOnSeCu(se, b);
+    });
+    return order;
+}
+
+} // namespace
+
+MaskAllocator::MaskAllocator(DistributionPolicy policy,
+                             unsigned overlap_limit)
+    : policy_(policy), overlap_limit_(overlap_limit)
+{
+}
+
+void
+MaskAllocator::takeFromSe(CuMask &mask, const ResourceMonitor &monitor,
+                          unsigned se, unsigned cu_quota,
+                          unsigned num_cus, unsigned &allocated,
+                          unsigned &overlapped,
+                          bool always_grant) const
+{
+    const ArchParams &arch = monitor.arch();
+    const std::vector<unsigned> cu_order = cusByLoad(monitor, se);
+    for (unsigned j = 0;
+         j < cu_quota && j < cu_order.size() && allocated < num_cus;
+         ++j) {
+        const unsigned cu = cu_order[j];
+        const bool occupied = monitor.kernelsOnSeCu(se, cu) > 0;
+        if (occupied)
+            ++overlapped;
+        if (always_grant || !occupied || overlapped <= overlap_limit_)
+            mask.setSeCu(arch, se, cu);
+        ++allocated;
+    }
+}
+
+CuMask
+MaskAllocator::allocateConserved(unsigned num_cus,
+                                 const ResourceMonitor &monitor,
+                                 bool always_grant)
+{
+    const ArchParams &arch = monitor.arch();
+    // Fewest SEs that satisfy the request, evenly loaded (lines 2-3).
+    // "Evenly" means the per-SE quotas differ by at most one CU; a
+    // plain ceil() quota would leave the last SE short and create an
+    // imbalance the even workgroup split punishes (Fig. 8).
+    unsigned num_se = (num_cus + arch.cusPerSe - 1) / arch.cusPerSe;
+    if (always_grant && overlap_limit_ < arch.totalCus()) {
+        // Isolation in force: widen the SE set while the least-loaded
+        // SEs cannot supply the request from idle CUs alone, so free
+        // capacity in other clusters is used before overlapping.
+        while (num_se < arch.numSe) {
+            const std::vector<unsigned> order = sesByLoad(monitor);
+            unsigned free_cus = 0;
+            for (unsigned i = 0; i < num_se; ++i) {
+                for (unsigned cu = 0; cu < arch.cusPerSe; ++cu) {
+                    if (monitor.kernelsOnSeCu(order[i], cu) == 0)
+                        ++free_cus;
+                }
+            }
+            if (free_cus + overlap_limit_ >= num_cus)
+                break;
+            ++num_se;
+        }
+    }
+    const unsigned base = num_cus / num_se;
+    const unsigned extra = num_cus % num_se;
+
+    const std::vector<unsigned> se_order = sesByLoad(monitor);
+    CuMask mask;
+    unsigned allocated = 0;
+    unsigned overlapped = 0;
+    for (unsigned i = 0; i < num_se && allocated < num_cus; ++i) {
+        const unsigned quota = base + (i < extra ? 1 : 0);
+        takeFromSe(mask, monitor, se_order[i], quota, num_cus,
+                   allocated, overlapped, always_grant);
+    }
+    stats_.overlappedCus += overlapped;
+    return mask;
+}
+
+CuMask
+MaskAllocator::allocateDistributed(unsigned num_cus,
+                                   const ResourceMonitor &monitor,
+                                   bool always_grant)
+{
+    const ArchParams &arch = monitor.arch();
+    const unsigned num_se = arch.numSe;
+    const unsigned base = num_cus / num_se;
+    const unsigned extra = num_cus % num_se;
+
+    const std::vector<unsigned> se_order = sesByLoad(monitor);
+    CuMask mask;
+    unsigned allocated = 0;
+    unsigned overlapped = 0;
+    for (unsigned i = 0; i < num_se && allocated < num_cus; ++i) {
+        const unsigned quota = base + (i < extra ? 1 : 0);
+        takeFromSe(mask, monitor, se_order[i], quota, num_cus,
+                   allocated, overlapped, always_grant);
+    }
+    stats_.overlappedCus += overlapped;
+    return mask;
+}
+
+CuMask
+MaskAllocator::allocatePacked(unsigned num_cus,
+                              const ResourceMonitor &monitor,
+                              bool always_grant)
+{
+    const ArchParams &arch = monitor.arch();
+    const std::vector<unsigned> se_order = sesByLoad(monitor);
+    CuMask mask;
+    unsigned allocated = 0;
+    unsigned overlapped = 0;
+    for (unsigned i = 0; i < arch.numSe && allocated < num_cus; ++i) {
+        takeFromSe(mask, monitor, se_order[i], arch.cusPerSe, num_cus,
+                   allocated, overlapped, always_grant);
+    }
+    stats_.overlappedCus += overlapped;
+    return mask;
+}
+
+CuMask
+MaskAllocator::dispatchPolicy(unsigned num_cus,
+                              const ResourceMonitor &monitor,
+                              bool always_grant)
+{
+    switch (policy_) {
+      case DistributionPolicy::Conserved:
+        return allocateConserved(num_cus, monitor, always_grant);
+      case DistributionPolicy::Distributed:
+        return allocateDistributed(num_cus, monitor, always_grant);
+      case DistributionPolicy::Packed:
+        return allocatePacked(num_cus, monitor, always_grant);
+    }
+    panic("unknown distribution policy");
+}
+
+CuMask
+MaskAllocator::allocate(unsigned requested_cus,
+                        const ResourceMonitor &monitor)
+{
+    const ArchParams &arch = monitor.arch();
+    fatal_if(requested_cus == 0, "allocating a zero-CU partition");
+    const unsigned total = arch.totalCus();
+    const unsigned num_cus = std::min(requested_cus, total);
+
+    CuMask mask;
+    if (balanced_) {
+        // Shrink the request to what the overlap budget can supply
+        // (never below half — the Sec. IV-C2 escape hatch), then
+        // allocate a balanced mask where every selected CU is
+        // granted. The least-loaded ordering still steers the grant
+        // towards idle CUs, so overlap stays minimal.
+        const unsigned free = monitor.idleCus().count();
+        const unsigned budget =
+            std::min<unsigned>(overlap_limit_, total);
+        unsigned target = num_cus;
+        if (free + budget < num_cus) {
+            target = std::max((num_cus + 1) / 2, free + budget);
+        }
+        target = std::clamp(target, 1u, total);
+        mask = dispatchPolicy(target, monitor, /*always_grant=*/true);
+    } else {
+        // Literal Algorithm 1: occupied CUs beyond the overlap
+        // budget are skipped but still count against the request.
+        mask = dispatchPolicy(num_cus, monitor, /*always_grant=*/false);
+        if (mask.empty()) {
+            // Nothing isolated was available; the kernel must still
+            // run somewhere. Grant the globally least-loaded CU.
+            unsigned best_cu = 0;
+            unsigned best_load = ~0u;
+            for (unsigned cu = 0; cu < total; ++cu) {
+                if (monitor.kernelsOnCu(cu) < best_load) {
+                    best_load = monitor.kernelsOnCu(cu);
+                    best_cu = cu;
+                }
+            }
+            mask.set(best_cu);
+        }
+    }
+
+    ++stats_.requests;
+    stats_.grantedCus += mask.count();
+    if (mask.count() < num_cus)
+        ++stats_.shortGrants;
+    return mask;
+}
+
+} // namespace krisp

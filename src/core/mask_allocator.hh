@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Partition resource mask generation — the paper's Algorithm 1.
+ *
+ * Given a requested partition size in CUs and the live per-CU kernel
+ * counters, produce the CU mask enforcing the partition. Three CU
+ * distribution policies are supported (Sec. IV-C1, Fig. 7):
+ *
+ *  - Distributed: spread the CUs evenly over all shader engines
+ *    (the default hardware behaviour). Suffers when the per-SE share
+ *    drops below a whole SE (dips at 15/11/7 active CUs on MI50).
+ *  - Packed: fill one SE completely before spilling into the next.
+ *    Suffers whenever an SE is left with a token CU (spikes at
+ *    16/31/46 active CUs).
+ *  - Conserved: use the fewest SEs that satisfy the request and
+ *    spread evenly across them — the policy KRISP adopts; it also
+ *    leaves whole SEs idle for power gating and co-location.
+ *
+ * SEs are chosen least-loaded-first by the sum of their CU kernel
+ * counters, and CUs within an SE least-loaded-first, minimising
+ * kernel overlap. An overlap limit bounds how many already-occupied
+ * CUs may be included: 0 gives KRISP-I (isolated, possibly granting
+ * fewer CUs than requested), totalCus gives KRISP-O (oversubscribed).
+ */
+
+#ifndef KRISP_CORE_MASK_ALLOCATOR_HH
+#define KRISP_CORE_MASK_ALLOCATOR_HH
+
+#include <cstdint>
+
+#include "gpu/mask_allocator_iface.hh"
+#include "gpu/resource_monitor.hh"
+#include "kern/cu_mask.hh"
+
+namespace krisp
+{
+
+/** CU distribution policy across shader engines. */
+enum class DistributionPolicy
+{
+    Distributed,
+    Packed,
+    Conserved,
+};
+
+const char *distributionPolicyName(DistributionPolicy policy);
+
+/** Statistics the allocator keeps about its decisions. */
+struct MaskAllocatorStats
+{
+    std::uint64_t requests = 0;
+    /** Requests that received fewer CUs than asked (isolation). */
+    std::uint64_t shortGrants = 0;
+    /** CUs granted that already hosted a kernel. */
+    std::uint64_t overlappedCus = 0;
+    std::uint64_t grantedCus = 0;
+};
+
+/** Algorithm 1 with selectable distribution policy and overlap limit. */
+class MaskAllocator : public MaskAllocatorIface
+{
+  public:
+    /**
+     * @param policy        CU distribution policy
+     * @param overlap_limit max CUs in a grant that may already host a
+     *                      kernel; >= totalCus disables the limit
+     */
+    explicit MaskAllocator(DistributionPolicy policy =
+                               DistributionPolicy::Conserved,
+                           unsigned overlap_limit = ~0u);
+
+    CuMask allocate(unsigned requested_cus,
+                    const ResourceMonitor &monitor) override;
+
+    /**
+     * Balanced-grant mode (default on): when the overlap budget
+     * cannot supply the full request, the request is shrunk (never
+     * below half, per the Sec. IV-C2 overlap escape hatch) and a
+     * balanced conserved mask is allocated, because the even per-SE
+     * workgroup split punishes ragged masks severely (Fig. 8).
+     * Disabling it gives the literal Algorithm 1 behaviour, which
+     * skips over-budget CUs and may grant imbalanced partitions —
+     * kept for ablation.
+     */
+    void setBalancedGrants(bool balanced) { balanced_ = balanced; }
+    bool balancedGrants() const { return balanced_; }
+
+    DistributionPolicy policy() const { return policy_; }
+    unsigned overlapLimit() const { return overlap_limit_; }
+    void setOverlapLimit(unsigned limit) { overlap_limit_ = limit; }
+    void setPolicy(DistributionPolicy policy) { policy_ = policy; }
+
+    const MaskAllocatorStats &stats() const { return stats_; }
+
+  private:
+    CuMask allocateConserved(unsigned num_cus,
+                             const ResourceMonitor &monitor,
+                             bool always_grant);
+    CuMask allocateDistributed(unsigned num_cus,
+                               const ResourceMonitor &monitor,
+                               bool always_grant);
+    CuMask allocatePacked(unsigned num_cus,
+                          const ResourceMonitor &monitor,
+                          bool always_grant);
+    CuMask dispatchPolicy(unsigned num_cus,
+                          const ResourceMonitor &monitor,
+                          bool always_grant);
+
+    /**
+     * Shared inner loop: fill @p mask taking up to @p cu_quota CUs
+     * from shader engine @p se, least-loaded CUs first. With
+     * @p always_grant every selected CU is granted (balanced mode);
+     * otherwise occupied CUs beyond the overlap budget are skipped
+     * but still counted against the request (Algorithm 1 lines
+     * 15-21).
+     */
+    void takeFromSe(CuMask &mask, const ResourceMonitor &monitor,
+                    unsigned se, unsigned cu_quota, unsigned num_cus,
+                    unsigned &allocated, unsigned &overlapped,
+                    bool always_grant) const;
+
+    DistributionPolicy policy_;
+    unsigned overlap_limit_;
+    bool balanced_ = true;
+    MaskAllocatorStats stats_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_CORE_MASK_ALLOCATOR_HH

@@ -1,0 +1,72 @@
+#include "core/perf_database.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+void
+PerfDatabase::setMinCus(const std::string &key, unsigned min_cus)
+{
+    fatal_if(min_cus == 0, "right-size of zero CUs for ", key);
+    table_[key] = min_cus;
+}
+
+std::optional<unsigned>
+PerfDatabase::minCus(const std::string &key) const
+{
+    const auto it = table_.find(key);
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+PerfDatabase::toCsv() const
+{
+    std::ostringstream out;
+    for (const auto &[key, cus] : table_)
+        out << key << ',' << cus << '\n';
+    return out.str();
+}
+
+std::size_t
+PerfDatabase::loadCsv(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::string line;
+    std::size_t loaded = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto comma = line.rfind(',');
+        fatal_if(comma == std::string::npos,
+                 "malformed perf-db line: ", line);
+        const std::string key = line.substr(0, comma);
+        const unsigned cus = static_cast<unsigned>(
+            std::stoul(line.substr(comma + 1)));
+        setMinCus(key, cus);
+        ++loaded;
+    }
+    return loaded;
+}
+
+ProfiledSizer::ProfiledSizer(const PerfDatabase &db,
+                             unsigned fallback_cus)
+    : db_(db), fallback_cus_(fallback_cus)
+{
+    fatal_if(fallback_cus == 0, "fallback right-size of zero CUs");
+}
+
+unsigned
+ProfiledSizer::rightSize(const KernelDescriptor &desc) const
+{
+    if (const auto cus = db_.minCus(desc))
+        return *cus;
+    ++misses;
+    return fallback_cus_;
+}
+
+} // namespace krisp

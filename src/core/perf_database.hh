@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Required-CUs table and kernel sizers.
+ *
+ * KRISP's right-sizing decisions come from a profiled database
+ * analogous to MIOpen's performance database (Sec. IV-B): keyed by
+ * kernel identity + launch geometry, valued with the least number of
+ * CUs giving the same latency as the full GPU. The table lives in
+ * host memory (ROCR runtime) and is consulted at kernel launch.
+ */
+
+#ifndef KRISP_CORE_PERF_DATABASE_HH
+#define KRISP_CORE_PERF_DATABASE_HH
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+
+/** Profiled kernel -> minimum-required-CUs map. */
+class PerfDatabase
+{
+  public:
+    /** Record (or overwrite) a kernel's right-size. */
+    void setMinCus(const std::string &key, unsigned min_cus);
+
+    /** Lookup by profile key; empty if never profiled. */
+    std::optional<unsigned> minCus(const std::string &key) const;
+
+    /** Lookup using a descriptor's profile key. */
+    std::optional<unsigned>
+    minCus(const KernelDescriptor &desc) const
+    {
+        return minCus(desc.profileKey());
+    }
+
+    std::size_t size() const { return table_.size(); }
+    bool empty() const { return table_.empty(); }
+    void clear() { table_.clear(); }
+
+    /** CSV serialisation: "key,min_cus" per line (perf-db file). */
+    std::string toCsv() const;
+
+    /**
+     * Parse toCsv() output, merging into this table.
+     * @return number of entries loaded
+     */
+    std::size_t loadCsv(const std::string &csv);
+
+    const std::unordered_map<std::string, unsigned> &
+    entries() const
+    {
+        return table_;
+    }
+
+  private:
+    std::unordered_map<std::string, unsigned> table_;
+};
+
+/**
+ * Strategy that turns a kernel launch into a requested partition
+ * size. ProfiledSizer implements KRISP proper; FullGpuSizer requests
+ * the whole device (used to measure the emulation overhead L_over
+ * and as the baseline normalisation in the paper, Sec. V-B).
+ */
+class KernelSizer
+{
+  public:
+    virtual ~KernelSizer() = default;
+
+    /** Requested CUs for this launch (>= 1). */
+    virtual unsigned rightSize(const KernelDescriptor &desc) const = 0;
+};
+
+/** Right-size from the profiled database; fall back to the full GPU. */
+class ProfiledSizer : public KernelSizer
+{
+  public:
+    ProfiledSizer(const PerfDatabase &db, unsigned fallback_cus);
+
+    unsigned rightSize(const KernelDescriptor &desc) const override;
+
+    /** Launches that missed the database (should be ~0 after warmup). */
+    mutable std::uint64_t misses = 0;
+
+  private:
+    const PerfDatabase &db_;
+    unsigned fallback_cus_;
+};
+
+/** Always request a fixed partition size (e.g. the whole GPU). */
+class FixedSizer : public KernelSizer
+{
+  public:
+    explicit FixedSizer(unsigned cus) : cus_(cus) {}
+
+    unsigned
+    rightSize(const KernelDescriptor &) const override
+    {
+        return cus_;
+    }
+
+  private:
+    unsigned cus_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_CORE_PERF_DATABASE_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Max-min fair bandwidth allocation.
+ *
+ * Concurrent kernels share the device's DRAM bandwidth. Each kernel
+ * has a demand (the bandwidth it could consume given its compute rate
+ * and CU issue limits); the memory system grants max-min fair shares:
+ * nobody gets more than they ask for, and leftover capacity is split
+ * evenly among the still-hungry.
+ */
+
+#ifndef KRISP_GPU_BANDWIDTH_HH
+#define KRISP_GPU_BANDWIDTH_HH
+
+#include <vector>
+
+namespace krisp
+{
+
+/**
+ * Max-min fair allocation of @p capacity across @p demands.
+ * @return per-demand grants; sum(grants) <= capacity and
+ *         grants[i] <= demands[i].
+ */
+std::vector<double> maxMinFairShare(const std::vector<double> &demands,
+                                    double capacity);
+
+} // namespace krisp
+
+#endif // KRISP_GPU_BANDWIDTH_HH

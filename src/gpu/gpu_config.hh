@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Device-level configuration: architecture geometry plus runtime
+ * latencies, contention and power parameters.
+ */
+
+#ifndef KRISP_GPU_GPU_CONFIG_HH
+#define KRISP_GPU_GPU_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+#include "kern/arch_params.hh"
+
+namespace krisp
+{
+
+/** Board power model parameters (watts). */
+struct PowerParams
+{
+    /** Static board power with the GPU idle. */
+    double idleW = 45.0;
+    /** Additional power per CU hosting at least one kernel. */
+    double cuActiveW = 2.2;
+    /** Per-shader-engine uncore power when any of its CUs is active.
+     *  Gating idle SEs is what makes the Conserved policy save energy
+     *  (Sec. IV-C). */
+    double seUncoreW = 8.0;
+    /** Memory-system power at full bandwidth utilisation. */
+    double memMaxW = 60.0;
+};
+
+/** Full device + command-processor configuration. */
+struct GpuConfig
+{
+    ArchParams arch = ArchParams::mi50();
+
+    /** Command-processor time to decode and handle one AQL packet. */
+    Tick packetProcessNs = 300;
+    /** Dispatch-to-first-workgroup launch latency. */
+    Tick kernelLaunchOverheadNs = 1500;
+    /**
+     * KRISP firmware extension: time to run the partition resource
+     * mask generation (Algorithm 1). The paper measured a 1 us tail.
+     */
+    Tick allocLatencyNs = 800;
+
+    /**
+     * Throughput retained by a kernel per extra kernel co-resident on
+     * a CU (cache/issue interference on top of the 1/n time share).
+     */
+    double contentionPenalty = 0.93;
+
+    /** Maximum concurrent HSA queues (hardware limit, 5-bit counters). */
+    std::size_t maxQueues = 32;
+    /** AQL ring capacity per queue. */
+    std::size_t queueCapacity = 8192;
+
+    PowerParams power;
+
+    /** The MI50-based server used throughout the paper. */
+    static GpuConfig
+    mi50()
+    {
+        return GpuConfig{};
+    }
+};
+
+} // namespace krisp
+
+#endif // KRISP_GPU_GPU_CONFIG_HH

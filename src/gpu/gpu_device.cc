@@ -1,0 +1,407 @@
+#include "gpu/gpu_device.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "common/logging.hh"
+#include "gpu/bandwidth.hh"
+
+namespace krisp
+{
+
+std::vector<double>
+maxMinFairShare(const std::vector<double> &demands, double capacity)
+{
+    std::vector<double> grants(demands.size(), 0.0);
+    if (demands.empty() || capacity <= 0)
+        return grants;
+
+    // Process demands in ascending order; each unsatisfied claimant
+    // gets an equal share of what remains.
+    std::vector<std::size_t> order(demands.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](auto a, auto b) {
+        return demands[a] < demands[b];
+    });
+
+    double remaining = capacity;
+    std::size_t left = demands.size();
+    for (const std::size_t i : order) {
+        const double fair = remaining / static_cast<double>(left);
+        const double grant = std::min(demands[i], fair);
+        grants[i] = grant;
+        remaining -= grant;
+        --left;
+    }
+    return grants;
+}
+
+namespace
+{
+
+/** Floor for compute time to keep fluid rates finite. */
+constexpr double minComputeNs = 1.0;
+
+} // namespace
+
+GpuDevice::GpuDevice(EventQueue &eq, GpuConfig config)
+    : eq_(eq), config_(config), monitor_(config.arch),
+      power_(eq, config.power),
+      fluid_(
+          eq, [this](FluidScheduler &fs) { recomputeRates(fs); },
+          [this](JobId job) { onKernelComplete(job); })
+{
+}
+
+HsaQueue &
+GpuDevice::createQueue()
+{
+    fatal_if(queues_.size() >= config_.maxQueues,
+             "device queue limit reached (", config_.maxQueues, ")");
+    const QueueId id = static_cast<QueueId>(queues_.size());
+    auto ctx = std::make_unique<QueueCtx>();
+    ctx->queue = std::make_unique<HsaQueue>(
+        id, config_.queueCapacity, CuMask::full(config_.arch));
+    QueueCtx *raw = ctx.get();
+    ctx->queue->setDoorbell([this, raw] { tryProcess(*raw); });
+    queues_.push_back(std::move(ctx));
+    return *queues_.back()->queue;
+}
+
+HsaQueue &
+GpuDevice::queue(QueueId id)
+{
+    panic_if(id >= queues_.size(), "unknown queue id ", id);
+    return *queues_[id]->queue;
+}
+
+void
+GpuDevice::setQueueCuMask(QueueId id, CuMask mask)
+{
+    fatal_if(mask.empty(), "setting an empty queue CU mask");
+    queue(id).setCuMask(mask);
+}
+
+void
+GpuDevice::setKrispAllocator(MaskAllocatorIface *allocator)
+{
+    allocator_ = allocator;
+}
+
+unsigned
+GpuDevice::runningKernels() const
+{
+    return static_cast<unsigned>(running_.size());
+}
+
+bool
+GpuDevice::idle() const
+{
+    if (!running_.empty())
+        return false;
+    for (const auto &ctx : queues_) {
+        if (!ctx->queue->empty() || ctx->processing ||
+            ctx->outstanding > 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+GpuDevice::tryProcess(QueueCtx &ctx)
+{
+    if (ctx.processing || ctx.queue->empty())
+        return;
+    ctx.processing = true;
+    if (ctx.queue->front().barrierBit && ctx.outstanding > 0) {
+        // Stall on the AQL barrier bit until this queue quiesces.
+        ctx.waitingQuiesce = true;
+        return;
+    }
+    eq_.scheduleIn(config_.packetProcessNs,
+                   [this, &ctx] { handlePacket(ctx); });
+}
+
+void
+GpuDevice::handlePacket(QueueCtx &ctx)
+{
+    panic_if(ctx.queue->empty(), "handlePacket on empty queue");
+    ++stats_.packetsProcessed;
+    if (ctx.queue->front().type == AqlPacketType::BarrierAnd) {
+        handleBarrier(ctx);
+        return;
+    }
+
+    // Kernel dispatch. Copy the packet out so async steps below can
+    // outlive the ring slot.
+    AqlPacket pkt = ctx.queue->front();
+    ctx.queue->pop();
+
+    if (allocator_ != nullptr && pkt.requestedCus > 0) {
+        // KRISP firmware path: run the partition resource mask
+        // generation (Algorithm 1), then dispatch with the result.
+        eq_.scheduleIn(config_.allocLatencyNs,
+                       [this, &ctx, pkt = std::move(pkt)] {
+            const CuMask mask =
+                allocator_->allocate(pkt.requestedCus, monitor_);
+            ++stats_.krispAllocations;
+            dispatchKernel(ctx, pkt, mask);
+            ctx.processing = false;
+            tryProcess(ctx);
+        });
+        return;
+    }
+
+    // Baseline path: the stream-scoped queue mask applies.
+    dispatchKernel(ctx, pkt, ctx.queue->cuMask());
+    ctx.processing = false;
+    tryProcess(ctx);
+}
+
+void
+GpuDevice::handleBarrier(QueueCtx &ctx)
+{
+    ++stats_.barriersProcessed;
+    const AqlPacket &pkt = ctx.queue->front();
+
+    auto pending = std::make_shared<unsigned>(0);
+    for (const auto &dep : pkt.depSignals) {
+        if (dep && dep->value() > 0)
+            ++*pending;
+    }
+    if (*pending == 0) {
+        finishBarrier(ctx);
+        return;
+    }
+    for (const auto &dep : pkt.depSignals) {
+        if (dep && dep->value() > 0) {
+            dep->waitZero([this, &ctx, pending] {
+                panic_if(*pending == 0, "barrier dep count underflow");
+                if (--*pending == 0)
+                    finishBarrier(ctx);
+            });
+        }
+    }
+}
+
+void
+GpuDevice::finishBarrier(QueueCtx &ctx)
+{
+    AqlPacket pkt = ctx.queue->front();
+    ctx.queue->pop();
+    if (pkt.completionSignal)
+        pkt.completionSignal->subtract(1);
+    if (pkt.onComplete)
+        pkt.onComplete();
+    ctx.processing = false;
+    tryProcess(ctx);
+}
+
+void
+GpuDevice::dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
+                          CuMask mask)
+{
+    panic_if(mask.empty(), "dispatching kernel with empty CU mask");
+    panic_if(!pkt.kernel, "dispatching packet without kernel");
+
+    monitor_.addKernel(mask);
+    ++ctx.outstanding;
+    ++stats_.kernelsDispatched;
+    stats_.concurrencyAtDispatch.add(
+        static_cast<double>(running_.size()));
+
+    RunningKernel rk;
+    rk.id = next_kernel_id_++;
+    rk.qid = ctx.queue->id();
+    rk.desc = pkt.kernel;
+    rk.mask = mask;
+    rk.completion = pkt.completionSignal;
+    rk.onComplete = pkt.onComplete;
+    rk.dispatchTick = eq_.now();
+
+    eq_.scheduleIn(config_.kernelLaunchOverheadNs,
+                   [this, rk = std::move(rk)]() mutable {
+        rk.startTick = eq_.now();
+        staging_ = std::move(rk);
+        const JobId job = fluid_.add(1.0);
+        panic_if(staging_.has_value(),
+                 "rate recomputation did not adopt staged kernel ",
+                 job);
+    });
+}
+
+void
+GpuDevice::onKernelComplete(JobId job)
+{
+    const auto it = running_.find(job);
+    panic_if(it == running_.end(), "completion for unknown job ", job);
+    RunningKernel rk = std::move(it->second);
+    running_.erase(it);
+
+    monitor_.removeKernel(rk.mask);
+    ++stats_.kernelsCompleted;
+    stats_.kernelLatencyNs.add(
+        static_cast<double>(eq_.now() - rk.dispatchTick));
+
+    if (trace_fn_) {
+        KernelTraceEvent ev;
+        ev.id = rk.id;
+        ev.queue = rk.qid;
+        ev.name = rk.desc->name;
+        ev.mask = rk.mask;
+        ev.dispatchTick = rk.dispatchTick;
+        ev.startTick = rk.startTick;
+        ev.endTick = eq_.now();
+        trace_fn_(ev);
+    }
+
+    QueueCtx &ctx = *queues_.at(rk.qid);
+    panic_if(ctx.outstanding == 0, "queue outstanding underflow");
+    --ctx.outstanding;
+
+    if (rk.completion)
+        rk.completion->subtract(1);
+    if (rk.onComplete)
+        rk.onComplete();
+
+    if (ctx.waitingQuiesce && ctx.outstanding == 0) {
+        ctx.waitingQuiesce = false;
+        eq_.scheduleIn(config_.packetProcessNs,
+                       [this, &ctx] { handlePacket(ctx); });
+    }
+}
+
+void
+GpuDevice::recomputeRates(FluidScheduler &fs)
+{
+    const ArchParams &arch = config_.arch;
+    const unsigned total_cus = arch.totalCus();
+
+    const std::vector<JobId> jobs = fs.activeJobs();
+
+    // Adopt a kernel staged by dispatchKernel (fluid_.add triggers
+    // this callback before add() returns the new job id).
+    if (staging_.has_value()) {
+        for (const JobId job : jobs) {
+            if (!running_.count(job)) {
+                running_.emplace(job, std::move(*staging_));
+                staging_.reset();
+                break;
+            }
+        }
+    }
+
+    // Residency and occupancy demand per CU from running kernels. A
+    // kernel that cannot fill its CUs (few workgroups relative to the
+    // saturation occupancy) leaves slack that co-resident kernels use
+    // for free — this is why unrestricted MPS sharing works well for
+    // under-utilising models (Sec. VI-B).
+    std::vector<unsigned> resident(total_cus, 0);
+    std::vector<double> cu_demand(total_cus, 0.0);
+    for (const JobId job : jobs) {
+        const auto it = running_.find(job);
+        panic_if(it == running_.end(), "active job ", job,
+                 " has no running-kernel record");
+        const RunningKernel &rk = it->second;
+        const double sat =
+            std::max(1u, rk.desc->saturationWgsPerCu);
+        const double demand = std::min(
+            1.0, double(rk.desc->numWorkgroups) /
+                     (double(rk.mask.count()) * sat));
+        for (unsigned cu = 0; cu < total_cus; ++cu) {
+            if (rk.mask.test(cu)) {
+                ++resident[cu];
+                cu_demand[cu] += demand;
+            }
+        }
+    }
+
+    struct Eval
+    {
+        JobId job;
+        RunningKernel *rk;
+        double computeRate; // progress per ns, compute-limited
+        double demandBw;    // bytes per ns the kernel asks for
+    };
+    std::vector<Eval> evals;
+    evals.reserve(jobs.size());
+
+    for (const JobId job : jobs) {
+        RunningKernel &rk = running_.at(job);
+        // Per-CU slowdown: a CU whose aggregate occupancy demand
+        // exceeds its capacity scales everyone proportionally; a
+        // multiplicative interference penalty applies per co-resident
+        // kernel regardless.
+        double share_sum = 0;
+        for (unsigned cu = 0; cu < total_cus; ++cu) {
+            if (rk.mask.test(cu)) {
+                const unsigned n = resident[cu];
+                panic_if(n == 0, "running kernel on idle CU");
+                const double scale =
+                    std::min(1.0, 1.0 / cu_demand[cu]);
+                share_sum +=
+                    scale * std::pow(config_.contentionPenalty,
+                                     static_cast<double>(n - 1));
+            }
+        }
+        const double avg_share = share_sum / rk.mask.count();
+        const double t_compute = std::max(
+            timing::computeTimeNs(*rk.desc, rk.mask, arch),
+            minComputeNs);
+        const double compute_rate = avg_share / t_compute;
+
+        double demand = 0;
+        if (rk.desc->bytes > 0) {
+            // Issue limit: each enabled CU contributes its share of
+            // per-CU streaming bandwidth.
+            const double issue_cap = std::min(
+                share_sum * arch.perCuIssueBytesPerNs *
+                    rk.desc->issueFactor,
+                arch.memBwBytesPerNs);
+            demand = std::min(compute_rate * rk.desc->bytes, issue_cap);
+        }
+        evals.push_back(Eval{job, &rk, compute_rate, demand});
+    }
+
+    std::vector<double> demands;
+    demands.reserve(evals.size());
+    for (const auto &e : evals)
+        demands.push_back(e.demandBw);
+    const std::vector<double> grants =
+        maxMinFairShare(demands, arch.memBwBytesPerNs);
+
+    double bw_used = 0;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        const Eval &e = evals[i];
+        double rate = e.computeRate;
+        if (e.rk->desc->bytes > 0)
+            rate = std::min(rate, grants[i] / e.rk->desc->bytes);
+        e.rk->bwAlloc = grants[i];
+        bw_used += grants[i];
+        fs.setRate(e.job, rate);
+    }
+
+    // Power state follows the running set.
+    unsigned busy_cus = 0;
+    for (unsigned cu = 0; cu < total_cus; ++cu)
+        if (resident[cu] > 0)
+            ++busy_cus;
+    unsigned active_ses = 0;
+    for (unsigned se = 0; se < arch.numSe; ++se) {
+        for (unsigned cu = 0; cu < arch.cusPerSe; ++cu) {
+            if (resident[CuMask::cuIndex(arch, se, cu)] > 0) {
+                ++active_ses;
+                break;
+            }
+        }
+    }
+    power_.update(busy_cus, active_ses,
+                  bw_used / arch.memBwBytesPerNs);
+}
+
+} // namespace krisp

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The simulated GPU: HSA queue consumption (command processor),
+ * kernel dispatch with CU masks, contention-aware execution, and the
+ * KRISP kernel-scoped partition-instance firmware extension.
+ *
+ * Execution model. Each running kernel is a fluid job whose drain
+ * rate is re-evaluated whenever the set of running kernels changes:
+ *
+ *  - its compute rate is 1/t_compute(mask) scaled by the average CU
+ *    share (CU throughput divides among co-resident kernels, with a
+ *    small multiplicative interference penalty);
+ *  - its memory rate is its max-min-fair share of device bandwidth,
+ *    capped by the issue bandwidth of its (shared) CUs;
+ *  - progress advances at the smaller of the two (roofline).
+ *
+ * The command processor honours the AQL barrier bit (a packet waits
+ * for all prior packets of its queue), barrier-AND dependency
+ * signals, and — when a KRISP allocator is installed — runs Algorithm
+ * 1 on packets carrying a requested partition size (Fig. 10b).
+ */
+
+#ifndef KRISP_GPU_GPU_DEVICE_HH
+#define KRISP_GPU_GPU_DEVICE_HH
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/mask_allocator_iface.hh"
+#include "gpu/power_model.hh"
+#include "gpu/resource_monitor.hh"
+#include "hsa/queue.hh"
+#include "kern/timing_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/fluid_scheduler.hh"
+
+namespace krisp
+{
+
+/** One retired kernel, as reported to the trace hook. */
+struct KernelTraceEvent
+{
+    KernelId id = 0;
+    QueueId queue = 0;
+    std::string name;
+    CuMask mask;
+    /** Packet accepted by the command processor. */
+    Tick dispatchTick = 0;
+    /** First workgroup running. */
+    Tick startTick = 0;
+    /** Kernel retired. */
+    Tick endTick = 0;
+};
+
+/** Aggregate device statistics. */
+struct GpuDeviceStats
+{
+    std::uint64_t kernelsDispatched = 0;
+    std::uint64_t kernelsCompleted = 0;
+    std::uint64_t packetsProcessed = 0;
+    std::uint64_t barriersProcessed = 0;
+    std::uint64_t krispAllocations = 0;
+    /** Per-kernel wall latency (dispatch to retire), ns. */
+    Accumulator kernelLatencyNs;
+    /** Observed running-kernel concurrency at each dispatch. */
+    Accumulator concurrencyAtDispatch;
+};
+
+/** The simulated MI50-class device. */
+class GpuDevice
+{
+  public:
+    GpuDevice(EventQueue &eq, GpuConfig config);
+
+    GpuDevice(const GpuDevice &) = delete;
+    GpuDevice &operator=(const GpuDevice &) = delete;
+
+    const GpuConfig &config() const { return config_; }
+    const ArchParams &arch() const { return config_.arch; }
+    EventQueue &eventQueue() { return eq_; }
+
+    /** Create a software HSA queue bound to this device. */
+    HsaQueue &createQueue();
+
+    /** Look up a queue by id. */
+    HsaQueue &queue(QueueId id);
+
+    /**
+     * Apply a stream-scoped CU mask to a queue. This is the state
+     * change performed by the CU-masking ioctl; callers model the
+     * syscall latency (IoctlService) before invoking it. Affects
+     * kernels dispatched afterwards.
+     */
+    void setQueueCuMask(QueueId id, CuMask mask);
+
+    /**
+     * Install the KRISP firmware extension. With an allocator set,
+     * kernel packets carrying requestedCus > 0 get a per-kernel mask
+     * from Algorithm 1; without one, the field is ignored and the
+     * queue mask applies (baseline hardware).
+     */
+    void setKrispAllocator(MaskAllocatorIface *allocator);
+
+    /**
+     * Install a tracing hook invoked at every kernel retirement
+     * (profilers, timeline tools). Pass nullptr to disable.
+     */
+    void
+    setTraceFn(std::function<void(const KernelTraceEvent &)> fn)
+    {
+        trace_fn_ = std::move(fn);
+    }
+
+    const ResourceMonitor &monitor() const { return monitor_; }
+    PowerModel &power() { return power_; }
+    const PowerModel &power() const { return power_; }
+    const GpuDeviceStats &stats() const { return stats_; }
+
+    /** Kernels currently executing (fluid jobs). */
+    unsigned runningKernels() const;
+
+    /** True if no queue has packets and nothing is executing. */
+    bool idle() const;
+
+  private:
+    /** Per-queue command-processor pipe state. */
+    struct QueueCtx
+    {
+        std::unique_ptr<HsaQueue> queue;
+        /** CP pipe busy with (or waiting on) this queue's head packet. */
+        bool processing = false;
+        /** Kernels from this queue dispatched but not yet retired. */
+        unsigned outstanding = 0;
+        /** Head packet stalled on the barrier bit. */
+        bool waitingQuiesce = false;
+    };
+
+    struct RunningKernel
+    {
+        KernelId id = 0;
+        QueueId qid = 0;
+        KernelDescPtr desc;
+        CuMask mask;
+        HsaSignalPtr completion;
+        std::function<void()> onComplete;
+        Tick dispatchTick = 0;
+        Tick startTick = 0;
+        /** Bandwidth granted in the last rate evaluation, bytes/ns. */
+        double bwAlloc = 0;
+    };
+
+    void tryProcess(QueueCtx &ctx);
+    void handlePacket(QueueCtx &ctx);
+    void handleBarrier(QueueCtx &ctx);
+    void finishBarrier(QueueCtx &ctx);
+    void dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
+                        CuMask mask);
+    void onKernelComplete(JobId job);
+    void recomputeRates(FluidScheduler &fs);
+    void updatePower();
+
+    EventQueue &eq_;
+    GpuConfig config_;
+    ResourceMonitor monitor_;
+    PowerModel power_;
+    FluidScheduler fluid_;
+    MaskAllocatorIface *allocator_ = nullptr;
+    std::function<void(const KernelTraceEvent &)> trace_fn_;
+
+    std::vector<std::unique_ptr<QueueCtx>> queues_;
+    std::unordered_map<JobId, RunningKernel> running_;
+    /** Kernel handed to the fluid scheduler but not yet adopted. */
+    std::optional<RunningKernel> staging_;
+    KernelId next_kernel_id_ = 1;
+    GpuDeviceStats stats_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_GPU_GPU_DEVICE_HH

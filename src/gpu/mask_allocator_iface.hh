@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Firmware hook for kernel-scoped partition instances.
+ *
+ * KRISP's command-processor extension calls into a mask allocator to
+ * turn a packet's requested partition size into a concrete CU mask
+ * (Fig. 10b). The algorithm itself (Algorithm 1 with its distribution
+ * policies) lives in the core library; the GPU model only knows this
+ * interface, mirroring how the paper layers runtime policy on top of
+ * small hardware changes.
+ */
+
+#ifndef KRISP_GPU_MASK_ALLOCATOR_IFACE_HH
+#define KRISP_GPU_MASK_ALLOCATOR_IFACE_HH
+
+#include "gpu/resource_monitor.hh"
+#include "kern/cu_mask.hh"
+
+namespace krisp
+{
+
+/** Generates a kernel resource mask for a requested partition size. */
+class MaskAllocatorIface
+{
+  public:
+    virtual ~MaskAllocatorIface() = default;
+
+    /**
+     * Produce the CU mask for a kernel requesting @p requested_cus.
+     * @param requested_cus desired partition size in CUs (>= 1)
+     * @param monitor       live per-CU kernel counters
+     * @return a non-empty CU mask
+     */
+    virtual CuMask allocate(unsigned requested_cus,
+                            const ResourceMonitor &monitor) = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_GPU_MASK_ALLOCATOR_IFACE_HH

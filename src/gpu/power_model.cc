@@ -1,0 +1,47 @@
+#include "gpu/power_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+PowerModel::PowerModel(EventQueue &eq, PowerParams params)
+    : eq_(eq), params_(params), power_w_(params.idleW),
+      last_tick_(eq.now())
+{
+}
+
+void
+PowerModel::update(unsigned busy_cus, unsigned active_ses, double bw_util)
+{
+    panic_if(bw_util < -1e-9 || bw_util > 1.0 + 1e-9,
+             "bandwidth utilisation out of range: ", bw_util);
+    integrate();
+    bw_util = std::clamp(bw_util, 0.0, 1.0);
+    power_w_ = params_.idleW + busy_cus * params_.cuActiveW +
+               active_ses * params_.seUncoreW +
+               params_.memMaxW * bw_util;
+}
+
+double
+PowerModel::energyJoules() const
+{
+    integrate();
+    return energy_j_;
+}
+
+void
+PowerModel::integrate() const
+{
+    const Tick now = eq_.now();
+    if (now > last_tick_) {
+        // watts x ns -> nanojoules; keep joules.
+        energy_j_ +=
+            power_w_ * static_cast<double>(now - last_tick_) * 1e-9;
+        last_tick_ = now;
+    }
+}
+
+} // namespace krisp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Board power/energy integration (the simulated rocm-smi).
+ *
+ * Power is piecewise-constant between simulation events:
+ *   P = idle + active_CUs x cuActive + active_SEs x seUncore
+ *       + memMax x bandwidth_utilisation.
+ * The device model calls update() whenever the running-kernel state
+ * changes; energy is integrated exactly over simulated time.
+ */
+
+#ifndef KRISP_GPU_POWER_MODEL_HH
+#define KRISP_GPU_POWER_MODEL_HH
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+/** Integrates board energy over simulated time. */
+class PowerModel
+{
+  public:
+    PowerModel(EventQueue &eq, PowerParams params);
+
+    /**
+     * Record a state change at the current tick.
+     * @param busy_cus   CUs with at least one running kernel
+     * @param active_ses shader engines containing a busy CU
+     * @param bw_util    memory bandwidth utilisation in [0, 1]
+     */
+    void update(unsigned busy_cus, unsigned active_ses, double bw_util);
+
+    /** Instantaneous board power, watts. */
+    double currentPowerW() const { return power_w_; }
+
+    /** Total energy since construction, joules. */
+    double energyJoules() const;
+
+    /** Energy since the given reading (for measurement windows). */
+    double
+    energySinceJoules(double mark) const
+    {
+        return energyJoules() - mark;
+    }
+
+  private:
+    /** Integrate the current power up to now. */
+    void integrate() const;
+
+    EventQueue &eq_;
+    PowerParams params_;
+    double power_w_;
+    mutable double energy_j_ = 0;
+    mutable Tick last_tick_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_GPU_POWER_MODEL_HH

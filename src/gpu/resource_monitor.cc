@@ -1,0 +1,80 @@
+#include "gpu/resource_monitor.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+ResourceMonitor::ResourceMonitor(const ArchParams &arch)
+    : arch_(arch), counters_(arch.totalCus(), 0)
+{
+}
+
+void
+ResourceMonitor::addKernel(const CuMask &mask)
+{
+    panic_if(mask.empty(), "tracking a kernel with an empty mask");
+    for (unsigned cu = 0; cu < counters_.size(); ++cu)
+        if (mask.test(cu))
+            ++counters_[cu];
+    ++resident_;
+}
+
+void
+ResourceMonitor::removeKernel(const CuMask &mask)
+{
+    panic_if(resident_ == 0, "removing kernel from empty monitor");
+    for (unsigned cu = 0; cu < counters_.size(); ++cu) {
+        if (mask.test(cu)) {
+            panic_if(counters_[cu] == 0,
+                     "CU kernel counter underflow on CU ", cu);
+            --counters_[cu];
+        }
+    }
+    --resident_;
+}
+
+unsigned
+ResourceMonitor::kernelsOnCu(unsigned cu) const
+{
+    panic_if(cu >= counters_.size(), "CU index out of range: ", cu);
+    return counters_[cu];
+}
+
+unsigned
+ResourceMonitor::kernelsOnSeCu(unsigned se, unsigned cu) const
+{
+    return kernelsOnCu(CuMask::cuIndex(arch_, se, cu));
+}
+
+unsigned
+ResourceMonitor::seKernelSum(unsigned se) const
+{
+    panic_if(se >= arch_.numSe, "SE index out of range: ", se);
+    unsigned sum = 0;
+    for (unsigned cu = 0; cu < arch_.cusPerSe; ++cu)
+        sum += kernelsOnSeCu(se, cu);
+    return sum;
+}
+
+unsigned
+ResourceMonitor::busyCus() const
+{
+    unsigned busy = 0;
+    for (auto c : counters_)
+        if (c > 0)
+            ++busy;
+    return busy;
+}
+
+CuMask
+ResourceMonitor::idleCus() const
+{
+    CuMask idle;
+    for (unsigned cu = 0; cu < counters_.size(); ++cu)
+        if (counters_[cu] == 0)
+            idle.set(cu);
+    return idle;
+}
+
+} // namespace krisp

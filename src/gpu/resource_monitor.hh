@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-CU kernel counters (the paper's Resource Monitor).
+ *
+ * KRISP extends the GPU's existing resource tracking with a counter
+ * per CU recording how many kernels are assigned to it (Sec. IV-C2).
+ * Algorithm 1 consults these counters to pick the least-loaded shader
+ * engines and CUs. Hardware cost in the paper: 5 bits x 60 CUs since
+ * at most 32 streams can be resident.
+ */
+
+#ifndef KRISP_GPU_RESOURCE_MONITOR_HH
+#define KRISP_GPU_RESOURCE_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kern/arch_params.hh"
+#include "kern/cu_mask.hh"
+
+namespace krisp
+{
+
+/** Tracks the number of kernels assigned to every CU. */
+class ResourceMonitor
+{
+  public:
+    explicit ResourceMonitor(const ArchParams &arch);
+
+    const ArchParams &arch() const { return arch_; }
+
+    /** Account a kernel occupying the CUs of @p mask. */
+    void addKernel(const CuMask &mask);
+
+    /** Release a kernel's CUs. */
+    void removeKernel(const CuMask &mask);
+
+    /** Kernels assigned to global CU index @p cu. */
+    unsigned kernelsOnCu(unsigned cu) const;
+
+    /** Kernels assigned to (se, cu). */
+    unsigned kernelsOnSeCu(unsigned se, unsigned cu) const;
+
+    /** Sum of CU kernel counters within shader engine @p se
+     *  (Algorithm 1, lines 4-7). */
+    unsigned seKernelSum(unsigned se) const;
+
+    /** Number of kernels currently tracked. */
+    unsigned residentKernels() const { return resident_; }
+
+    /** CUs with at least one assigned kernel. */
+    unsigned busyCus() const;
+
+    /** Mask of CUs with no assigned kernel. */
+    CuMask idleCus() const;
+
+  private:
+    ArchParams arch_;
+    std::vector<std::uint32_t> counters_;
+    unsigned resident_ = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_GPU_RESOURCE_MONITOR_HH

@@ -1,0 +1,53 @@
+#include "hip/hip_runtime.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+HipRuntime::HipRuntime(EventQueue &eq, GpuDevice &device,
+                       HostRuntimeParams params)
+    : eq_(eq), device_(device), params_(params),
+      ioctl_(eq, params.ioctlLatencyNs)
+{
+}
+
+Stream &
+HipRuntime::createStream()
+{
+    HsaQueue &queue = device_.createQueue();
+    const auto id = static_cast<StreamId>(streams_.size());
+    streams_.push_back(std::make_unique<Stream>(id, queue));
+    return *streams_.back();
+}
+
+Stream &
+HipRuntime::stream(StreamId id)
+{
+    panic_if(id >= streams_.size(), "unknown stream id ", id);
+    return *streams_[id];
+}
+
+void
+HipRuntime::streamSetCuMask(Stream &stream, CuMask mask,
+                            std::function<void()> done)
+{
+    fatal_if(mask.empty(), "streamSetCuMask with empty mask");
+    const QueueId qid = stream.hsaQueue().id();
+    ioctl_.submit([this, qid, mask, done = std::move(done)] {
+        device_.setQueueCuMask(qid, mask);
+        if (done)
+            done();
+    });
+}
+
+void
+HipRuntime::deferCallback(std::function<void()> fn)
+{
+    panic_if(!fn, "deferCallback with null function");
+    eq_.scheduleIn(params_.callbackLatencyNs, std::move(fn));
+}
+
+} // namespace krisp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host-side HIP runtime: stream creation and the CU Masking API.
+ *
+ * streamSetCuMask models hipExtStreamCreateWithCUMask /
+ * hsa_amd_queue_cu_set_mask: the request travels through a serialised
+ * KFD ioctl (IoctlService) before the queue's mask actually changes —
+ * the overhead at the heart of the paper's emulation methodology.
+ */
+
+#ifndef KRISP_HIP_HIP_RUNTIME_HH
+#define KRISP_HIP_HIP_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/gpu_device.hh"
+#include "hip/stream.hh"
+#include "hsa/ioctl_service.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+/** Host runtime latencies. */
+struct HostRuntimeParams
+{
+    /** KFD ioctl service latency (CU-mask reconfiguration). */
+    Tick ioctlLatencyNs = 10000;
+    /** Runtime signal-callback dispatch latency (HSA async handler). */
+    Tick callbackLatencyNs = 2000;
+};
+
+/** The host-side runtime owning streams for one device. */
+class HipRuntime
+{
+  public:
+    HipRuntime(EventQueue &eq, GpuDevice &device,
+               HostRuntimeParams params = {});
+
+    HipRuntime(const HipRuntime &) = delete;
+    HipRuntime &operator=(const HipRuntime &) = delete;
+
+    EventQueue &eventQueue() { return eq_; }
+    GpuDevice &device() { return device_; }
+    const HostRuntimeParams &params() const { return params_; }
+
+    /** Create a stream (and its backing HSA queue). */
+    Stream &createStream();
+
+    Stream &stream(StreamId id);
+
+    /**
+     * AMD CU Masking API: set @p stream's CU mask. The change takes
+     * effect after the serialised ioctl completes; @p done (optional)
+     * runs at that point.
+     */
+    void streamSetCuMask(Stream &stream, CuMask mask,
+                         std::function<void()> done = {});
+
+    /**
+     * Run @p fn after the runtime's callback-dispatch latency; used
+     * to model HSA async-handler invocation from barrier packets.
+     */
+    void deferCallback(std::function<void()> fn);
+
+    IoctlService &ioctlService() { return ioctl_; }
+
+  private:
+    EventQueue &eq_;
+    GpuDevice &device_;
+    HostRuntimeParams params_;
+    IoctlService ioctl_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_HIP_HIP_RUNTIME_HH

@@ -1,0 +1,56 @@
+#include "hip/stream.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+Stream::Stream(StreamId id, HsaQueue &queue) : id_(id), queue_(queue)
+{
+}
+
+HsaSignalPtr
+Stream::launch(KernelDescPtr kernel, unsigned requested_cus)
+{
+    auto completion = HsaSignal::create(1);
+    launchWithSignal(std::move(kernel), completion, requested_cus);
+    return completion;
+}
+
+void
+Stream::launchWithSignal(KernelDescPtr kernel, HsaSignalPtr completion,
+                         unsigned requested_cus)
+{
+    fatal_if(!kernel, "launching a null kernel");
+    queue_.push(AqlPacket::dispatch(std::move(kernel),
+                                    std::move(completion),
+                                    requested_cus,
+                                    /*barrier_bit=*/true));
+}
+
+void
+Stream::enqueuePacket(AqlPacket pkt)
+{
+    queue_.push(std::move(pkt));
+}
+
+void
+Stream::synchronize(std::function<void()> done)
+{
+    fatal_if(!done, "synchronize without continuation");
+    auto signal = HsaSignal::create(1);
+    AqlPacket barrier = AqlPacket::barrier({}, signal,
+                                           /*barrier_bit=*/true);
+    queue_.push(std::move(barrier));
+    signal->waitZero(std::move(done));
+}
+
+std::size_t
+Stream::spaceLeft() const
+{
+    return queue_.capacity() - queue_.size();
+}
+
+} // namespace krisp

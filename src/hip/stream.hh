@@ -1,0 +1,75 @@
+/**
+ * @file
+ * HIP-style streams.
+ *
+ * A stream is the host-visible handle an ML framework launches
+ * kernels into; it maps one-to-one onto a software HSA queue. The
+ * stream carries the *stream-scoped* CU mask semantics of AMD's CU
+ * Masking API: the mask belongs to the underlying queue and every
+ * kernel in the stream inherits it.
+ */
+
+#ifndef KRISP_HIP_STREAM_HH
+#define KRISP_HIP_STREAM_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "hsa/aql.hh"
+#include "hsa/queue.hh"
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+
+class HipRuntime;
+
+/** One HIP stream bound to an HSA queue. */
+class Stream
+{
+  public:
+    Stream(StreamId id, HsaQueue &queue);
+
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    StreamId id() const { return id_; }
+    HsaQueue &hsaQueue() { return queue_; }
+    const HsaQueue &hsaQueue() const { return queue_; }
+
+    /**
+     * Launch a kernel. Kernels in a stream execute in order (the AQL
+     * barrier bit is set), matching framework stream semantics.
+     * @param kernel        what to run
+     * @param requested_cus KRISP partition size hint carried in the
+     *                      AQL packet; 0 leaves the kernel governed
+     *                      by the stream's CU mask
+     * @return a fresh signal that reaches zero when the kernel retires
+     */
+    HsaSignalPtr launch(KernelDescPtr kernel, unsigned requested_cus = 0);
+
+    /** Launch decrementing the caller's @p completion signal. */
+    void launchWithSignal(KernelDescPtr kernel, HsaSignalPtr completion,
+                          unsigned requested_cus = 0);
+
+    /** Enqueue a raw packet (used by the KRISP emulation layer). */
+    void enqueuePacket(AqlPacket pkt);
+
+    /**
+     * Asynchronous stream synchronisation: @p done runs once all work
+     * enqueued so far has completed. Implemented with a barrier-AND
+     * packet, like hipStreamSynchronize over an HSA queue.
+     */
+    void synchronize(std::function<void()> done);
+
+    /** Packets the stream can still accept before back-pressure. */
+    std::size_t spaceLeft() const;
+
+  private:
+    StreamId id_;
+    HsaQueue &queue_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_HIP_STREAM_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Architected Queuing Language (AQL) packets.
+ *
+ * Packets are the commands the ROCm runtime writes into HSA queues
+ * and the GPU command processor consumes. We model the two kinds the
+ * inference path uses: kernel-dispatch and barrier-AND. KRISP extends
+ * the kernel-dispatch packet with a `requestedCus` field carrying the
+ * kernel-wise right-size decided in the runtime (Fig. 10b) — the one
+ * packet-format change the paper proposes.
+ */
+
+#ifndef KRISP_HSA_AQL_HH
+#define KRISP_HSA_AQL_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "hsa/signal.hh"
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+
+/** Packet discriminator (subset of the HSA packet types). */
+enum class AqlPacketType : std::uint8_t
+{
+    KernelDispatch,
+    BarrierAnd,
+};
+
+/** Number of dependency-signal slots in a barrier-AND packet. */
+constexpr std::size_t aqlBarrierDeps = 5;
+
+/** One AQL packet. */
+struct AqlPacket
+{
+    AqlPacketType type = AqlPacketType::KernelDispatch;
+
+    /**
+     * HSA barrier bit: the packet may not begin processing until all
+     * preceding packets from the same queue have completed. ML
+     * frameworks serialise a stream's kernels this way.
+     */
+    bool barrierBit = true;
+
+    /** Kernel to launch (KernelDispatch only). */
+    KernelDescPtr kernel;
+
+    /**
+     * KRISP extension: requested spatial-partition size in CUs.
+     * 0 means "not right-sized" — the dispatcher falls back to the
+     * queue's stream-scoped CU mask.
+     */
+    unsigned requestedCus = 0;
+
+    /** Decremented by one when the packet completes (may be null). */
+    HsaSignalPtr completionSignal;
+
+    /** Barrier-AND dependencies; null entries are ignored. */
+    std::array<HsaSignalPtr, aqlBarrierDeps> depSignals{};
+
+    /**
+     * Host-side hook run when the packet completes, after the
+     * completion signal is decremented. The emulation layer uses this
+     * on its first barrier packet to trigger the runtime callback
+     * that reconfigures the queue CU mask (Fig. 11b step 2).
+     */
+    std::function<void()> onComplete;
+
+    /** Free-form tag for tracing/tests. */
+    std::uint64_t tag = 0;
+
+    /** Convenience constructors. */
+    static AqlPacket
+    dispatch(KernelDescPtr kernel, HsaSignalPtr completion = nullptr,
+             unsigned requested_cus = 0, bool barrier_bit = true)
+    {
+        AqlPacket pkt;
+        pkt.type = AqlPacketType::KernelDispatch;
+        pkt.kernel = std::move(kernel);
+        pkt.completionSignal = std::move(completion);
+        pkt.requestedCus = requested_cus;
+        pkt.barrierBit = barrier_bit;
+        return pkt;
+    }
+
+    static AqlPacket
+    barrier(std::array<HsaSignalPtr, aqlBarrierDeps> deps = {},
+            HsaSignalPtr completion = nullptr, bool barrier_bit = true)
+    {
+        AqlPacket pkt;
+        pkt.type = AqlPacketType::BarrierAnd;
+        pkt.depSignals = std::move(deps);
+        pkt.completionSignal = std::move(completion);
+        pkt.barrierBit = barrier_bit;
+        return pkt;
+    }
+};
+
+} // namespace krisp
+
+#endif // KRISP_HSA_AQL_HH

@@ -1,0 +1,41 @@
+#include "hsa/ioctl_service.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+IoctlService::IoctlService(EventQueue &eq, Tick latency)
+    : eq_(eq), latency_(latency)
+{
+}
+
+void
+IoctlService::submit(Apply apply)
+{
+    panic_if(!apply, "null ioctl body");
+    backlog_.push_back(std::move(apply));
+    if (!busy_)
+        startNext();
+}
+
+void
+IoctlService::startNext()
+{
+    if (backlog_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Apply apply = std::move(backlog_.front());
+    backlog_.pop_front();
+    eq_.scheduleIn(latency_, [this, apply = std::move(apply)] {
+        apply();
+        ++completed_;
+        startNext();
+    });
+}
+
+} // namespace krisp

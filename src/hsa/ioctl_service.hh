@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Serialised kernel-driver ioctl model.
+ *
+ * AMD's CU Masking API reaches the hardware through a KFD ioctl. The
+ * paper observes (Sec. V-B) that when concurrent models reconfigure
+ * masks, the ROCm runtime serialises these calls, which is a large
+ * part of the emulation overhead L_over. This service models that:
+ * requests queue FIFO, each occupying the driver for a fixed latency
+ * before its effect is applied and its completion callback runs.
+ */
+
+#ifndef KRISP_HSA_IOCTL_SERVICE_HH
+#define KRISP_HSA_IOCTL_SERVICE_HH
+
+#include <deque>
+#include <functional>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+/** FIFO, one-at-a-time ioctl execution with fixed service latency. */
+class IoctlService
+{
+  public:
+    using Apply = std::function<void()>;
+
+    /**
+     * @param eq         simulation event queue
+     * @param latency    service time per ioctl, in ticks
+     */
+    IoctlService(EventQueue &eq, Tick latency);
+
+    /**
+     * Enqueue an ioctl. @p apply runs when the driver performs the
+     * operation (after queueing delay + service latency); use it both
+     * to mutate state and as the completion notification.
+     */
+    void submit(Apply apply);
+
+    /** Requests neither applied nor in service yet. */
+    std::size_t backlog() const { return backlog_.size(); }
+
+    bool busy() const { return busy_; }
+
+    /** Total ioctls completed (statistics). */
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    void startNext();
+
+    EventQueue &eq_;
+    Tick latency_;
+    std::deque<Apply> backlog_;
+    bool busy_ = false;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_HSA_IOCTL_SERVICE_HH

@@ -1,0 +1,51 @@
+#include "hsa/queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+HsaQueue::HsaQueue(QueueId id, std::size_t capacity, CuMask full_mask)
+    : id_(id), capacity_(capacity), cu_mask_(full_mask)
+{
+    fatal_if(capacity_ == 0, "HSA queue capacity must be non-zero");
+    fatal_if(full_mask.empty(), "HSA queue initial CU mask is empty");
+}
+
+void
+HsaQueue::push(AqlPacket pkt)
+{
+    panic_if(full(), "push to full HSA queue ", id_,
+             " (runtime must apply back-pressure)");
+    if (pkt.type == AqlPacketType::KernelDispatch)
+        panic_if(!pkt.kernel, "kernel-dispatch packet without kernel");
+    ring_.push_back(std::move(pkt));
+    ++pushed_;
+    if (doorbell_)
+        doorbell_();
+}
+
+const AqlPacket &
+HsaQueue::front() const
+{
+    panic_if(ring_.empty(), "front() on empty HSA queue ", id_);
+    return ring_.front();
+}
+
+AqlPacket &
+HsaQueue::front()
+{
+    panic_if(ring_.empty(), "front() on empty HSA queue ", id_);
+    return ring_.front();
+}
+
+void
+HsaQueue::pop()
+{
+    panic_if(ring_.empty(), "pop() on empty HSA queue ", id_);
+    ring_.pop_front();
+}
+
+} // namespace krisp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Software HSA queues.
+ *
+ * A queue is a bounded ring of AQL packets shared between the runtime
+ * (producer) and the GPU command processor (consumer). Each queue
+ * carries the *stream-scoped* CU mask set through the CU Masking API
+ * ioctl — the baseline mechanism KRISP's kernel-scoped partition
+ * instances generalise.
+ */
+
+#ifndef KRISP_HSA_QUEUE_HH
+#define KRISP_HSA_QUEUE_HH
+
+#include <deque>
+#include <functional>
+
+#include "common/types.hh"
+#include "hsa/aql.hh"
+#include "kern/cu_mask.hh"
+
+namespace krisp
+{
+
+/** One software HSA queue. */
+class HsaQueue
+{
+  public:
+    using Doorbell = std::function<void()>;
+
+    /**
+     * @param id       dense queue identifier
+     * @param capacity maximum packets in flight (AQL ring size)
+     * @param full_mask initial stream-scoped CU mask (all CUs)
+     */
+    HsaQueue(QueueId id, std::size_t capacity, CuMask full_mask);
+
+    HsaQueue(const HsaQueue &) = delete;
+    HsaQueue &operator=(const HsaQueue &) = delete;
+
+    QueueId id() const { return id_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return ring_.size(); }
+    bool empty() const { return ring_.empty(); }
+    bool full() const { return ring_.size() >= capacity_; }
+
+    /**
+     * Producer side: append a packet and ring the doorbell.
+     * Submitting to a full queue is a caller bug (the runtime layer
+     * is responsible for back-pressure).
+     */
+    void push(AqlPacket pkt);
+
+    /** Consumer side: packet at the read pointer. */
+    const AqlPacket &front() const;
+    AqlPacket &front();
+    void pop();
+
+    /** Stream-scoped CU mask applied to kernels without a KRISP size. */
+    const CuMask &cuMask() const { return cu_mask_; }
+    void setCuMask(CuMask mask) { cu_mask_ = mask; }
+
+    /** Consumer registers interest in new packets. */
+    void setDoorbell(Doorbell doorbell) { doorbell_ = std::move(doorbell); }
+
+    /** Statistics: total packets ever pushed. */
+    std::uint64_t pushed() const { return pushed_; }
+
+  private:
+    QueueId id_;
+    std::size_t capacity_;
+    CuMask cu_mask_;
+    std::deque<AqlPacket> ring_;
+    Doorbell doorbell_;
+    std::uint64_t pushed_ = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_HSA_QUEUE_HH

@@ -1,0 +1,52 @@
+#include "hsa/signal.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+void
+HsaSignal::set(std::int64_t v)
+{
+    value_ = v;
+    maybeWake();
+}
+
+void
+HsaSignal::subtract(std::int64_t d)
+{
+    value_ -= d;
+    maybeWake();
+}
+
+void
+HsaSignal::waitZero(Callback cb)
+{
+    panic_if(!cb, "HsaSignal::waitZero with null callback");
+    if (value_ <= 0) {
+        cb();
+        return;
+    }
+    waiters_.push_back(std::move(cb));
+}
+
+void
+HsaSignal::maybeWake()
+{
+    if (value_ > 0 || waking_)
+        return;
+    waking_ = true;
+    // Waiter callbacks may register new waiters (for a future reuse of
+    // the signal) or mutate the signal; swap the list out first.
+    while (value_ <= 0 && !waiters_.empty()) {
+        std::vector<Callback> ready;
+        ready.swap(waiters_);
+        for (auto &cb : ready)
+            cb();
+    }
+    waking_ = false;
+}
+
+} // namespace krisp

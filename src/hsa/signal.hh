@@ -1,0 +1,70 @@
+/**
+ * @file
+ * HSA completion/dependency signals.
+ *
+ * A signal holds a 64-bit value. Producers (the GPU command processor
+ * or host code) decrement or set it; consumers register one-shot
+ * callbacks that fire when the value reaches zero or below — the HSA
+ * "signal wait acquire" condition used by barrier-AND packets and by
+ * host-side synchronisation.
+ */
+
+#ifndef KRISP_HSA_SIGNAL_HH
+#define KRISP_HSA_SIGNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace krisp
+{
+
+class HsaSignal;
+using HsaSignalPtr = std::shared_ptr<HsaSignal>;
+
+/** One HSA signal object. Create through HsaSignal::create(). */
+class HsaSignal
+{
+  public:
+    using Callback = std::function<void()>;
+
+    static HsaSignalPtr
+    create(std::int64_t initial = 1)
+    {
+        return std::make_shared<HsaSignal>(initial);
+    }
+
+    explicit HsaSignal(std::int64_t initial) : value_(initial) {}
+
+    HsaSignal(const HsaSignal &) = delete;
+    HsaSignal &operator=(const HsaSignal &) = delete;
+
+    std::int64_t value() const { return value_; }
+
+    /** Store @p v; wakes waiters if v <= 0. */
+    void set(std::int64_t v);
+
+    /** Atomically subtract @p d (typical completion decrement is 1). */
+    void subtract(std::int64_t d = 1);
+
+    /**
+     * Register a one-shot callback for value() <= 0. Fires
+     * immediately (synchronously) if the condition already holds.
+     */
+    void waitZero(Callback cb);
+
+    /** Number of callbacks still waiting. */
+    std::size_t waiterCount() const { return waiters_.size(); }
+
+  private:
+    void maybeWake();
+
+    std::int64_t value_;
+    std::vector<Callback> waiters_;
+    bool waking_ = false;
+};
+
+} // namespace krisp
+
+#endif // KRISP_HSA_SIGNAL_HH

@@ -1,0 +1,106 @@
+#include "kern/cu_mask.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+CuMask
+CuMask::firstN(unsigned n)
+{
+    panic_if(n > 64, "CuMask::firstN beyond 64 CUs: ", n);
+    if (n == 0)
+        return CuMask();
+    if (n == 64)
+        return ofBits(~std::uint64_t(0));
+    return ofBits((std::uint64_t(1) << n) - 1);
+}
+
+CuMask
+CuMask::full(const ArchParams &arch)
+{
+    return firstN(arch.totalCus());
+}
+
+void
+CuMask::set(unsigned cu)
+{
+    panic_if(cu >= 64, "CU index out of range: ", cu);
+    bits_ |= std::uint64_t(1) << cu;
+}
+
+void
+CuMask::clear(unsigned cu)
+{
+    panic_if(cu >= 64, "CU index out of range: ", cu);
+    bits_ &= ~(std::uint64_t(1) << cu);
+}
+
+void
+CuMask::setSeCu(const ArchParams &arch, unsigned se, unsigned cu)
+{
+    panic_if(se >= arch.numSe, "SE index out of range: ", se);
+    panic_if(cu >= arch.cusPerSe, "CU-in-SE index out of range: ", cu);
+    set(cuIndex(arch, se, cu));
+}
+
+bool
+CuMask::testSeCu(const ArchParams &arch, unsigned se, unsigned cu) const
+{
+    panic_if(se >= arch.numSe, "SE index out of range: ", se);
+    panic_if(cu >= arch.cusPerSe, "CU-in-SE index out of range: ", cu);
+    return test(cuIndex(arch, se, cu));
+}
+
+unsigned
+CuMask::countInSe(const ArchParams &arch, unsigned se) const
+{
+    panic_if(se >= arch.numSe, "SE index out of range: ", se);
+    const unsigned lo = se * arch.cusPerSe;
+    std::uint64_t se_bits = bits_ >> lo;
+    if (arch.cusPerSe < 64)
+        se_bits &= (std::uint64_t(1) << arch.cusPerSe) - 1;
+    return std::popcount(se_bits);
+}
+
+unsigned
+CuMask::activeSeCount(const ArchParams &arch) const
+{
+    unsigned active = 0;
+    for (unsigned se = 0; se < arch.numSe; ++se)
+        if (countInSe(arch, se) > 0)
+            ++active;
+    return active;
+}
+
+unsigned
+CuMask::minCusPerActiveSe(const ArchParams &arch) const
+{
+    unsigned min_cus = 0;
+    bool any = false;
+    for (unsigned se = 0; se < arch.numSe; ++se) {
+        const unsigned in_se = countInSe(arch, se);
+        if (in_se > 0 && (!any || in_se < min_cus)) {
+            min_cus = in_se;
+            any = true;
+        }
+    }
+    return any ? min_cus : 0;
+}
+
+std::string
+CuMask::toString(const ArchParams &arch) const
+{
+    std::string out;
+    for (unsigned se = 0; se < arch.numSe; ++se) {
+        if (se)
+            out += ' ';
+        out += "SE" + std::to_string(se) + "[";
+        for (unsigned cu = 0; cu < arch.cusPerSe; ++cu)
+            out += testSeCu(arch, se, cu) ? '1' : '0';
+        out += ']';
+    }
+    return out;
+}
+
+} // namespace krisp

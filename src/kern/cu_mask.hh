@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Compute-unit bitmask, the unit of spatial partitioning.
+ *
+ * Bit i corresponds to CU (i / cusPerSe) within shader engine
+ * (i % ... ) — concretely, bit index = se * cusPerSe + cu. Masks fit
+ * in 64 bits, which covers the MI50's 60 CUs exactly like the mask
+ * words of AMD's CU Masking API.
+ */
+
+#ifndef KRISP_KERN_CU_MASK_HH
+#define KRISP_KERN_CU_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "kern/arch_params.hh"
+
+namespace krisp
+{
+
+/** A set of compute units, identified by global CU index. */
+class CuMask
+{
+  public:
+    constexpr CuMask() = default;
+
+    /** Mask with the low @p n bits set (CUs 0 .. n-1). */
+    static CuMask firstN(unsigned n);
+
+    /** Mask covering every CU of the device. */
+    static CuMask full(const ArchParams &arch);
+
+    /** Mask from raw bits. */
+    static constexpr CuMask
+    ofBits(std::uint64_t bits)
+    {
+        CuMask m;
+        m.bits_ = bits;
+        return m;
+    }
+
+    std::uint64_t bits() const { return bits_; }
+    bool empty() const { return bits_ == 0; }
+    unsigned count() const { return std::popcount(bits_); }
+
+    bool
+    test(unsigned cu) const
+    {
+        return cu < 64 && (bits_ >> cu) & 1;
+    }
+
+    void set(unsigned cu);
+    void clear(unsigned cu);
+
+    /** Global CU index for (shader engine, CU-within-SE). */
+    static unsigned
+    cuIndex(const ArchParams &arch, unsigned se, unsigned cu)
+    {
+        return se * arch.cusPerSe + cu;
+    }
+
+    void setSeCu(const ArchParams &arch, unsigned se, unsigned cu);
+    bool testSeCu(const ArchParams &arch, unsigned se, unsigned cu) const;
+
+    /** Number of enabled CUs inside shader engine @p se. */
+    unsigned countInSe(const ArchParams &arch, unsigned se) const;
+
+    /** Number of shader engines with at least one enabled CU. */
+    unsigned activeSeCount(const ArchParams &arch) const;
+
+    /** Smallest enabled-CU count among *active* shader engines. */
+    unsigned minCusPerActiveSe(const ArchParams &arch) const;
+
+    CuMask
+    operator&(CuMask other) const
+    {
+        return ofBits(bits_ & other.bits_);
+    }
+
+    CuMask
+    operator|(CuMask other) const
+    {
+        return ofBits(bits_ | other.bits_);
+    }
+
+    CuMask
+    operator~() const
+    {
+        return ofBits(~bits_);
+    }
+
+    bool operator==(const CuMask &other) const = default;
+
+    /** Per-SE binary rendering, e.g. "SE0[111000...] SE1[...]". */
+    std::string toString(const ArchParams &arch) const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_KERN_CU_MASK_HH

@@ -1,0 +1,349 @@
+#include "kern/kernel_builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+/** Per-class tuning: how the library kernel uses the hardware. */
+struct ClassProfile
+{
+    /** Fraction of peak CU FLOP rate the kernel achieves. */
+    double efficiency;
+    /** DRAM traffic amplification over ideal operand bytes. */
+    double trafficAmp;
+    /** Resident WGs per CU needed to reach peak throughput. */
+    unsigned saturationWgs;
+    /** Output elements produced per workgroup. */
+    unsigned elemsPerWg;
+    /** Per-CU memory issue-bandwidth multiplier. */
+    double issueFactor;
+};
+
+/**
+ * Class characteristics. saturationWgs is the key lever behind the
+ * paper's observation that kernels under-utilise the GPU even with
+ * enough threads: a kernel with W workgroups tolerates restriction
+ * down to about W / saturationWgs CUs with no latency loss. Highly
+ * hand-optimised kernels (Sp3Asm) saturate a CU with a single WG and
+ * therefore lose performance the moment any CU is taken away.
+ */
+ClassProfile
+classProfile(KernelClass klass)
+{
+    switch (klass) {
+      case KernelClass::ImplicitGemmConv:
+        return {0.72, 1.50, 5, 8192, 1.4};
+      case KernelClass::Sp3AsmConv:
+        return {0.88, 1.10, 1, 2048, 1.0};
+      case KernelClass::ConvFft:
+        return {0.50, 3.00, 6, 256, 1.2};
+      case KernelClass::WinogradConv:
+        return {0.78, 1.50, 3, 8192, 1.2};
+      case KernelClass::DepthwiseConv:
+        return {0.30, 1.20, 6, 1024, 1.6};
+      case KernelClass::Gemm:
+        return {0.82, 1.50, 3, 4096, 1.0};
+      case KernelClass::BatchedGemm:
+        return {0.50, 1.30, 6, 4096, 0.9};
+      case KernelClass::Norm:
+        return {0.15, 1.00, 8, 2048, 1.5};
+      case KernelClass::Elementwise:
+        return {0.12, 1.00, 8, 2048, 1.5};
+      case KernelClass::Reduction:
+        return {0.15, 1.00, 8, 8192, 1.4};
+      case KernelClass::Softmax:
+        return {0.25, 1.20, 6, 0, 1.2};
+      case KernelClass::Pooling:
+        return {0.30, 1.00, 6, 1024, 1.2};
+      case KernelClass::Gather:
+        return {0.10, 1.00, 8, 2048, 0.6};
+      case KernelClass::Transpose:
+        return {0.12, 2.00, 8, 2048, 1.2};
+    }
+    panic("unknown kernel class");
+}
+
+/** Assemble a descriptor from derived work numbers. */
+KernelDescriptor
+finish(const ArchParams &arch, KernelClass klass, std::string name,
+       double flops, double ideal_bytes, double input_bytes,
+       std::uint32_t num_wgs, std::uint32_t wg_threads)
+{
+    const ClassProfile prof = classProfile(klass);
+    num_wgs = std::max<std::uint32_t>(num_wgs, 1);
+
+    KernelDescriptor desc;
+    desc.name = std::move(name);
+    desc.klass = klass;
+    desc.numWorkgroups = num_wgs;
+    desc.wgThreads = wg_threads;
+    desc.saturationWgsPerCu = prof.saturationWgs;
+    desc.issueFactor = prof.issueFactor;
+    const double wg_flops = flops / num_wgs;
+    desc.wgDurationNs =
+        wg_flops / (arch.cuFlopsPerNs * prof.efficiency);
+    desc.bytes = ideal_bytes * prof.trafficAmp;
+    desc.inputBytes = input_bytes;
+    panic_if(desc.wgDurationNs < 0, "negative WG duration");
+    return desc;
+}
+
+std::uint32_t
+wgsFor(double elems, unsigned elems_per_wg)
+{
+    return static_cast<std::uint32_t>(
+        std::max(1.0, std::ceil(elems / std::max(1u, elems_per_wg))));
+}
+
+constexpr double bytesPerElem = 4.0; // fp32 end to end
+
+} // namespace
+
+std::uint32_t
+ConvShape::outSize() const
+{
+    fatal_if(stride == 0, "conv stride must be non-zero");
+    fatal_if(kernel == 0, "conv kernel must be non-zero");
+    const std::uint32_t padded = inSize + 2 * padding;
+    fatal_if(padded < kernel, "conv filter larger than padded input");
+    return (padded - kernel) / stride + 1;
+}
+
+double
+ConvShape::flops() const
+{
+    const double out = outSize();
+    return 2.0 * batch * outChannels * (double(inChannels) / groups) *
+           out * out * kernel * kernel;
+}
+
+double
+ConvShape::ioBytes() const
+{
+    const double out = outSize();
+    const double input_b =
+        double(batch) * inChannels * inSize * inSize * bytesPerElem;
+    const double weight_b = double(outChannels) *
+                            (double(inChannels) / groups) * kernel *
+                            kernel * bytesPerElem;
+    const double output_b =
+        double(batch) * outChannels * out * out * bytesPerElem;
+    return input_b + weight_b + output_b;
+}
+
+KernelDescriptor
+makeConv(const ArchParams &arch, KernelClass klass, const ConvShape &s)
+{
+    fatal_if(klass != KernelClass::ImplicitGemmConv &&
+                 klass != KernelClass::Sp3AsmConv &&
+                 klass != KernelClass::ConvFft &&
+                 klass != KernelClass::WinogradConv &&
+                 klass != KernelClass::DepthwiseConv,
+             "makeConv with non-convolution class");
+    const ClassProfile prof = classProfile(klass);
+    const double out = s.outSize();
+    const double outputs = double(s.batch) * s.outChannels * out * out;
+    double flops = s.flops();
+    if (klass == KernelClass::WinogradConv) {
+        // Winograd F(2x2, 3x3) saves 2.25x multiplies.
+        flops /= 2.25;
+    } else if (klass == KernelClass::ConvFft) {
+        // FFT convolution trades multiplies for transform traffic.
+        flops /= 3.0;
+    }
+
+    double traffic = s.ioBytes();
+    // Small-accumulation convolutions (short K = inC/groups * k^2)
+    // block poorly: operands are re-fetched per output tile with only
+    // modest cache reuse, so DRAM traffic tracks outputs x K rather
+    // than the ideal operand footprint. This is what makes the
+    // low-channel convs of squeezenet/shufflenet bandwidth-bound on
+    // real hardware. Hand-tuned asm kernels are exempt.
+    const double acc_k = (double(s.inChannels) / s.groups) * s.kernel *
+                         s.kernel;
+    if (klass != KernelClass::Sp3AsmConv && s.groups == 1 &&
+        acc_k <= 512.0) {
+        constexpr double smallKReuse = 32.0;
+        traffic = std::max(traffic,
+                           outputs * acc_k * bytesPerElem /
+                               smallKReuse);
+    }
+
+    const double input_b =
+        double(s.batch) * s.inChannels * s.inSize * s.inSize *
+        bytesPerElem;
+    return finish(arch, klass, kernelClassName(klass), flops, traffic,
+                  input_b, wgsFor(outputs, prof.elemsPerWg), 256);
+}
+
+KernelDescriptor
+makeGemm(const ArchParams &arch, std::uint32_t m, std::uint32_t n,
+         std::uint32_t k, std::uint32_t batch_count)
+{
+    fatal_if(m == 0 || n == 0 || k == 0 || batch_count == 0,
+             "GEMM dimensions must be non-zero");
+    const double flops = 2.0 * m * n * k * batch_count;
+    const double bytes =
+        (double(m) * k + double(k) * n + double(m) * n) * batch_count *
+        bytesPerElem;
+    const double input_b =
+        (double(m) * k + double(k) * n) * batch_count * bytesPerElem;
+    // Macro-tile selection mirrors rocBLAS/Tensile: square 64x64
+    // tiles for fat problems, wide tiles for skinny M (inference
+    // batches), and split-K for deep accumulations so the launch
+    // still fills the device.
+    std::uint32_t tile_n = 64;
+    if (m <= 256)
+        tile_n = n > 1024 ? 256 : 128;
+    const std::uint32_t split_k = (k + 1023) / 1024 > 1
+                                      ? (k + 767) / 768
+                                      : 1;
+    const std::uint32_t tiles = ((m + 63) / 64) *
+                                ((n + tile_n - 1) / tile_n) *
+                                split_k * batch_count;
+    return finish(arch, KernelClass::Gemm,
+                  kernelClassName(KernelClass::Gemm), flops, bytes,
+                  input_b, tiles, 256);
+}
+
+KernelDescriptor
+makeBatchedGemm(const ArchParams &arch, std::uint32_t m, std::uint32_t n,
+                std::uint32_t k, std::uint32_t batch_count)
+{
+    fatal_if(m == 0 || n == 0 || k == 0 || batch_count == 0,
+             "batched GEMM dimensions must be non-zero");
+    const double flops = 2.0 * m * n * k * batch_count;
+    const double bytes =
+        (double(m) * k + double(k) * n + double(m) * n) * batch_count *
+        bytesPerElem;
+    const double input_b =
+        (double(m) * k + double(k) * n) * batch_count * bytesPerElem;
+    // Small matrices: one WG per 32x32 tile per batch entry.
+    const std::uint32_t tiles =
+        ((m + 31) / 32) * ((n + 31) / 32) * batch_count;
+    return finish(arch, KernelClass::BatchedGemm,
+                  kernelClassName(KernelClass::BatchedGemm), flops,
+                  bytes, input_b, tiles, 256);
+}
+
+KernelDescriptor
+makeElementwise(const ArchParams &arch, std::uint64_t elems,
+                const std::string &op, unsigned tensors_in)
+{
+    fatal_if(elems == 0, "elementwise over zero elements");
+    const ClassProfile prof = classProfile(KernelClass::Elementwise);
+    const double e = static_cast<double>(elems);
+    const double flops = 4.0 * e; // a few ops per element
+    const double bytes = (tensors_in + 1.0) * e * bytesPerElem;
+    const double input_b = tensors_in * e * bytesPerElem;
+    auto desc = finish(arch, KernelClass::Elementwise,
+                       std::string(kernelClassName(
+                           KernelClass::Elementwise)) + "_" + op,
+                       flops, bytes, input_b,
+                       wgsFor(e, prof.elemsPerWg), 256);
+    return desc;
+}
+
+KernelDescriptor
+makeNorm(const ArchParams &arch, std::uint64_t elems,
+         const std::string &op)
+{
+    fatal_if(elems == 0, "norm over zero elements");
+    const ClassProfile prof = classProfile(KernelClass::Norm);
+    const double e = static_cast<double>(elems);
+    const double flops = 8.0 * e; // scale/shift + stats refresh
+    const double bytes = 2.0 * e * bytesPerElem;
+    return finish(arch, KernelClass::Norm,
+                  std::string(kernelClassName(KernelClass::Norm)) +
+                      "_" + op,
+                  flops, bytes, e * bytesPerElem,
+                  wgsFor(e, prof.elemsPerWg), 256);
+}
+
+KernelDescriptor
+makeReduction(const ArchParams &arch, std::uint64_t elems)
+{
+    fatal_if(elems == 0, "reduction over zero elements");
+    const ClassProfile prof = classProfile(KernelClass::Reduction);
+    const double e = static_cast<double>(elems);
+    const double flops = 2.0 * e;
+    const double bytes = e * bytesPerElem;
+    const std::uint32_t wgs =
+        std::min<std::uint32_t>(960, wgsFor(e, prof.elemsPerWg));
+    return finish(arch, KernelClass::Reduction,
+                  kernelClassName(KernelClass::Reduction), flops,
+                  bytes, bytes, wgs, 256);
+}
+
+KernelDescriptor
+makeSoftmax(const ArchParams &arch, std::uint64_t rows,
+            std::uint32_t cols)
+{
+    fatal_if(rows == 0 || cols == 0, "softmax over empty matrix");
+    const double e = static_cast<double>(rows) * cols;
+    const double flops = 6.0 * e; // exp + two passes
+    const double bytes = 2.0 * e * bytesPerElem;
+    const std::uint32_t wg_threads =
+        std::clamp<std::uint32_t>(((cols + 63) / 64) * 64, 64, 1024);
+    return finish(arch, KernelClass::Softmax,
+                  kernelClassName(KernelClass::Softmax), flops, bytes,
+                  e * bytesPerElem,
+                  static_cast<std::uint32_t>(
+                      std::min<std::uint64_t>(rows, 1u << 20)),
+                  wg_threads);
+}
+
+KernelDescriptor
+makePooling(const ArchParams &arch, std::uint32_t batch,
+            std::uint32_t channels, std::uint32_t out_size,
+            std::uint32_t window)
+{
+    fatal_if(batch == 0 || channels == 0 || out_size == 0 || window == 0,
+             "pooling with zero dimension");
+    const ClassProfile prof = classProfile(KernelClass::Pooling);
+    const double outputs =
+        double(batch) * channels * out_size * out_size;
+    const double flops = outputs * window * window;
+    const double bytes =
+        outputs * (window * window + 1.0) * bytesPerElem;
+    return finish(arch, KernelClass::Pooling,
+                  kernelClassName(KernelClass::Pooling), flops, bytes,
+                  outputs * window * window * bytesPerElem,
+                  wgsFor(outputs, prof.elemsPerWg), 256);
+}
+
+KernelDescriptor
+makeGather(const ArchParams &arch, std::uint64_t rows, std::uint32_t dim)
+{
+    fatal_if(rows == 0 || dim == 0, "gather with zero dimension");
+    const ClassProfile prof = classProfile(KernelClass::Gather);
+    const double e = static_cast<double>(rows) * dim;
+    const double flops = e; // address math only
+    const double bytes = 2.0 * e * bytesPerElem;
+    return finish(arch, KernelClass::Gather,
+                  kernelClassName(KernelClass::Gather), flops, bytes,
+                  e * bytesPerElem, wgsFor(e, prof.elemsPerWg), 256);
+}
+
+KernelDescriptor
+makeTranspose(const ArchParams &arch, std::uint64_t elems)
+{
+    fatal_if(elems == 0, "transpose over zero elements");
+    const ClassProfile prof = classProfile(KernelClass::Transpose);
+    const double e = static_cast<double>(elems);
+    const double flops = e;
+    const double bytes = 2.0 * e * bytesPerElem;
+    return finish(arch, KernelClass::Transpose,
+                  kernelClassName(KernelClass::Transpose), flops,
+                  bytes, e * bytesPerElem,
+                  wgsFor(e, prof.elemsPerWg), 256);
+}
+
+} // namespace krisp

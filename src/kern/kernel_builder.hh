@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Builders that lower neural-network layer shapes to KernelDescriptors.
+ *
+ * Each builder derives launch geometry (workgroups x threads), compute
+ * work and DRAM traffic from the layer's tensor shapes using standard
+ * FLOP/byte accounting, then applies a per-class efficiency factor
+ * reflecting how well the corresponding MIOpen / rocBLAS kernel uses
+ * the hardware. The minimum-CU behaviour KRISP exploits *emerges* from
+ * these numbers through the roofline timing model — it is not
+ * hand-assigned per kernel.
+ */
+
+#ifndef KRISP_KERN_KERNEL_BUILDER_HH
+#define KRISP_KERN_KERNEL_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kern/arch_params.hh"
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+
+/** Shape of a 2-D convolution layer. */
+struct ConvShape
+{
+    std::uint32_t batch = 1;
+    std::uint32_t inChannels = 3;
+    std::uint32_t outChannels = 64;
+    std::uint32_t inSize = 224;   ///< square input height == width
+    std::uint32_t kernel = 3;     ///< square filter size
+    std::uint32_t stride = 1;
+    std::uint32_t groups = 1;     ///< grouped / depthwise when > 1
+    std::uint32_t padding = 1;
+
+    std::uint32_t outSize() const;
+    /** Multiply-accumulate count x2 = FLOPs of the layer. */
+    double flops() const;
+    /** Activation + weight + output bytes at fp32. */
+    double ioBytes() const;
+};
+
+/**
+ * Build a convolution kernel of a given algorithmic class. The class
+ * decides efficiency and traffic amplification:
+ *  - Sp3AsmConv / ImplicitGemmConv: high compute efficiency, so they
+ *    stay compute-bound and need many CUs;
+ *  - WinogradConv: 2.25x fewer FLOPs, moderately compute-bound;
+ *  - ConvFft: large intermediate buffers -> bandwidth-bound despite
+ *    huge thread counts (the paper's green-circle kernels);
+ *  - DepthwiseConv: very low arithmetic intensity, bandwidth-bound.
+ */
+KernelDescriptor makeConv(const ArchParams &arch, KernelClass klass,
+                          const ConvShape &shape);
+
+/** Dense or strided-batched GEMM: C[MxN] += A[MxK] B[KxN]. */
+KernelDescriptor makeGemm(const ArchParams &arch, std::uint32_t m,
+                          std::uint32_t n, std::uint32_t k,
+                          std::uint32_t batch_count = 1);
+
+/** Small batched GEMM as used by attention (scores / context). */
+KernelDescriptor makeBatchedGemm(const ArchParams &arch, std::uint32_t m,
+                                 std::uint32_t n, std::uint32_t k,
+                                 std::uint32_t batch_count);
+
+/** Pointwise op over @p elems elements reading @p tensors_in inputs. */
+KernelDescriptor makeElementwise(const ArchParams &arch,
+                                 std::uint64_t elems,
+                                 const std::string &op = "relu",
+                                 unsigned tensors_in = 1);
+
+/** BatchNorm / LayerNorm inference over @p elems elements. */
+KernelDescriptor makeNorm(const ArchParams &arch, std::uint64_t elems,
+                          const std::string &op = "batchnorm");
+
+/** Reduction (sum / mean / global pooling) over @p elems elements. */
+KernelDescriptor makeReduction(const ArchParams &arch,
+                               std::uint64_t elems);
+
+/** Row-wise softmax over a [rows x cols] matrix. */
+KernelDescriptor makeSoftmax(const ArchParams &arch, std::uint64_t rows,
+                             std::uint32_t cols);
+
+/** Window pooling producing batch x channels x out^2 outputs. */
+KernelDescriptor makePooling(const ArchParams &arch, std::uint32_t batch,
+                             std::uint32_t channels, std::uint32_t out_size,
+                             std::uint32_t window);
+
+/** Embedding-table gather of @p rows vectors of @p dim elements. */
+KernelDescriptor makeGather(const ArchParams &arch, std::uint64_t rows,
+                            std::uint32_t dim);
+
+/** Layout shuffle (im2col / transpose) of @p elems elements. */
+KernelDescriptor makeTranspose(const ArchParams &arch,
+                               std::uint64_t elems);
+
+} // namespace krisp
+
+#endif // KRISP_KERN_KERNEL_BUILDER_HH

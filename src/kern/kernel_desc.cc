@@ -1,0 +1,59 @@
+#include "kern/kernel_desc.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+const char *
+kernelClassName(KernelClass klass)
+{
+    switch (klass) {
+      case KernelClass::ImplicitGemmConv:
+        return "gfx9_f3x2_fp32_stride1_group";
+      case KernelClass::Sp3AsmConv:
+        return "miopenSp3AsmConv_v21_1_2";
+      case KernelClass::ConvFft:
+        return "MIOpenConvFFT_fwd_in";
+      case KernelClass::WinogradConv:
+        return "miopenConvolutionWinograd";
+      case KernelClass::DepthwiseConv:
+        return "MIOpenGroupConvUni";
+      case KernelClass::Gemm:
+        return "Cijk_Ailk_Bljk_SB_MT64";
+      case KernelClass::BatchedGemm:
+        return "Cijk_Ailk_Bjlk_SB_Batched";
+      case KernelClass::Norm:
+        return "MIOpenBatchNormFwdInfer";
+      case KernelClass::Elementwise:
+        return "ElementwiseKernel_half4";
+      case KernelClass::Reduction:
+        return "ReduceKernel_Sum";
+      case KernelClass::Softmax:
+        return "SoftmaxForward_WarpShuffle";
+      case KernelClass::Pooling:
+        return "MIOpenPoolingForward";
+      case KernelClass::Gather:
+        return "EmbeddingGatherKernel";
+      case KernelClass::Transpose:
+        return "MIOpenIm2Col";
+    }
+    panic("unknown kernel class");
+}
+
+KernelClass
+kernelClassAt(int index)
+{
+    panic_if(index < 0 || index >= numKernelClasses,
+             "kernel class index out of range: ", index);
+    return static_cast<KernelClass>(index);
+}
+
+std::string
+KernelDescriptor::profileKey() const
+{
+    return name + "/g" + std::to_string(numWorkgroups) + "x" +
+           std::to_string(wgThreads);
+}
+
+} // namespace krisp

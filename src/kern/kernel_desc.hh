@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Kernel descriptors: the unit of work KRISP right-sizes.
+ *
+ * A descriptor captures what the GPU timing model and the profiler
+ * need to know about one kernel launch: launch geometry (workgroups x
+ * threads), per-workgroup compute time on a dedicated CU slot, and
+ * the DRAM traffic it generates. Kernel *classes* mirror the library
+ * kernels observed in the paper's Fig. 6 (MIOpen / rocBLAS names);
+ * class determines the compute/memory character, which — as the paper
+ * stresses — is what decides a kernel's minimum required CUs, not its
+ * size or input bytes.
+ */
+
+#ifndef KRISP_KERN_KERNEL_DESC_HH
+#define KRISP_KERN_KERNEL_DESC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace krisp
+{
+
+/**
+ * Taxonomy of GPU library kernels seen during ML inference. Names
+ * follow the MIOpen / rocBLAS kernels the paper profiles in Fig. 6.
+ */
+enum class KernelClass
+{
+    /** Direct convolution, compute-bound (gfx9 fp32 stride1 group). */
+    ImplicitGemmConv,
+    /** Hand-written asm conv, always needs the whole GPU (Sp3Asm). */
+    Sp3AsmConv,
+    /** FFT-based convolution: huge thread counts, bandwidth-bound. */
+    ConvFft,
+    /** Winograd convolution: moderately compute-bound. */
+    WinogradConv,
+    /** Depthwise / grouped convolution: low arithmetic intensity. */
+    DepthwiseConv,
+    /** Dense GEMM (rocBLAS Cijk_*): intensity scales with tile size. */
+    Gemm,
+    /** Small batched GEMM, e.g. attention score x value products. */
+    BatchedGemm,
+    /** BatchNorm / LayerNorm: streaming, memory-bound. */
+    Norm,
+    /** Pointwise ops (ReLU, add, scale): purely memory-bound. */
+    Elementwise,
+    /** Reductions (global pooling, sums): memory-bound, few WGs. */
+    Reduction,
+    /** Softmax over attention logits. */
+    Softmax,
+    /** Pooling layers (max/avg window). */
+    Pooling,
+    /** Embedding / gather lookups: latency-bound, tiny. */
+    Gather,
+    /** Im2col / tensor reshuffling copies. */
+    Transpose,
+};
+
+/** Human-readable library-style kernel name for a class. */
+const char *kernelClassName(KernelClass klass);
+
+/** Number of distinct kernel classes (for iteration in tests). */
+constexpr int numKernelClasses = 14;
+
+/** All classes, in declaration order. */
+KernelClass kernelClassAt(int index);
+
+/**
+ * One kernel launch, as seen by the runtime and the GPU.
+ *
+ * Compute work is expressed as the time one workgroup occupies one of
+ * a CU's workgroup slots (wgDurationNs); total compute work is then
+ * numWorkgroups x wgDurationNs spread over the CUs the dispatch mask
+ * allows. Memory work is total DRAM bytes moved.
+ */
+struct KernelDescriptor
+{
+    /** Library-style kernel symbol, e.g. "MIOpenConvFFT_fwd_in". */
+    std::string name;
+    KernelClass klass = KernelClass::Elementwise;
+
+    /** Launch grid: number of workgroups. */
+    std::uint32_t numWorkgroups = 1;
+    /** Threads per workgroup (<= 1024). */
+    std::uint32_t wgThreads = 256;
+
+    /** Compute time of one WG at full CU rate, in ns. */
+    double wgDurationNs = 1000.0;
+    /**
+     * Resident workgroups per CU required to reach the CU's peak
+     * throughput. Below this occupancy the CU is latency-bound, so a
+     * kernel with W workgroups tolerates CU restriction down to about
+     * W / saturationWgsPerCu CUs at no latency cost — the fine-grain
+     * under-utilisation KRISP harvests.
+     */
+    unsigned saturationWgsPerCu = 4;
+    /**
+     * Multiplier on the per-CU memory issue bandwidth. Streaming,
+     * fully-coalesced kernels (>1) saturate their bandwidth share
+     * with fewer CUs; scatter/gather kernels (<1) need more.
+     */
+    double issueFactor = 1.0;
+    /** Total DRAM traffic of the launch, in bytes. */
+    double bytes = 0.0;
+    /** Size of the kernel's input operands in bytes (Fig. 6b axis). */
+    double inputBytes = 0.0;
+
+    /** Total threads in the launch (Fig. 6a "kernel size" axis). */
+    std::uint64_t
+    totalThreads() const
+    {
+        return std::uint64_t(numWorkgroups) * wgThreads;
+    }
+
+    /**
+     * Key identifying "the same kernel" for the profiled Required-CUs
+     * table: name + launch geometry. Two launches with equal keys get
+     * the same right-size, exactly like MIOpen's perf database.
+     */
+    std::string profileKey() const;
+};
+
+using KernelDescPtr = std::shared_ptr<const KernelDescriptor>;
+
+} // namespace krisp
+
+#endif // KRISP_KERN_KERNEL_DESC_HH

@@ -1,0 +1,66 @@
+#include "kern/timing_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+namespace timing
+{
+
+double
+computeTimeNs(const KernelDescriptor &desc, const CuMask &mask,
+              const ArchParams &arch)
+{
+    panic_if(mask.empty(), "compute time over an empty CU mask");
+    const unsigned active_ses = mask.activeSeCount(arch);
+    // The command processor distributes workgroups evenly over the
+    // shader engines that can accept them.
+    const std::uint32_t wgs_per_se =
+        (desc.numWorkgroups + active_ses - 1) / active_ses;
+
+    std::uint32_t worst_load = 0;
+    for (unsigned se = 0; se < arch.numSe; ++se) {
+        const unsigned enabled = mask.countInSe(arch, se);
+        if (enabled == 0)
+            continue;
+        const std::uint32_t load = (wgs_per_se + enabled - 1) / enabled;
+        worst_load = std::max(worst_load, load);
+    }
+    const std::uint32_t quanta =
+        std::max<std::uint32_t>(worst_load,
+                                std::max(1u, desc.saturationWgsPerCu));
+    return double(quanta) * desc.wgDurationNs;
+}
+
+double
+issueBandwidth(const KernelDescriptor &desc, unsigned enabled_cus,
+               const ArchParams &arch)
+{
+    return std::min(arch.memBwBytesPerNs,
+                    double(enabled_cus) * arch.perCuIssueBytesPerNs *
+                        desc.issueFactor);
+}
+
+double
+memoryTimeNs(const KernelDescriptor &desc, unsigned enabled_cus,
+             const ArchParams &arch)
+{
+    if (desc.bytes <= 0)
+        return 0.0;
+    panic_if(enabled_cus == 0, "memory time with zero enabled CUs");
+    return desc.bytes / issueBandwidth(desc, enabled_cus, arch);
+}
+
+double
+isolatedDurationNs(const KernelDescriptor &desc, const CuMask &mask,
+                   const ArchParams &arch)
+{
+    return std::max(computeTimeNs(desc, mask, arch),
+                    memoryTimeNs(desc, mask.count(), arch));
+}
+
+} // namespace timing
+} // namespace krisp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Isolated (contention-free) kernel timing on a CU mask.
+ *
+ * The model has two terms joined by a roofline max:
+ *
+ *  - Compute: workgroups are split evenly across the shader engines
+ *    that have at least one enabled CU (the documented AMD dispatch
+ *    behaviour), then scheduled onto enabled CUs inside each SE. The
+ *    busiest CU determines completion, quantised to whole workgroups,
+ *    with a latency floor of saturationWgsPerCu workgroup-times (a CU
+ *    below that occupancy cannot reach peak rate). This single rule
+ *    produces both the Packed-policy spikes of Fig. 8 (SE imbalance)
+ *    and the parallelism-limited min-CU tolerance of Fig. 4/6.
+ *
+ *  - Memory: total bytes over the smaller of device bandwidth and the
+ *    enabled CUs' aggregate issue bandwidth, giving memory-bound
+ *    kernels their min-CU plateau.
+ *
+ * Contention between co-located kernels is handled dynamically by the
+ * GPU device model on top of these isolated numbers.
+ */
+
+#ifndef KRISP_KERN_TIMING_MODEL_HH
+#define KRISP_KERN_TIMING_MODEL_HH
+
+#include "kern/arch_params.hh"
+#include "kern/cu_mask.hh"
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+
+/** Pure functions computing isolated kernel latencies. */
+namespace timing
+{
+
+/**
+ * Compute-side latency of @p desc dispatched over @p mask, ns.
+ * The mask must be non-empty.
+ */
+double computeTimeNs(const KernelDescriptor &desc, const CuMask &mask,
+                     const ArchParams &arch);
+
+/**
+ * Memory-side latency with the full device bandwidth available but
+ * issue-limited to the enabled CUs, ns.
+ */
+double memoryTimeNs(const KernelDescriptor &desc, unsigned enabled_cus,
+                    const ArchParams &arch);
+
+/** Roofline combination: max(compute, memory), ns. */
+double isolatedDurationNs(const KernelDescriptor &desc,
+                          const CuMask &mask, const ArchParams &arch);
+
+/**
+ * Peak memory bandwidth (bytes/ns) the kernel can consume through
+ * @p enabled_cus CUs, scaled by the kernel's issue factor; the device
+ * model further scales this by CU share under contention.
+ */
+double issueBandwidth(const KernelDescriptor &desc,
+                      unsigned enabled_cus, const ArchParams &arch);
+
+} // namespace timing
+} // namespace krisp
+
+#endif // KRISP_KERN_TIMING_MODEL_HH

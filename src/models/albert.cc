@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ALBERT transformer workload (Table III: 304 kernels).
+ *
+ * ALBERT-base geometry (hidden 768, 12 heads, FFN 3072, factorised
+ * 128-wide embeddings, 12 layers with shared weights — sharing cuts
+ * parameters, not kernel launches). The serving configuration uses
+ * short classification sequences (16 tokens), which is what makes the
+ * model tolerant of CU restriction: most kernels are small GEMMs and
+ * streaming elementwise/norm ops, with periodic FFN GEMM spikes that
+ * need most of the GPU but contribute little total time (Fig. 4 top).
+ */
+
+#include <cstdint>
+
+#include "models/builders.hh"
+
+namespace krisp
+{
+namespace models
+{
+
+namespace
+{
+
+constexpr std::uint32_t hidden = 768;
+constexpr std::uint32_t embedDim = 128;
+constexpr std::uint32_t ffnDim = 3072;
+constexpr std::uint32_t numHeads = 12;
+constexpr std::uint32_t headDim = hidden / numHeads;
+constexpr std::uint32_t seqLen = 8;
+constexpr std::uint32_t numLayers = 12;
+
+} // namespace
+
+std::vector<KernelDescPtr>
+buildAlbert(const ArchParams &arch, unsigned batch)
+{
+    Seq s(arch);
+    const std::uint32_t B = batch;
+    const std::uint32_t T = B * seqLen; // total tokens
+    const std::uint64_t eh = std::uint64_t(T) * hidden;
+    const std::uint64_t ee = std::uint64_t(T) * embedDim;
+
+    // Embeddings: word + position + token-type lookups, summed,
+    // scaled, normalised, then the factorised 128 -> 768 projection
+    // and a dropout mask (10 kernels).
+    s.gather(T, embedDim); // word embeddings
+    s.gather(T, embedDim); // position embeddings
+    s.gather(T, embedDim); // token-type embeddings
+    s.addTensors(ee);
+    s.addTensors(ee);
+    s.scale(ee);
+    s.norm(ee, "layernorm");
+    s.gemm(T, hidden, embedDim); // embedding projection
+    s.bias(eh);
+    s.elementwise(eh, "dropout_mask", 1);
+
+    // 12 shared-weight encoder layers, 24 kernels each.
+    for (std::uint32_t layer = 0; layer < numLayers; ++layer) {
+        // Self-attention projections.
+        s.gemm(T, hidden, hidden); // Q
+        s.bias(eh);
+        s.gemm(T, hidden, hidden); // K
+        s.bias(eh);
+        s.gemm(T, hidden, hidden); // V
+        s.bias(eh);
+        s.transpose(eh); // [B,S,H] -> [B,heads,S,d]
+
+        // Scores, scale, mask, softmax, context.
+        s.batchedGemm(seqLen, seqLen, headDim, B * numHeads);
+        const std::uint64_t scores =
+            std::uint64_t(B) * numHeads * seqLen * seqLen;
+        s.scale(scores);
+        s.addTensors(scores); // attention mask
+        s.softmax(std::uint64_t(B) * numHeads * seqLen, seqLen);
+        s.batchedGemm(seqLen, headDim, seqLen, B * numHeads);
+        s.transpose(eh); // back to [B,S,H]
+
+        // Output projection + residual + layernorm.
+        s.gemm(T, hidden, hidden);
+        s.bias(eh);
+        s.addTensors(eh);
+        s.norm(eh, "layernorm");
+
+        // Feed-forward with GELU.
+        s.gemm(T, ffnDim, hidden);
+        s.bias(std::uint64_t(T) * ffnDim);
+        s.gelu(std::uint64_t(T) * ffnDim);
+        s.gemm(T, hidden, ffnDim);
+        s.bias(eh);
+        s.addTensors(eh);
+        s.norm(eh, "layernorm");
+    }
+
+    // Pooler over [CLS] + classification head (6 kernels).
+    s.gemm(B, hidden, hidden);
+    s.bias(std::uint64_t(B) * hidden);
+    s.tanhAct(std::uint64_t(B) * hidden);
+    s.gemm(B, 2, hidden);
+    s.bias(std::uint64_t(B) * 2);
+    s.softmax(B, 2);
+    return s.take(); // 304 kernels
+}
+
+} // namespace models
+} // namespace krisp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Internal per-model kernel-sequence builders and the shared
+ * sequencing helper. Not part of the public API; include model_zoo.hh
+ * instead.
+ */
+
+#ifndef KRISP_MODELS_BUILDERS_HH
+#define KRISP_MODELS_BUILDERS_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kern/kernel_builder.hh"
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+namespace models
+{
+
+/** Accumulates a model's kernel launches in order. */
+class Seq
+{
+  public:
+    explicit Seq(const ArchParams &arch) : arch_(arch) {}
+
+    const ArchParams &arch() const { return arch_; }
+
+    void
+    add(KernelDescriptor desc)
+    {
+        kernels_.push_back(
+            std::make_shared<const KernelDescriptor>(std::move(desc)));
+    }
+
+    /** Convenience wrappers over the kern builders. */
+    void
+    conv(KernelClass klass, const ConvShape &shape)
+    {
+        add(makeConv(arch_, klass, shape));
+    }
+
+    void
+    gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+         std::uint32_t batch = 1)
+    {
+        add(makeGemm(arch_, m, n, k, batch));
+    }
+
+    void
+    batchedGemm(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                std::uint32_t batch)
+    {
+        add(makeBatchedGemm(arch_, m, n, k, batch));
+    }
+
+    void
+    elementwise(std::uint64_t elems, const std::string &op,
+                unsigned tensors_in = 1)
+    {
+        add(makeElementwise(arch_, elems, op, tensors_in));
+    }
+
+    void bias(std::uint64_t e) { elementwise(e, "bias", 2); }
+    void relu(std::uint64_t e) { elementwise(e, "relu", 1); }
+    void addTensors(std::uint64_t e) { elementwise(e, "add", 2); }
+    void gelu(std::uint64_t e) { elementwise(e, "gelu", 1); }
+    void concat(std::uint64_t e) { elementwise(e, "concat", 2); }
+    void split(std::uint64_t e) { elementwise(e, "split", 1); }
+    void scale(std::uint64_t e) { elementwise(e, "scale", 1); }
+    void tanhAct(std::uint64_t e) { elementwise(e, "tanh", 1); }
+
+    void
+    norm(std::uint64_t elems, const std::string &op = "batchnorm")
+    {
+        add(makeNorm(arch_, elems, op));
+    }
+
+    void reduce(std::uint64_t e) { add(makeReduction(arch_, e)); }
+
+    void
+    softmax(std::uint64_t rows, std::uint32_t cols)
+    {
+        add(makeSoftmax(arch_, rows, cols));
+    }
+
+    void
+    pool(std::uint32_t batch, std::uint32_t ch, std::uint32_t out,
+         std::uint32_t window)
+    {
+        add(makePooling(arch_, batch, ch, out, window));
+    }
+
+    void
+    gather(std::uint64_t rows, std::uint32_t dim)
+    {
+        add(makeGather(arch_, rows, dim));
+    }
+
+    void transpose(std::uint64_t e) { add(makeTranspose(arch_, e)); }
+
+    std::vector<KernelDescPtr> take() { return std::move(kernels_); }
+
+    std::size_t size() const { return kernels_.size(); }
+
+  private:
+    const ArchParams &arch_;
+    std::vector<KernelDescPtr> kernels_;
+};
+
+std::vector<KernelDescPtr> buildAlexnet(const ArchParams &, unsigned batch);
+std::vector<KernelDescPtr> buildVgg19(const ArchParams &, unsigned batch);
+std::vector<KernelDescPtr> buildResnet152(const ArchParams &,
+                                          unsigned batch);
+std::vector<KernelDescPtr> buildResnext101(const ArchParams &,
+                                           unsigned batch);
+std::vector<KernelDescPtr> buildDensenet201(const ArchParams &,
+                                            unsigned batch);
+std::vector<KernelDescPtr> buildShufflenet(const ArchParams &,
+                                           unsigned batch);
+std::vector<KernelDescPtr> buildSqueezenet(const ArchParams &,
+                                           unsigned batch);
+std::vector<KernelDescPtr> buildAlbert(const ArchParams &, unsigned batch);
+
+} // namespace models
+} // namespace krisp
+
+#endif // KRISP_MODELS_BUILDERS_HH

@@ -1,0 +1,85 @@
+#include "models/model_zoo.hh"
+
+#include "common/logging.hh"
+#include "models/builders.hh"
+
+namespace krisp
+{
+
+ModelZoo::ModelZoo(const ArchParams &arch) : arch_(arch)
+{
+}
+
+const std::vector<WorkloadInfo> &
+ModelZoo::workloads()
+{
+    // Table III of the paper: kernel calls per inference, model-wise
+    // right-sized partition, and 95% tail latency in ms (batch 32).
+    static const std::vector<WorkloadInfo> table = {
+        {"albert", 304, 12, 27.0},
+        {"alexnet", 34, 45, 91.0},
+        {"densenet201", 711, 32, 72.0},
+        {"resnet152", 517, 26, 11.0},
+        {"resnext101", 347, 55, 154.0},
+        {"shufflenet", 211, 21, 8.0},
+        {"squeezenet", 90, 21, 8.0},
+        {"vgg19", 62, 60, 81.0},
+    };
+    return table;
+}
+
+const WorkloadInfo &
+ModelZoo::info(const std::string &name)
+{
+    for (const auto &w : workloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown model: ", name);
+}
+
+bool
+ModelZoo::isModel(const std::string &name)
+{
+    for (const auto &w : workloads())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
+const std::vector<KernelDescPtr> &
+ModelZoo::kernels(const std::string &name, unsigned batch) const
+{
+    fatal_if(batch == 0, "batch size must be non-zero");
+    const auto key = std::make_pair(name, batch);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    std::vector<KernelDescPtr> seq;
+    if (name == "albert") {
+        seq = models::buildAlbert(arch_, batch);
+    } else if (name == "alexnet") {
+        seq = models::buildAlexnet(arch_, batch);
+    } else if (name == "densenet201") {
+        seq = models::buildDensenet201(arch_, batch);
+    } else if (name == "resnet152") {
+        seq = models::buildResnet152(arch_, batch);
+    } else if (name == "resnext101") {
+        seq = models::buildResnext101(arch_, batch);
+    } else if (name == "shufflenet") {
+        seq = models::buildShufflenet(arch_, batch);
+    } else if (name == "squeezenet") {
+        seq = models::buildSqueezenet(arch_, batch);
+    } else if (name == "vgg19") {
+        seq = models::buildVgg19(arch_, batch);
+    } else {
+        fatal("unknown model: ", name);
+    }
+
+    panic_if(seq.size() != info(name).paperKernelCount,
+             "model ", name, " lowered to ", seq.size(),
+             " kernels, expected ", info(name).paperKernelCount);
+    return cache_.emplace(key, std::move(seq)).first->second;
+}
+
+} // namespace krisp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The inference workload zoo (Table III).
+ *
+ * Every model is lowered to the kernel sequence one inference request
+ * generates, with kernel counts matching the paper's measurements
+ * (albert 304, alexnet 34, densenet201 711, resnet152 517,
+ * resnext101 347, shufflenet 211, squeezenet 90, vgg19 62). Tensor
+ * shapes follow the published architectures; where a decomposition
+ * choice was free (e.g. whether a channel shuffle is one or two
+ * kernels) it was chosen to land on the paper's counts — see
+ * DESIGN.md. Batch size scales the work of each kernel but not the
+ * kernel count, as on the real stack.
+ */
+
+#ifndef KRISP_MODELS_MODEL_ZOO_HH
+#define KRISP_MODELS_MODEL_ZOO_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kern/arch_params.hh"
+#include "kern/kernel_desc.hh"
+
+namespace krisp
+{
+
+/** Static facts about one workload, from the paper's Table III. */
+struct WorkloadInfo
+{
+    std::string name;
+    unsigned paperKernelCount;
+    unsigned paperRightSizeCus;
+    double paperP95Ms;
+};
+
+/** Builds and caches per-model kernel sequences. */
+class ModelZoo
+{
+  public:
+    explicit ModelZoo(const ArchParams &arch);
+
+    /** The eight paper workloads, in Table III order. */
+    static const std::vector<WorkloadInfo> &workloads();
+
+    /** Paper metadata for @p name (fatal if unknown). */
+    static const WorkloadInfo &info(const std::string &name);
+
+    static bool isModel(const std::string &name);
+
+    /**
+     * The kernel sequence of one inference request of @p name at
+     * @p batch. Cached; descriptors are shared between callers.
+     */
+    const std::vector<KernelDescPtr> &kernels(const std::string &name,
+                                              unsigned batch) const;
+
+    const ArchParams &arch() const { return arch_; }
+
+  private:
+    ArchParams arch_;
+    mutable std::map<std::pair<std::string, unsigned>,
+                     std::vector<KernelDescPtr>>
+        cache_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_MODELS_MODEL_ZOO_HH

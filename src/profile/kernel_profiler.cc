@@ -1,0 +1,68 @@
+#include "profile/kernel_profiler.hh"
+
+#include "common/logging.hh"
+#include "gpu/resource_monitor.hh"
+#include "kern/timing_model.hh"
+
+namespace krisp
+{
+
+KernelProfiler::KernelProfiler(const GpuConfig &config,
+                               ProfilerConfig prof)
+    : config_(config), prof_(prof)
+{
+    const unsigned total = config_.arch.totalCus();
+    masks_.resize(total + 1);
+    // Masks come from the allocator over an idle device, exactly as a
+    // profiling run would configure them via the CU Masking API.
+    MaskAllocator alloc(prof_.sweepPolicy);
+    ResourceMonitor idle(config_.arch);
+    for (unsigned cus = 1; cus <= total; ++cus)
+        masks_[cus] = alloc.allocate(cus, idle);
+}
+
+CuMask
+KernelProfiler::sweepMask(unsigned cus) const
+{
+    fatal_if(cus == 0 || cus >= masks_.size(),
+             "sweep CU count out of range: ", cus);
+    return masks_[cus];
+}
+
+double
+KernelProfiler::latencyNs(const KernelDescriptor &desc,
+                          unsigned cus) const
+{
+    const double overhead =
+        static_cast<double>(config_.packetProcessNs +
+                            config_.kernelLaunchOverheadNs);
+    return overhead +
+           timing::isolatedDurationNs(desc, sweepMask(cus),
+                                      config_.arch);
+}
+
+unsigned
+KernelProfiler::minCus(const KernelDescriptor &desc) const
+{
+    const unsigned total = config_.arch.totalCus();
+    const double full = latencyNs(desc, total);
+    const double bound = full * (1.0 + prof_.kernelTolerance);
+    for (unsigned cus = 1; cus < total; ++cus) {
+        if (latencyNs(desc, cus) <= bound)
+            return cus;
+    }
+    return total;
+}
+
+void
+KernelProfiler::profileInto(
+    PerfDatabase &db, const std::vector<KernelDescPtr> &kernels) const
+{
+    for (const auto &k : kernels) {
+        const std::string key = k->profileKey();
+        if (!db.minCus(key))
+            db.setMinCus(key, minCus(*k));
+    }
+}
+
+} // namespace krisp

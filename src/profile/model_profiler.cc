@@ -1,0 +1,53 @@
+#include "profile/model_profiler.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+ModelProfiler::ModelProfiler(const KernelProfiler &kernels)
+    : kernels_(kernels)
+{
+}
+
+double
+ModelProfiler::modelLatencyNs(const std::vector<KernelDescPtr> &seq,
+                              unsigned cus) const
+{
+    fatal_if(seq.empty(), "profiling an empty kernel sequence");
+    double total = 0;
+    for (const auto &k : seq)
+        total += kernels_.latencyNs(*k, cus);
+    return total;
+}
+
+unsigned
+ModelProfiler::rightSizeCus(const std::vector<KernelDescPtr> &seq) const
+{
+    const unsigned total = kernels_.gpuConfig().arch.totalCus();
+    const double full = modelLatencyNs(seq, total);
+    const double bound =
+        full *
+        (1.0 + kernels_.profilerConfig().modelTolerance);
+    for (unsigned cus = 1; cus < total; ++cus) {
+        if (modelLatencyNs(seq, cus) <= bound)
+            return cus;
+    }
+    return total;
+}
+
+std::vector<ModelSweepPoint>
+ModelProfiler::sweep(const std::vector<KernelDescPtr> &seq) const
+{
+    const unsigned total = kernels_.gpuConfig().arch.totalCus();
+    const double full = modelLatencyNs(seq, total);
+    std::vector<ModelSweepPoint> points;
+    points.reserve(total);
+    for (unsigned cus = 1; cus <= total; ++cus) {
+        const double lat = modelLatencyNs(seq, cus);
+        points.push_back(ModelSweepPoint{cus, lat, full / lat});
+    }
+    return points;
+}
+
+} // namespace krisp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Model-wise profiling: the resource/latency kneepoint prior works
+ * (GSLICE, Gpulet, PARIS/ELSA) right-size whole models with.
+ */
+
+#ifndef KRISP_PROFILE_MODEL_PROFILER_HH
+#define KRISP_PROFILE_MODEL_PROFILER_HH
+
+#include <vector>
+
+#include "profile/kernel_profiler.hh"
+
+namespace krisp
+{
+
+/** Result of sweeping one model across partition sizes. */
+struct ModelSweepPoint
+{
+    unsigned cus;
+    double latencyNs;
+    /** Throughput relative to the full-GPU latency (1/latency). */
+    double relativeThroughput;
+};
+
+/** Derives model-level kneepoints from kernel-level latencies. */
+class ModelProfiler
+{
+  public:
+    explicit ModelProfiler(const KernelProfiler &kernels);
+
+    /**
+     * Isolated single-inference latency of the whole kernel sequence
+     * on @p cus active CUs (per-kernel launch overheads included).
+     */
+    double modelLatencyNs(const std::vector<KernelDescPtr> &seq,
+                          unsigned cus) const;
+
+    /**
+     * Model-wise right-size: least CUs whose latency stays within the
+     * model tolerance of the full-GPU latency (the kneepoint).
+     */
+    unsigned rightSizeCus(const std::vector<KernelDescPtr> &seq) const;
+
+    /** Full 1..totalCus sweep (Fig. 3 data). */
+    std::vector<ModelSweepPoint>
+    sweep(const std::vector<KernelDescPtr> &seq) const;
+
+  private:
+    const KernelProfiler &kernels_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_PROFILE_MODEL_PROFILER_HH

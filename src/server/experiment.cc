@@ -1,0 +1,106 @@
+#include "server/experiment.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+ExperimentContext::ExperimentContext(ServerConfig base)
+    : base_(std::move(base))
+{
+}
+
+ServerConfig
+ExperimentContext::makeConfig(std::vector<std::string> models,
+                              PartitionPolicy policy) const
+{
+    ServerConfig cfg = base_;
+    cfg.workerModels = std::move(models);
+    cfg.policy = policy;
+    cfg.overlapLimitOverride.reset();
+    return cfg;
+}
+
+const ServerResult &
+ExperimentContext::isolated(const std::string &model)
+{
+    const auto it = isolated_.find(model);
+    if (it != isolated_.end())
+        return it->second;
+    InferenceServer server(
+        makeConfig({model}, PartitionPolicy::MpsDefault));
+    return isolated_.emplace(model, server.run()).first->second;
+}
+
+EvalPoint
+ExperimentContext::toPoint(const std::string &model,
+                           PartitionPolicy policy, unsigned workers,
+                           const ServerResult &result)
+{
+    const ServerResult &base = isolated(model);
+    EvalPoint point;
+    point.model = model;
+    point.policy = policy;
+    point.workers = workers;
+    point.totalRps = result.totalRps;
+    point.normalizedRps =
+        base.totalRps > 0 ? result.totalRps / base.totalRps : 0.0;
+    point.p95Ms = result.maxP95Ms;
+    point.sloMs = 2.0 * base.maxP95Ms;
+    point.sloViolated = point.p95Ms > point.sloMs;
+    point.energyPerInferenceJ = result.energyPerInferenceJ;
+    point.energyRatio =
+        base.energyPerInferenceJ > 0
+            ? result.energyPerInferenceJ / base.energyPerInferenceJ
+            : 0.0;
+    point.avgPowerW = result.avgPowerW;
+    return point;
+}
+
+EvalPoint
+ExperimentContext::evaluate(const std::string &model,
+                            PartitionPolicy policy, unsigned workers)
+{
+    fatal_if(workers == 0, "need at least one worker");
+    InferenceServer server(makeConfig(
+        std::vector<std::string>(workers, model), policy));
+    const ServerResult result = server.run();
+    return toPoint(model, policy, workers, result);
+}
+
+EvalPoint
+ExperimentContext::evaluateWithOverlap(const std::string &model,
+                                       PartitionPolicy policy,
+                                       unsigned workers,
+                                       unsigned overlap_limit)
+{
+    fatal_if(!isKrispPolicy(policy),
+             "overlap limit only applies to KRISP policies");
+    ServerConfig cfg = makeConfig(
+        std::vector<std::string>(workers, model), policy);
+    cfg.overlapLimitOverride = overlap_limit;
+    InferenceServer server(cfg);
+    const ServerResult result = server.run();
+    return toPoint(model, policy, workers, result);
+}
+
+double
+ExperimentContext::evaluateMixedPair(const std::string &model_a,
+                                     const std::string &model_b,
+                                     PartitionPolicy policy)
+{
+    InferenceServer server(makeConfig({model_a, model_b}, policy));
+    const ServerResult result = server.run();
+    panic_if(result.workers.size() != 2, "expected two workers");
+    double aggregate = 0;
+    for (const auto &w : result.workers) {
+        const ServerResult &base = isolated(w.model);
+        if (base.totalRps > 0)
+            aggregate += w.rps / base.totalRps;
+    }
+    return aggregate;
+}
+
+} // namespace krisp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries: runs server
+ * configurations, caches the isolated (1-worker, unrestricted)
+ * baselines, normalises throughput against them and applies the
+ * paper's SLO rule (2x the isolated tail latency).
+ */
+
+#ifndef KRISP_SERVER_EXPERIMENT_HH
+#define KRISP_SERVER_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/inference_server.hh"
+
+namespace krisp
+{
+
+/** One cell of the Fig. 13 / 14 / 15 / 16 result grids. */
+struct EvalPoint
+{
+    std::string model;
+    PartitionPolicy policy{};
+    unsigned workers = 0;
+
+    double totalRps = 0;
+    /** Total RPS over the isolated 1-worker RPS of the same model. */
+    double normalizedRps = 0;
+    double p95Ms = 0;
+    /** SLO bound: 2x isolated p95 (Sec. VI-B). */
+    double sloMs = 0;
+    bool sloViolated = false;
+    double energyPerInferenceJ = 0;
+    /** Energy per inference relative to the isolated baseline. */
+    double energyRatio = 0;
+    double avgPowerW = 0;
+};
+
+/** Runs and caches experiments for one batch size / configuration. */
+class ExperimentContext
+{
+  public:
+    /**
+     * @param base template configuration; workerModels and policy are
+     *             overwritten per experiment.
+     */
+    explicit ExperimentContext(ServerConfig base);
+
+    const ServerConfig &base() const { return base_; }
+
+    /** Isolated baseline: one worker, MPS default (cached). */
+    const ServerResult &isolated(const std::string &model);
+
+    /** Homogeneous co-location: @p workers copies of @p model. */
+    EvalPoint evaluate(const std::string &model,
+                       PartitionPolicy policy, unsigned workers);
+
+    /** As evaluate(), with an explicit KRISP overlap limit (Fig 16). */
+    EvalPoint evaluateWithOverlap(const std::string &model,
+                                  PartitionPolicy policy,
+                                  unsigned workers,
+                                  unsigned overlap_limit);
+
+    /**
+     * Mixed pair (Fig. 15): returns the sum of the two workers'
+     * individually normalised throughputs.
+     */
+    double evaluateMixedPair(const std::string &model_a,
+                             const std::string &model_b,
+                             PartitionPolicy policy);
+
+  private:
+    ServerConfig makeConfig(std::vector<std::string> models,
+                            PartitionPolicy policy) const;
+    EvalPoint toPoint(const std::string &model,
+                      PartitionPolicy policy, unsigned workers,
+                      const ServerResult &result);
+
+    ServerConfig base_;
+    std::map<std::string, ServerResult> isolated_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_SERVER_EXPERIMENT_HH

@@ -1,0 +1,280 @@
+#include "server/inference_server.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "gpu/gpu_device.hh"
+#include "models/model_zoo.hh"
+#include "profile/model_profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+/** Live state of one worker. */
+struct Worker
+{
+    WorkerId id = 0;
+    std::string model;
+    Stream *stream = nullptr;
+    const std::vector<KernelDescPtr> *seq = nullptr;
+
+    std::uint64_t totalCompleted = 0;
+    std::uint64_t measuredCompleted = 0;
+    PercentileTracker latencyMs;
+    Tick requestStart = 0;
+    bool idle = false;
+};
+
+/** Whole-run mutable state threaded through the event callbacks. */
+struct RunState
+{
+    ServerConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<GpuDevice> device;
+    std::unique_ptr<HipRuntime> hip;
+    std::unique_ptr<ModelZoo> zoo;
+    std::unique_ptr<PerfDatabase> db;
+    std::unique_ptr<MaskAllocator> allocator;
+    std::unique_ptr<KernelSizer> sizer;
+    std::unique_ptr<KrispRuntime> krisp;
+    std::vector<Worker> workers;
+
+    bool measuring = false;
+    bool done = false;
+    Tick measureStart = 0;
+    Tick doneTick = 0;
+    double energyAtStart = 0;
+    double energyAtDone = 0;
+};
+
+void startRequest(RunState &st, Worker &w);
+
+void
+maybeTransition(RunState &st)
+{
+    if (!st.measuring) {
+        const bool warm = std::all_of(
+            st.workers.begin(), st.workers.end(), [&](const Worker &w) {
+                return w.totalCompleted >= st.cfg.warmupRequests;
+            });
+        if (warm) {
+            st.measuring = true;
+            st.measureStart = st.eq.now();
+            st.energyAtStart = st.device->power().energyJoules();
+            for (auto &w : st.workers) {
+                w.measuredCompleted = 0;
+                w.latencyMs.reset();
+            }
+        }
+        return;
+    }
+    if (!st.done) {
+        const bool finished = std::all_of(
+            st.workers.begin(), st.workers.end(), [&](const Worker &w) {
+                return w.measuredCompleted >= st.cfg.measuredRequests;
+            });
+        if (finished) {
+            st.done = true;
+            st.doneTick = st.eq.now();
+            st.energyAtDone = st.device->power().energyJoules();
+        }
+    }
+}
+
+void
+completeRequest(RunState &st, Worker &w)
+{
+    const double latency_ms =
+        ticksToMs(st.eq.now() - w.requestStart);
+    ++w.totalCompleted;
+    if (st.measuring && !st.done) {
+        ++w.measuredCompleted;
+        w.latencyMs.add(latency_ms);
+    }
+    maybeTransition(st);
+    startRequest(st, w);
+}
+
+void
+launchInference(RunState &st, Worker &w)
+{
+    auto completion = HsaSignal::create(
+        static_cast<std::int64_t>(w.seq->size()));
+    for (const auto &kernel : *w.seq) {
+        if (st.krisp) {
+            st.krisp->launch(*w.stream, kernel, completion);
+        } else {
+            w.stream->launchWithSignal(kernel, completion);
+        }
+    }
+    completion->waitZero([&st, &w] {
+        st.eq.scheduleIn(st.cfg.postprocessNs,
+                         [&st, &w] { completeRequest(st, w); });
+    });
+}
+
+void
+startRequest(RunState &st, Worker &w)
+{
+    if (st.done) {
+        w.idle = true;
+        return;
+    }
+    w.requestStart = st.eq.now();
+    st.eq.scheduleIn(st.cfg.preprocessNs,
+                     [&st, &w] { launchInference(st, w); });
+}
+
+/** Disjoint equal split: worker w gets CUs [w*T/N, (w+1)*T/N). */
+CuMask
+staticEqualMask(const ArchParams &arch, unsigned worker,
+                unsigned num_workers)
+{
+    const unsigned total = arch.totalCus();
+    const unsigned lo = worker * total / num_workers;
+    const unsigned hi = (worker + 1) * total / num_workers;
+    CuMask mask;
+    for (unsigned cu = lo; cu < hi; ++cu)
+        mask.set(cu);
+    return mask;
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(ServerConfig config)
+    : config_(std::move(config))
+{
+    fatal_if(config_.workerModels.empty(),
+             "server needs at least one worker");
+    fatal_if(config_.batch == 0, "batch size must be non-zero");
+    for (const auto &m : config_.workerModels)
+        fatal_if(!ModelZoo::isModel(m), "unknown model: ", m);
+}
+
+ServerResult
+InferenceServer::run()
+{
+    RunState st;
+    st.cfg = config_;
+    st.device = std::make_unique<GpuDevice>(st.eq, config_.gpu);
+    st.hip = std::make_unique<HipRuntime>(st.eq, *st.device,
+                                          config_.host);
+    st.zoo = std::make_unique<ModelZoo>(config_.gpu.arch);
+
+    const unsigned num_workers =
+        static_cast<unsigned>(config_.workerModels.size());
+
+    // Create workers and their streams.
+    st.workers.resize(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i) {
+        Worker &w = st.workers[i];
+        w.id = i;
+        w.model = config_.workerModels[i];
+        w.stream = &st.hip->createStream();
+        w.seq = &st.zoo->kernels(w.model, config_.batch);
+    }
+
+    // Policy setup.
+    KernelProfiler kprof(config_.gpu, config_.profiler);
+    switch (config_.policy) {
+      case PartitionPolicy::MpsDefault:
+        break;
+
+      case PartitionPolicy::StaticEqual:
+        for (auto &w : st.workers) {
+            st.hip->streamSetCuMask(
+                *w.stream,
+                staticEqualMask(config_.gpu.arch, w.id, num_workers));
+        }
+        break;
+
+      case PartitionPolicy::ModelRightSize: {
+        // Prior work: each model gets its kneepoint-sized partition;
+        // partitions avoid each other while the GPU has room and
+        // overlap once it does not (open-circle cases in Fig. 13).
+        ModelProfiler mprof(kprof);
+        MaskAllocator setup_alloc(DistributionPolicy::Conserved);
+        ResourceMonitor setup_mon(config_.gpu.arch);
+        for (auto &w : st.workers) {
+            const unsigned cus = mprof.rightSizeCus(*w.seq);
+            const CuMask mask = setup_alloc.allocate(cus, setup_mon);
+            setup_mon.addKernel(mask);
+            st.hip->streamSetCuMask(*w.stream, mask);
+        }
+        break;
+      }
+
+      case PartitionPolicy::KrispOversubscribed:
+      case PartitionPolicy::KrispIsolated: {
+        st.db = std::make_unique<PerfDatabase>();
+        for (auto &w : st.workers)
+            kprof.profileInto(*st.db, *w.seq);
+        unsigned limit =
+            config_.policy == PartitionPolicy::KrispIsolated
+                ? 0u
+                : config_.gpu.arch.totalCus();
+        if (config_.overlapLimitOverride)
+            limit = *config_.overlapLimitOverride;
+        st.allocator = std::make_unique<MaskAllocator>(
+            DistributionPolicy::Conserved, limit);
+        st.sizer = std::make_unique<ProfiledSizer>(
+            *st.db, config_.gpu.arch.totalCus());
+        st.krisp = std::make_unique<KrispRuntime>(
+            *st.hip, *st.sizer, *st.allocator, config_.enforcement);
+        break;
+      }
+    }
+
+    // Closed-loop load: every worker always has a request waiting.
+    for (auto &w : st.workers)
+        startRequest(st, w);
+
+    ServerResult result;
+    while (st.eq.step()) {
+        if (st.eq.now() > config_.maxSimNs) {
+            warn("experiment hit the simulation cap; results cover ",
+                 "a truncated window");
+            result.truncated = true;
+            if (!st.done) {
+                st.done = true;
+                st.doneTick = st.eq.now();
+                st.energyAtDone = st.device->power().energyJoules();
+            }
+            break;
+        }
+    }
+
+    fatal_if(!st.measuring || st.doneTick <= st.measureStart,
+             "experiment ended before producing a measurement window");
+
+    const double seconds = ticksToSec(st.doneTick - st.measureStart);
+    result.measureSeconds = seconds;
+    for (auto &w : st.workers) {
+        WorkerResult wr;
+        wr.model = w.model;
+        wr.completed = w.measuredCompleted;
+        wr.rps = static_cast<double>(w.measuredCompleted) / seconds;
+        if (!w.latencyMs.empty()) {
+            wr.meanLatencyMs = w.latencyMs.mean();
+            wr.p95LatencyMs = w.latencyMs.percentile(0.95);
+        }
+        result.maxP95Ms = std::max(result.maxP95Ms, wr.p95LatencyMs);
+        result.totalRps += wr.rps;
+        result.completed += wr.completed;
+        result.workers.push_back(std::move(wr));
+    }
+    const double energy = st.energyAtDone - st.energyAtStart;
+    result.energyPerInferenceJ =
+        result.completed > 0
+            ? energy / static_cast<double>(result.completed)
+            : 0.0;
+    result.avgPowerW = seconds > 0 ? energy / seconds : 0.0;
+    return result;
+}
+
+} // namespace krisp

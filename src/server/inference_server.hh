@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The spatially partitioned GPU inference server (Sec. VI-A).
+ *
+ * Mirrors the paper's custom framework: a frontend feeding per-worker
+ * request queues, and independent workers that preprocess, run the
+ * model's kernel sequence on their own stream, and postprocess. The
+ * load generator is closed-loop at maximum load ("our evaluation
+ * drives the GPU and inference server at maximum load"). Measurement
+ * uses a warmup phase followed by a fixed number of measured requests
+ * per worker; throughput, tail latency and energy are taken over the
+ * measurement window.
+ */
+
+#ifndef KRISP_SERVER_INFERENCE_SERVER_HH
+#define KRISP_SERVER_INFERENCE_SERVER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_config.hh"
+#include "hip/hip_runtime.hh"
+#include "profile/kernel_profiler.hh"
+#include "server/policies.hh"
+
+namespace krisp
+{
+
+/** Everything needed to run one server experiment. */
+struct ServerConfig
+{
+    /** One entry per worker; mixed co-location uses different models. */
+    std::vector<std::string> workerModels;
+    unsigned batch = 32;
+    PartitionPolicy policy = PartitionPolicy::MpsDefault;
+    /** Enforcement used by the KRISP policies. */
+    EnforcementMode enforcement = EnforcementMode::Native;
+    /** Override the KRISP overlap limit (Fig. 16 sensitivity). */
+    std::optional<unsigned> overlapLimitOverride;
+
+    GpuConfig gpu = GpuConfig::mi50();
+    HostRuntimeParams host;
+    ProfilerConfig profiler;
+
+    /** Per-request CPU work around the GPU portion. */
+    Tick preprocessNs = 1'500'000;
+    Tick postprocessNs = 500'000;
+
+    /** Requests per worker before measurement starts. */
+    unsigned warmupRequests = 3;
+    /** Measured requests per worker. */
+    unsigned measuredRequests = 40;
+    /** Hard stop for pathological configurations. */
+    Tick maxSimNs = ticksFromSec(600);
+};
+
+/** Per-worker measurement output. */
+struct WorkerResult
+{
+    std::string model;
+    std::uint64_t completed = 0;
+    double rps = 0;
+    double meanLatencyMs = 0;
+    double p95LatencyMs = 0;
+};
+
+/** Aggregate measurement output. */
+struct ServerResult
+{
+    std::vector<WorkerResult> workers;
+    double totalRps = 0;
+    /** Worst per-worker p95 (the paper reports per-model tails). */
+    double maxP95Ms = 0;
+    double energyPerInferenceJ = 0;
+    double avgPowerW = 0;
+    double measureSeconds = 0;
+    std::uint64_t completed = 0;
+    /** True if the hard simulation cap cut the run short. */
+    bool truncated = false;
+};
+
+/** Runs one closed-loop experiment; a fresh instance per run. */
+class InferenceServer
+{
+  public:
+    explicit InferenceServer(ServerConfig config);
+
+    /** Execute the experiment to completion. */
+    ServerResult run();
+
+  private:
+    ServerConfig config_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_SERVER_INFERENCE_SERVER_HH

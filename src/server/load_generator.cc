@@ -1,0 +1,305 @@
+#include "server/load_generator.hh"
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "gpu/gpu_device.hh"
+#include "models/model_zoo.hh"
+#include "profile/model_profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+struct Request
+{
+    Tick arrival;
+    Tick dequeued = 0;
+};
+
+struct OpenWorker
+{
+    Stream *stream = nullptr;
+    bool busy = false;
+};
+
+struct OpenState
+{
+    OpenLoopConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<GpuDevice> device;
+    std::unique_ptr<HipRuntime> hip;
+    std::unique_ptr<ModelZoo> zoo;
+    std::unique_ptr<PerfDatabase> db;
+    std::unique_ptr<MaskAllocator> allocator;
+    std::unique_ptr<KernelSizer> sizer;
+    std::unique_ptr<KrispRuntime> krisp;
+    Rng rng{1};
+
+    std::deque<Request> pending;
+    std::vector<OpenWorker> workers;
+    EventId batch_timer = invalidEventId;
+
+    bool measuring = false;
+    bool stopped = false;
+    Tick measureStart = 0;
+    Tick measureEnd = 0;
+    double energyStart = 0;
+    double energyEnd = 0;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+    Accumulator batchSizes;
+    Accumulator queueDelayMs;
+    PercentileTracker latencyMs;
+
+    void
+    arrive()
+    {
+        if (stopped)
+            return;
+        const Tick t = eq.now();
+        if (t >= cfg.warmupNs && !measuring) {
+            measuring = true;
+            measureStart = t;
+            energyStart = device->power().energyJoules();
+        }
+        if (measuring && t >= cfg.warmupNs + cfg.measureNs) {
+            stopped = true;
+            measureEnd = t;
+            energyEnd = device->power().energyJoules();
+            return; // stop injecting; in-flight work drains
+        }
+        if (pending.size() >= cfg.queueCapacity) {
+            if (measuring)
+                ++dropped;
+        } else {
+            pending.push_back(Request{t});
+            if (measuring)
+                ++arrivals;
+            maybeDispatch();
+        }
+        // Next Poisson arrival.
+        const double gap_s =
+            -std::log(1.0 - rng.uniform()) / cfg.arrivalRatePerSec;
+        eq.scheduleIn(std::max<Tick>(ticksFromSec(gap_s), 1),
+                      [this] { arrive(); });
+    }
+
+    OpenWorker *
+    idleWorker()
+    {
+        for (auto &w : workers)
+            if (!w.busy)
+                return &w;
+        return nullptr;
+    }
+
+    void
+    maybeDispatch()
+    {
+        OpenWorker *w = idleWorker();
+        if (!w || pending.empty())
+            return;
+        if (pending.size() >= cfg.maxBatch) {
+            dispatchBatch(*w, cfg.maxBatch);
+            return;
+        }
+        // Partial batch: wait for the batching timeout measured from
+        // the oldest pending request.
+        const Tick oldest = pending.front().arrival;
+        const Tick deadline = oldest + cfg.batchTimeoutNs;
+        if (eq.now() >= deadline) {
+            dispatchBatch(*w,
+                          static_cast<unsigned>(pending.size()));
+            return;
+        }
+        if (batch_timer == invalidEventId) {
+            batch_timer =
+                eq.schedule(deadline, [this] {
+                    batch_timer = invalidEventId;
+                    maybeDispatch();
+                });
+        }
+    }
+
+    void
+    dispatchBatch(OpenWorker &w, unsigned size)
+    {
+        size = std::min<unsigned>(
+            size, static_cast<unsigned>(pending.size()));
+        panic_if(size == 0, "dispatching an empty batch");
+        w.busy = true;
+        auto batch = std::make_shared<std::vector<Request>>();
+        for (unsigned i = 0; i < size; ++i) {
+            Request r = pending.front();
+            pending.pop_front();
+            r.dequeued = eq.now();
+            batch->push_back(r);
+        }
+        if (measuring)
+            batchSizes.add(static_cast<double>(size));
+
+        const auto *seq_ptr = &zoo->kernels(cfg.model, size);
+        eq.scheduleIn(cfg.preprocessNs, [this, &w, batch, seq_ptr] {
+            const auto &seq = *seq_ptr;
+            auto sig = HsaSignal::create(
+                static_cast<std::int64_t>(seq.size()));
+            sig->waitZero([this, &w, batch] {
+                eq.scheduleIn(cfg.postprocessNs, [this, &w, batch] {
+                    finishBatch(w, *batch);
+                });
+            });
+            for (const auto &k : seq) {
+                if (krisp) {
+                    krisp->launch(*w.stream, k, sig);
+                } else {
+                    w.stream->launchWithSignal(k, sig);
+                }
+            }
+        });
+    }
+
+    void
+    finishBatch(OpenWorker &w, const std::vector<Request> &batch)
+    {
+        const Tick t = eq.now();
+        for (const Request &r : batch) {
+            if (measuring && r.arrival >= measureStart) {
+                ++served;
+                latencyMs.add(ticksToMs(t - r.arrival));
+                queueDelayMs.add(ticksToMs(r.dequeued - r.arrival));
+            }
+        }
+        w.busy = false;
+        maybeDispatch();
+    }
+};
+
+} // namespace
+
+OpenLoopServer::OpenLoopServer(OpenLoopConfig config)
+    : config_(std::move(config))
+{
+    fatal_if(config_.numWorkers == 0, "need at least one worker");
+    fatal_if(config_.arrivalRatePerSec <= 0, "arrival rate must be "
+                                             "positive");
+    fatal_if(config_.maxBatch == 0, "max batch must be non-zero");
+    fatal_if(!ModelZoo::isModel(config_.model),
+             "unknown model: ", config_.model);
+}
+
+OpenLoopResult
+OpenLoopServer::run()
+{
+    OpenState st;
+    st.cfg = config_;
+    st.rng = Rng(config_.seed);
+    st.device = std::make_unique<GpuDevice>(st.eq, config_.gpu);
+    st.hip = std::make_unique<HipRuntime>(st.eq, *st.device,
+                                          config_.host);
+    st.zoo = std::make_unique<ModelZoo>(config_.gpu.arch);
+
+    st.workers.resize(config_.numWorkers);
+    for (auto &w : st.workers)
+        w.stream = &st.hip->createStream();
+
+    // Policy setup mirrors the closed-loop server.
+    KernelProfiler kprof(config_.gpu, config_.profiler);
+    switch (config_.policy) {
+      case PartitionPolicy::MpsDefault:
+        break;
+      case PartitionPolicy::StaticEqual:
+        for (unsigned i = 0; i < config_.numWorkers; ++i) {
+            CuMask mask;
+            const unsigned total = config_.gpu.arch.totalCus();
+            const unsigned lo = i * total / config_.numWorkers;
+            const unsigned hi =
+                (i + 1) * total / config_.numWorkers;
+            for (unsigned cu = lo; cu < hi; ++cu)
+                mask.set(cu);
+            st.hip->streamSetCuMask(*st.workers[i].stream, mask);
+        }
+        break;
+      case PartitionPolicy::ModelRightSize: {
+        ModelProfiler mprof(kprof);
+        MaskAllocator setup(DistributionPolicy::Conserved);
+        ResourceMonitor mon(config_.gpu.arch);
+        const auto &seq =
+            st.zoo->kernels(config_.model, config_.maxBatch);
+        const unsigned cus = mprof.rightSizeCus(seq);
+        for (auto &w : st.workers) {
+            const CuMask mask = setup.allocate(cus, mon);
+            mon.addKernel(mask);
+            st.hip->streamSetCuMask(*w.stream, mask);
+        }
+        break;
+      }
+      case PartitionPolicy::KrispOversubscribed:
+      case PartitionPolicy::KrispIsolated: {
+        st.db = std::make_unique<PerfDatabase>();
+        // Profile every batch size the frontend can assemble.
+        for (unsigned b = 1; b <= config_.maxBatch; ++b)
+            kprof.profileInto(*st.db,
+                              st.zoo->kernels(config_.model, b));
+        const unsigned limit =
+            config_.policy == PartitionPolicy::KrispIsolated
+                ? 0u
+                : config_.gpu.arch.totalCus();
+        st.allocator = std::make_unique<MaskAllocator>(
+            DistributionPolicy::Conserved, limit);
+        st.sizer = std::make_unique<ProfiledSizer>(
+            *st.db, config_.gpu.arch.totalCus());
+        st.krisp = std::make_unique<KrispRuntime>(
+            *st.hip, *st.sizer, *st.allocator,
+            EnforcementMode::Native);
+        break;
+      }
+    }
+
+    st.arrive();
+    st.eq.run();
+
+    fatal_if(!st.measuring, "no measurement window reached");
+    if (st.measureEnd == 0) {
+        st.measureEnd = st.eq.now();
+        st.energyEnd = st.device->power().energyJoules();
+    }
+
+    OpenLoopResult result;
+    const double seconds =
+        ticksToSec(st.measureEnd - st.measureStart);
+    result.offeredRps = config_.arrivalRatePerSec;
+    result.served = st.served;
+    result.dropped = st.dropped;
+    result.achievedRps =
+        seconds > 0 ? static_cast<double>(st.served) / seconds : 0;
+    result.dropRate =
+        st.arrivals + st.dropped > 0
+            ? static_cast<double>(st.dropped) /
+                  static_cast<double>(st.arrivals + st.dropped)
+            : 0;
+    result.meanBatchSize = st.batchSizes.mean();
+    if (!st.latencyMs.empty()) {
+        result.p50Ms = st.latencyMs.percentile(0.50);
+        result.p95Ms = st.latencyMs.percentile(0.95);
+        result.p99Ms = st.latencyMs.percentile(0.99);
+    }
+    result.meanQueueDelayMs = st.queueDelayMs.mean();
+    result.energyPerRequestJ =
+        st.served > 0
+            ? (st.energyEnd - st.energyStart) /
+                  static_cast<double>(st.served)
+            : 0;
+    return result;
+}
+
+} // namespace krisp

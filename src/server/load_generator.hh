@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Open-loop serving: Poisson client arrivals, a frontend request
+ * queue with dynamic batching, and latency-under-load measurement.
+ *
+ * The paper evaluates at maximum load with fixed batches (Sec. VI-A);
+ * this extension completes the server architecture it describes — a
+ * frontend that enqueues client requests and workers that serve
+ * assembled batches — so KRISP can also be studied at realistic
+ * request rates (the regime GSLICE/Gpulet/ELSA schedule for).
+ */
+
+#ifndef KRISP_SERVER_LOAD_GENERATOR_HH
+#define KRISP_SERVER_LOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_config.hh"
+#include "profile/kernel_profiler.hh"
+#include "server/policies.hh"
+
+namespace krisp
+{
+
+/** Open-loop experiment configuration. */
+struct OpenLoopConfig
+{
+    std::string model = "resnet152";
+    unsigned numWorkers = 4;
+    PartitionPolicy policy = PartitionPolicy::KrispIsolated;
+
+    /** Mean client arrival rate, single requests per second. */
+    double arrivalRatePerSec = 100.0;
+    /** Largest batch a worker serves. */
+    unsigned maxBatch = 32;
+    /** Partial batches dispatch after this delay. */
+    Tick batchTimeoutNs = ticksFromMs(2.0);
+    /** Frontend drops requests beyond this backlog (overload guard). */
+    std::size_t queueCapacity = 2048;
+
+    Tick warmupNs = ticksFromMs(500);
+    Tick measureNs = ticksFromSec(4.0);
+
+    std::uint64_t seed = 1;
+    GpuConfig gpu = GpuConfig::mi50();
+    HostRuntimeParams host;
+    ProfilerConfig profiler;
+    Tick preprocessNs = 1'500'000;
+    Tick postprocessNs = 500'000;
+};
+
+/** Open-loop measurement output. */
+struct OpenLoopResult
+{
+    double offeredRps = 0;
+    double achievedRps = 0;
+    double dropRate = 0;
+    double meanBatchSize = 0;
+    /** End-to-end request latency including queueing, ms. */
+    double p50Ms = 0;
+    double p95Ms = 0;
+    double p99Ms = 0;
+    double meanQueueDelayMs = 0;
+    double energyPerRequestJ = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+};
+
+/** Runs one open-loop experiment; a fresh instance per run. */
+class OpenLoopServer
+{
+  public:
+    explicit OpenLoopServer(OpenLoopConfig config);
+
+    OpenLoopResult run();
+
+  private:
+    OpenLoopConfig config_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_SERVER_LOAD_GENERATOR_HH

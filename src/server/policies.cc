@@ -1,0 +1,41 @@
+#include "server/policies.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+const char *
+partitionPolicyName(PartitionPolicy policy)
+{
+    switch (policy) {
+      case PartitionPolicy::MpsDefault: return "mps-default";
+      case PartitionPolicy::StaticEqual: return "static-equal";
+      case PartitionPolicy::ModelRightSize: return "model-right-size";
+      case PartitionPolicy::KrispOversubscribed: return "krisp-o";
+      case PartitionPolicy::KrispIsolated: return "krisp-i";
+    }
+    panic("unknown partition policy");
+}
+
+const std::vector<PartitionPolicy> &
+allPartitionPolicies()
+{
+    static const std::vector<PartitionPolicy> all = {
+        PartitionPolicy::MpsDefault,
+        PartitionPolicy::StaticEqual,
+        PartitionPolicy::ModelRightSize,
+        PartitionPolicy::KrispOversubscribed,
+        PartitionPolicy::KrispIsolated,
+    };
+    return all;
+}
+
+bool
+isKrispPolicy(PartitionPolicy policy)
+{
+    return policy == PartitionPolicy::KrispOversubscribed ||
+           policy == PartitionPolicy::KrispIsolated;
+}
+
+} // namespace krisp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The five spatial-partitioning policies evaluated in Sec. VI-A.
+ */
+
+#ifndef KRISP_SERVER_POLICIES_HH
+#define KRISP_SERVER_POLICIES_HH
+
+#include <string>
+#include <vector>
+
+namespace krisp
+{
+
+/** Inference-server spatial partitioning policy. */
+enum class PartitionPolicy
+{
+    /** Unrestricted concurrent sharing (MPS with no limits). */
+    MpsDefault,
+    /** Equal non-overlapping static partitions per worker. */
+    StaticEqual,
+    /** Prior work: partition sized to the model's kneepoint. */
+    ModelRightSize,
+    /** KRISP with CU oversubscription allowed. */
+    KrispOversubscribed,
+    /** KRISP with isolated (non-overlapping) kernel partitions. */
+    KrispIsolated,
+};
+
+const char *partitionPolicyName(PartitionPolicy policy);
+
+/** All five policies in the paper's presentation order. */
+const std::vector<PartitionPolicy> &allPartitionPolicies();
+
+/** True for the two KRISP variants. */
+bool isKrispPolicy(PartitionPolicy policy);
+
+} // namespace krisp
+
+#endif // KRISP_SERVER_POLICIES_HH

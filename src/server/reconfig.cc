@@ -1,0 +1,195 @@
+#include "server/reconfig.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/mask_allocator.hh"
+#include "gpu/gpu_device.hh"
+#include "hip/hip_runtime.hh"
+#include "models/model_zoo.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+const char *
+resizeSchemeName(ResizeScheme scheme)
+{
+    switch (scheme) {
+      case ResizeScheme::ProcessRestart: return "process-restart";
+      case ResizeScheme::ShadowInstance: return "shadow-instance";
+      case ResizeScheme::KernelScoped: return "kernel-scoped";
+    }
+    panic("unknown resize scheme");
+}
+
+namespace
+{
+
+/** GSLICE-style hot-swap downtime (50-60 us, Table II). */
+constexpr Tick shadowSwapNs = 55'000;
+
+struct Driver
+{
+    const ReconfigExperiment &exp;
+    ResizeScheme scheme;
+
+    EventQueue eq;
+    GpuDevice device;
+    HipRuntime hip;
+    ModelZoo zoo;
+    Stream &stream;
+    const std::vector<KernelDescPtr> &seq;
+    CuMask mask_before;
+    CuMask mask_after;
+
+    bool resize_requested = false;
+    bool new_mask_active = false;
+    bool paused = false;
+    Tick pause_start = 0;
+
+    ReconfigResult result;
+    Tick effect_tick = 0;
+    double downtime_ns = 0;
+
+    explicit Driver(const ReconfigExperiment &e, ResizeScheme s)
+        : exp(e), scheme(s), device(eq, e.gpu), hip(eq, device),
+          zoo(e.gpu.arch), stream(hip.createStream()),
+          seq(zoo.kernels(e.model, e.batch))
+    {
+        ResourceMonitor idle(e.gpu.arch);
+        MaskAllocator alloc(DistributionPolicy::Conserved);
+        mask_before = alloc.allocate(e.cusBefore, idle);
+        mask_after = alloc.allocate(e.cusAfter, idle);
+        device.setQueueCuMask(stream.hsaQueue().id(), mask_before);
+    }
+
+    void
+    startInference()
+    {
+        if (eq.now() >= exp.horizonNs)
+            return;
+        if (paused)
+            return;
+        const Tick start = eq.now();
+        const bool under_new_mask = new_mask_active;
+        if (under_new_mask && effect_tick == 0)
+            effect_tick = start;
+        auto sig = HsaSignal::create(
+            static_cast<std::int64_t>(seq.size()));
+        sig->waitZero([this, start, under_new_mask] {
+            (void)start;
+            (void)under_new_mask;
+            ++result.completed;
+            result.completionsMs.push_back(ticksToMs(eq.now()));
+            onDrained();
+            startInference();
+        });
+        for (const auto &k : seq)
+            stream.launchWithSignal(k, sig);
+    }
+
+    /** Called at each inference boundary; handles pending resizes. */
+    void
+    onDrained()
+    {
+        if (!resize_requested || new_mask_active || paused)
+            return;
+        switch (scheme) {
+          case ResizeScheme::ProcessRestart: {
+            // Queue drained: tear down, reconfigure, restart, reload.
+            paused = true;
+            pause_start = eq.now();
+            eq.scheduleIn(exp.costs.totalNs(), [this] {
+                device.setQueueCuMask(stream.hsaQueue().id(),
+                                      mask_after);
+                new_mask_active = true;
+                paused = false;
+                downtime_ns +=
+                    static_cast<double>(eq.now() - pause_start);
+                startInference();
+            });
+            break;
+          }
+          case ResizeScheme::ShadowInstance:
+            // Swap only once the shadow is ready (flag set by the
+            // background timer below).
+            if (shadow_ready) {
+                paused = true;
+                pause_start = eq.now();
+                eq.scheduleIn(shadowSwapNs, [this] {
+                    device.setQueueCuMask(stream.hsaQueue().id(),
+                                          mask_after);
+                    new_mask_active = true;
+                    paused = false;
+                    downtime_ns +=
+                        static_cast<double>(eq.now() - pause_start);
+                    startInference();
+                });
+            }
+            break;
+          case ResizeScheme::KernelScoped:
+            break; // handled instantly at request time
+        }
+    }
+
+    bool shadow_ready = false;
+
+    void
+    requestResize()
+    {
+        resize_requested = true;
+        switch (scheme) {
+          case ResizeScheme::ProcessRestart:
+            // Takes effect at the next drain (onDrained).
+            break;
+          case ResizeScheme::ShadowInstance:
+            // Background instance creation; serving continues on the
+            // old partition meanwhile.
+            eq.scheduleIn(exp.costs.totalNs(),
+                          [this] { shadow_ready = true; });
+            break;
+          case ResizeScheme::KernelScoped:
+            // The very next kernel launch can carry the new size;
+            // modelled as an immediate queue-mask retag through the
+            // (fast) runtime path.
+            hip.streamSetCuMask(stream, mask_after, [this] {
+                new_mask_active = true;
+            });
+            break;
+        }
+    }
+
+    ReconfigResult
+    run()
+    {
+        startInference();
+        eq.schedule(exp.resizeAtNs, [this] { requestResize(); });
+        eq.run(exp.horizonNs + ticksFromSec(30.0));
+
+        result.scheme = scheme;
+        result.downtimeMs = downtime_ns / 1e6;
+        result.timeToEffectMs =
+            effect_tick > exp.resizeAtNs
+                ? ticksToMs(effect_tick - exp.resizeAtNs)
+                : 0.0;
+        result.rps = static_cast<double>(result.completed) /
+                     ticksToSec(exp.horizonNs);
+        return result;
+    }
+};
+
+} // namespace
+
+ReconfigResult
+runReconfig(const ReconfigExperiment &exp, ResizeScheme scheme)
+{
+    fatal_if(exp.cusBefore == 0 || exp.cusAfter == 0,
+             "partition sizes must be non-zero");
+    fatal_if(exp.resizeAtNs >= exp.horizonNs,
+             "resize must happen within the horizon");
+    Driver driver(exp, scheme);
+    return driver.run();
+}
+
+} // namespace krisp

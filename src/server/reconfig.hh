@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Spatial-partition resizing schemes (Fig. 2 / Table II).
+ *
+ * Commercial partitioning is process-scoped: resizing an MPS/MIG
+ * partition means configuring a new instance, starting a new ML
+ * backend process and reloading the model — tens of seconds. Prior
+ * servers mask the downtime with shadow/background instances but can
+ * only re-partition once per epoch. KRISP's kernel-scoped partition
+ * instances resize at the next kernel launch.
+ *
+ * This module simulates one worker serving a model through a resize
+ * from partition A to partition B requested at a given time, under
+ * the three schemes, and reports downtime (no requests in service),
+ * time-to-effect (request to new size active) and throughput.
+ */
+
+#ifndef KRISP_SERVER_RECONFIG_HH
+#define KRISP_SERVER_RECONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+
+namespace krisp
+{
+
+/** How a resize is executed. */
+enum class ResizeScheme
+{
+    /** Tear down, reconfigure the instance, restart, reload (Fig. 2
+     *  top). */
+    ProcessRestart,
+    /** Configure a shadow instance in the background and hot-swap
+     *  (Fig. 2 middle — GSLICE/Gpulet). */
+    ShadowInstance,
+    /** KRISP: the next kernel simply carries the new size (Fig. 2
+     *  bottom). */
+    KernelScoped,
+};
+
+const char *resizeSchemeName(ResizeScheme scheme);
+
+/** Overheads of process-scoped reconfiguration (Table II scale). */
+struct ReconfigCosts
+{
+    /** Spawning a fresh ML-backend process. */
+    Tick processStartNs = ticksFromSec(2.0);
+    /** Configuring the MPS/MIG partition instance. */
+    Tick partitionConfigNs = ticksFromSec(1.5);
+    /** Loading model weights onto the GPU. */
+    Tick modelLoadNs = ticksFromSec(4.0);
+
+    Tick
+    totalNs() const
+    {
+        return processStartNs + partitionConfigNs + modelLoadNs;
+    }
+};
+
+/** Outcome of one resize experiment. */
+struct ReconfigResult
+{
+    ResizeScheme scheme{};
+    /** Wall time with no request in service, ms. */
+    double downtimeMs = 0;
+    /** Resize request to first inference at the new size, ms. */
+    double timeToEffectMs = 0;
+    /** Inferences completed over the run. */
+    std::uint64_t completed = 0;
+    /** Mean throughput over the run, requests/s. */
+    double rps = 0;
+    /** Completion timestamps (ms) for timeline plots. */
+    std::vector<double> completionsMs;
+};
+
+/** Configuration of one resize experiment. */
+struct ReconfigExperiment
+{
+    std::string model = "resnet152";
+    unsigned batch = 32;
+    unsigned cusBefore = 60;
+    unsigned cusAfter = 20;
+    /** When the server decides to resize. */
+    Tick resizeAtNs = ticksFromSec(1.0);
+    /** Total simulated horizon. */
+    Tick horizonNs = ticksFromSec(12.0);
+    GpuConfig gpu = GpuConfig::mi50();
+    ReconfigCosts costs;
+};
+
+/** Run the experiment under one scheme. */
+ReconfigResult runReconfig(const ReconfigExperiment &exp,
+                           ResizeScheme scheme);
+
+} // namespace krisp
+
+#endif // KRISP_SERVER_RECONFIG_HH

@@ -1,0 +1,94 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    panic_if(when < now_, "scheduling event in the past: ", when,
+             " < now ", now_);
+    panic_if(!cb, "scheduling a null callback");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    ++live_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delta, Callback cb)
+{
+    panic_if(delta > maxTick - now_, "tick overflow in scheduleIn");
+    return schedule(now_ + delta, std::move(cb));
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    --live_;
+    // The heap entry stays behind and is skipped lazily when popped.
+    return true;
+}
+
+bool
+EventQueue::pending(EventId id) const
+{
+    return callbacks_.count(id) != 0;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        const Entry top = heap_.top();
+        heap_.pop();
+        const auto it = callbacks_.find(top.id);
+        if (it == callbacks_.end())
+            continue; // cancelled
+        Callback cb = std::move(it->second);
+        callbacks_.erase(it);
+        --live_;
+        panic_if(top.when < now_, "event queue went backwards");
+        now_ = top.when;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty()) {
+        // Peek past cancelled entries to find the next live event time.
+        while (!heap_.empty() && !callbacks_.count(heap_.top().id))
+            heap_.pop();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit) {
+            now_ = limit;
+            return now_;
+        }
+        step();
+    }
+    return now_;
+}
+
+void
+EventQueue::clear()
+{
+    heap_ = {};
+    callbacks_.clear();
+    live_ = 0;
+}
+
+} // namespace krisp

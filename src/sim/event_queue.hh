@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time. Events are closures
+ * scheduled at absolute ticks; ties are broken by insertion order so
+ * runs are deterministic. Events can be cancelled through the handle
+ * returned by schedule().
+ */
+
+#ifndef KRISP_SIM_EVENT_QUEUE_HH
+#define KRISP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace krisp
+{
+
+/** Opaque handle identifying a scheduled event; 0 is "invalid". */
+using EventId = std::uint64_t;
+
+constexpr EventId invalidEventId = 0;
+
+/**
+ * The central event queue and simulated clock.
+ *
+ * Typical use:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(eq.now() + 10, [&]{ ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks (ns). */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * Scheduling in the past is an internal error.
+     * @return a handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    EventId scheduleIn(Tick delta, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or
+     * already-cancelled event is a harmless no-op.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** True if the event is still pending. */
+    bool pending(EventId id) const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingCount() const { return live_; }
+
+    /**
+     * Run events until the queue drains or @p limit ticks is reached
+     * (events at exactly @p limit still run).
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Run at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** Drop all pending events (time is preserved). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 1;
+    EventId next_id_ = 1;
+    std::size_t live_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** id -> callback for live events; erased on fire/cancel. */
+    std::map<EventId, Callback> callbacks_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,182 @@
+#include "sim/fluid_scheduler.hh"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+/** Work below this threshold counts as complete (absorbs fp error). */
+constexpr double workEpsilon = 1e-9;
+
+} // namespace
+
+FluidScheduler::FluidScheduler(EventQueue &eq, RateFn rate_fn,
+                               CompleteFn complete_fn)
+    : eq_(eq), rate_fn_(std::move(rate_fn)),
+      complete_fn_(std::move(complete_fn)), last_update_(eq.now())
+{
+    panic_if(!rate_fn_, "FluidScheduler needs a rate function");
+    panic_if(!complete_fn_, "FluidScheduler needs a completion function");
+}
+
+FluidScheduler::~FluidScheduler()
+{
+    if (pending_event_ != invalidEventId)
+        eq_.deschedule(pending_event_);
+}
+
+JobId
+FluidScheduler::add(double work)
+{
+    panic_if(work < 0, "negative work: ", work);
+    advance();
+    const JobId id = next_id_++;
+    jobs_.emplace(id, Job{work, 0.0});
+    dirty_ = true;
+    if (batch_depth_ == 0)
+        resettle();
+    return id;
+}
+
+void
+FluidScheduler::cancel(JobId id)
+{
+    advance();
+    if (jobs_.erase(id) > 0) {
+        dirty_ = true;
+        if (batch_depth_ == 0)
+            resettle();
+    }
+}
+
+void
+FluidScheduler::setRate(JobId id, double rate)
+{
+    panic_if(rate < 0, "negative rate: ", rate);
+    const auto it = jobs_.find(id);
+    panic_if(it == jobs_.end(), "setRate on inactive job ", id);
+    it->second.rate = rate;
+}
+
+double
+FluidScheduler::remaining(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    panic_if(it == jobs_.end(), "remaining() on inactive job ", id);
+    // Account for progress since the last advance() without mutating.
+    const double elapsed =
+        static_cast<double>(eq_.now() - last_update_);
+    return std::max(0.0, it->second.remaining -
+                             it->second.rate * elapsed);
+}
+
+double
+FluidScheduler::rate(JobId id) const
+{
+    const auto it = jobs_.find(id);
+    panic_if(it == jobs_.end(), "rate() on inactive job ", id);
+    return it->second.rate;
+}
+
+std::vector<JobId>
+FluidScheduler::activeJobs() const
+{
+    std::vector<JobId> ids;
+    ids.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_)
+        ids.push_back(id);
+    return ids;
+}
+
+void
+FluidScheduler::refresh()
+{
+    advance();
+    dirty_ = true;
+    if (batch_depth_ == 0)
+        resettle();
+}
+
+void
+FluidScheduler::advance()
+{
+    const Tick now = eq_.now();
+    if (now == last_update_)
+        return;
+    const double elapsed = static_cast<double>(now - last_update_);
+    for (auto &[id, job] : jobs_) {
+        job.remaining =
+            std::max(0.0, job.remaining - job.rate * elapsed);
+    }
+    last_update_ = now;
+}
+
+void
+FluidScheduler::resettle()
+{
+    ++batch_depth_;
+    // Retire any jobs already drained (possibly creating new ones from
+    // inside the completion callbacks, which re-marks dirty_).
+    bool retired_any = true;
+    while (retired_any) {
+        retired_any = false;
+        for (auto it = jobs_.begin(); it != jobs_.end();) {
+            if (it->second.remaining <= workEpsilon) {
+                const JobId done = it->first;
+                it = jobs_.erase(it);
+                dirty_ = true;
+                complete_fn_(done);
+                // The callback may have invalidated iterators by
+                // adding jobs; restart the scan.
+                retired_any = true;
+                break;
+            } else {
+                ++it;
+            }
+        }
+    }
+    --batch_depth_;
+    if (batch_depth_ > 0)
+        return;
+
+    if (dirty_) {
+        rate_fn_(*this);
+        dirty_ = false;
+    }
+
+    // Schedule the next completion.
+    if (pending_event_ != invalidEventId) {
+        eq_.deschedule(pending_event_);
+        pending_event_ = invalidEventId;
+    }
+    double soonest = std::numeric_limits<double>::infinity();
+    for (const auto &[id, job] : jobs_) {
+        if (job.rate > 0) {
+            soonest = std::min(soonest, job.remaining / job.rate);
+        }
+    }
+    if (std::isfinite(soonest)) {
+        // Round up so the job has fully drained when the event fires.
+        const Tick delta =
+            static_cast<Tick>(std::ceil(std::max(soonest, 0.0)));
+        pending_event_ = eq_.scheduleIn(std::max<Tick>(delta, 1),
+                                        [this] { onCompletionEvent(); });
+    }
+}
+
+void
+FluidScheduler::onCompletionEvent()
+{
+    pending_event_ = invalidEventId;
+    advance();
+    resettle();
+}
+
+} // namespace krisp

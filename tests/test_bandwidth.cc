@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Property tests for max-min fair bandwidth allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.hh"
+#include "gpu/bandwidth.hh"
+
+namespace krisp
+{
+namespace
+{
+
+double
+sum(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(MaxMinFair, EmptyDemands)
+{
+    EXPECT_TRUE(maxMinFairShare({}, 100.0).empty());
+}
+
+TEST(MaxMinFair, UnderSubscribedGetsFullDemand)
+{
+    const auto g = maxMinFairShare({10.0, 20.0, 30.0}, 100.0);
+    EXPECT_DOUBLE_EQ(g[0], 10.0);
+    EXPECT_DOUBLE_EQ(g[1], 20.0);
+    EXPECT_DOUBLE_EQ(g[2], 30.0);
+}
+
+TEST(MaxMinFair, EqualSplitWhenAllHungry)
+{
+    const auto g = maxMinFairShare({100.0, 100.0, 100.0, 100.0},
+                                   100.0);
+    for (double x : g)
+        EXPECT_DOUBLE_EQ(x, 25.0);
+}
+
+TEST(MaxMinFair, SmallDemandSatisfiedLeftoverShared)
+{
+    // Classic max-min example: {10, 100, 100} over 100 ->
+    // {10, 45, 45}.
+    const auto g = maxMinFairShare({10.0, 100.0, 100.0}, 100.0);
+    EXPECT_DOUBLE_EQ(g[0], 10.0);
+    EXPECT_DOUBLE_EQ(g[1], 45.0);
+    EXPECT_DOUBLE_EQ(g[2], 45.0);
+}
+
+TEST(MaxMinFair, OrderIndependent)
+{
+    const auto a = maxMinFairShare({10.0, 100.0, 50.0}, 100.0);
+    const auto b = maxMinFairShare({100.0, 50.0, 10.0}, 100.0);
+    EXPECT_DOUBLE_EQ(a[0], b[2]);
+    EXPECT_DOUBLE_EQ(a[1], b[0]);
+    EXPECT_DOUBLE_EQ(a[2], b[1]);
+}
+
+TEST(MaxMinFair, ZeroCapacity)
+{
+    const auto g = maxMinFairShare({10.0, 20.0}, 0.0);
+    EXPECT_DOUBLE_EQ(g[0], 0.0);
+    EXPECT_DOUBLE_EQ(g[1], 0.0);
+}
+
+TEST(MaxMinFair, ZeroDemandGetsNothing)
+{
+    const auto g = maxMinFairShare({0.0, 50.0}, 100.0);
+    EXPECT_DOUBLE_EQ(g[0], 0.0);
+    EXPECT_DOUBLE_EQ(g[1], 50.0);
+}
+
+/** Randomised invariants over many demand vectors. */
+class MaxMinFairProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MaxMinFairProperty, Invariants)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.below(8);
+        const double cap = rng.uniform(1.0, 2000.0);
+        std::vector<double> demands(n);
+        for (auto &d : demands)
+            d = rng.uniform(0.0, 500.0);
+
+        const auto grants = maxMinFairShare(demands, cap);
+        ASSERT_EQ(grants.size(), n);
+        double granted = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Never exceed the demand, never negative.
+            EXPECT_LE(grants[i], demands[i] + 1e-9);
+            EXPECT_GE(grants[i], -1e-9);
+            granted += grants[i];
+        }
+        // Capacity respected.
+        EXPECT_LE(granted, cap + 1e-6);
+        // Work-conserving: if total demand <= cap, everyone is
+        // satisfied; otherwise the capacity is fully used.
+        const double total = sum(demands);
+        if (total <= cap) {
+            EXPECT_NEAR(granted, total, 1e-6);
+        } else {
+            EXPECT_NEAR(granted, cap, 1e-6);
+        }
+        // Max-min fairness: an unsatisfied claimant's grant is >= any
+        // other grant (nobody gets more while someone hungry has
+        // less).
+        for (std::size_t i = 0; i < n; ++i) {
+            if (grants[i] < demands[i] - 1e-6) {
+                for (std::size_t j = 0; j < n; ++j)
+                    EXPECT_LE(grants[j], grants[i] + 1e-6);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinFairProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace krisp

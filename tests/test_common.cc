@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the common utilities: statistics accumulators,
+ * deterministic RNG, text tables and tick conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace krisp
+{
+namespace
+{
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(ticksFromUs(1.0), 1000u);
+    EXPECT_EQ(ticksFromMs(1.0), 1'000'000u);
+    EXPECT_EQ(ticksFromSec(1.0), 1'000'000'000u);
+    EXPECT_DOUBLE_EQ(ticksToMs(2'500'000), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(500'000'000), 0.5);
+    EXPECT_EQ(ticksFromNs(-5.0), 0u);
+    EXPECT_EQ(ticksFromNs(1.6), 2u); // rounds
+}
+
+TEST(Accumulator, Empty)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, SingleSampleVarianceIsZero)
+{
+    Accumulator acc;
+    acc.add(42.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, Reset)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator acc;
+    acc.add(-3.0);
+    acc.add(3.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+}
+
+TEST(PercentileTracker, NearestRankInterpolation)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 100; ++i)
+        t.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 100.0);
+    EXPECT_NEAR(t.percentile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(t.percentile(0.95), 95.05, 1e-9);
+    EXPECT_NEAR(t.mean(), 50.5, 1e-9);
+}
+
+TEST(PercentileTracker, UnsortedInput)
+{
+    PercentileTracker t;
+    for (double x : {9.0, 1.0, 5.0, 3.0, 7.0})
+        t.add(x);
+    EXPECT_DOUBLE_EQ(t.min(), 1.0);
+    EXPECT_DOUBLE_EQ(t.max(), 9.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 5.0);
+}
+
+TEST(PercentileTracker, SingleSample)
+{
+    PercentileTracker t;
+    t.add(3.5);
+    EXPECT_DOUBLE_EQ(t.percentile(0.95), 3.5);
+}
+
+TEST(PercentileTracker, AddAfterQueryKeepsCorrectness)
+{
+    PercentileTracker t;
+    t.add(1.0);
+    t.add(2.0);
+    EXPECT_DOUBLE_EQ(t.max(), 2.0);
+    t.add(10.0); // invalidates cached sort
+    EXPECT_DOUBLE_EQ(t.max(), 10.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(-5.0); // clamps to first bin
+    h.add(50.0); // clamps to last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(3), 4.0);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, -2.0}), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanApproximation)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.between(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // Child stream should not replay the parent stream.
+    Rng b(5);
+    (void)b.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("alpha").cell(1);
+    t.row().cell("b").cell(12.5, 1);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12.5"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.row().cell(1).cell(2);
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, IntegerOverloads)
+{
+    TextTable t({"x"});
+    t.row().cell(std::uint64_t(18446744073709551615ULL));
+    EXPECT_NE(t.render().find("18446744073709551615"),
+              std::string::npos);
+}
+
+TEST(FormatFixed, Precision)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(1.0, 0), "1");
+}
+
+TEST(CommonDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom ", 42), "boom 42");
+}
+
+TEST(CommonDeath, PercentileOnEmpty)
+{
+    PercentileTracker t;
+    EXPECT_DEATH(t.percentile(0.5), "empty");
+}
+
+TEST(CommonDeath, HistogramEmptyRange)
+{
+    EXPECT_EXIT(Histogram(1.0, 1.0, 4),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the CU mask (the spatial-partition representation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/cu_mask.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams mi50 = ArchParams::mi50();
+
+TEST(CuMask, EmptyByDefault)
+{
+    CuMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.activeSeCount(mi50), 0u);
+    EXPECT_EQ(m.minCusPerActiveSe(mi50), 0u);
+}
+
+TEST(CuMask, FirstN)
+{
+    EXPECT_EQ(CuMask::firstN(0).count(), 0u);
+    EXPECT_EQ(CuMask::firstN(1).bits(), 1u);
+    EXPECT_EQ(CuMask::firstN(60).count(), 60u);
+    EXPECT_EQ(CuMask::firstN(64).count(), 64u);
+}
+
+TEST(CuMask, FullCoversDevice)
+{
+    const CuMask full = CuMask::full(mi50);
+    EXPECT_EQ(full.count(), 60u);
+    EXPECT_EQ(full.activeSeCount(mi50), 4u);
+    EXPECT_EQ(full.minCusPerActiveSe(mi50), 15u);
+    for (unsigned cu = 0; cu < 60; ++cu)
+        EXPECT_TRUE(full.test(cu));
+    EXPECT_FALSE(full.test(60));
+}
+
+TEST(CuMask, SetClearTest)
+{
+    CuMask m;
+    m.set(5);
+    m.set(59);
+    EXPECT_TRUE(m.test(5));
+    EXPECT_TRUE(m.test(59));
+    EXPECT_FALSE(m.test(6));
+    EXPECT_EQ(m.count(), 2u);
+    m.clear(5);
+    EXPECT_FALSE(m.test(5));
+    EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(CuMask, SeCuIndexing)
+{
+    CuMask m;
+    m.setSeCu(mi50, 2, 3); // global CU 2*15+3 = 33
+    EXPECT_TRUE(m.test(33));
+    EXPECT_TRUE(m.testSeCu(mi50, 2, 3));
+    EXPECT_FALSE(m.testSeCu(mi50, 2, 4));
+    EXPECT_EQ(CuMask::cuIndex(mi50, 3, 14), 59u);
+}
+
+TEST(CuMask, CountInSe)
+{
+    CuMask m;
+    m.setSeCu(mi50, 0, 0);
+    m.setSeCu(mi50, 0, 14);
+    m.setSeCu(mi50, 3, 7);
+    EXPECT_EQ(m.countInSe(mi50, 0), 2u);
+    EXPECT_EQ(m.countInSe(mi50, 1), 0u);
+    EXPECT_EQ(m.countInSe(mi50, 3), 1u);
+    EXPECT_EQ(m.activeSeCount(mi50), 2u);
+    EXPECT_EQ(m.minCusPerActiveSe(mi50), 1u);
+}
+
+TEST(CuMask, PackedSixteenIsImbalanced)
+{
+    // 16 CUs packed: SE0 full (15) + one CU in SE1 — the Fig. 8
+    // spike configuration.
+    const CuMask m = CuMask::firstN(16);
+    EXPECT_EQ(m.countInSe(mi50, 0), 15u);
+    EXPECT_EQ(m.countInSe(mi50, 1), 1u);
+    EXPECT_EQ(m.activeSeCount(mi50), 2u);
+    EXPECT_EQ(m.minCusPerActiveSe(mi50), 1u);
+}
+
+TEST(CuMask, BitwiseOperators)
+{
+    const CuMask a = CuMask::firstN(10);
+    CuMask b;
+    b.set(5);
+    b.set(20);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_EQ((a | b).count(), 11u);
+    EXPECT_TRUE((a & b).test(5));
+    EXPECT_TRUE((a | b).test(20));
+}
+
+TEST(CuMask, Equality)
+{
+    EXPECT_EQ(CuMask::firstN(8), CuMask::ofBits(0xFF));
+    EXPECT_NE(CuMask::firstN(8), CuMask::firstN(9));
+}
+
+TEST(CuMask, ToStringShowsPerSeBits)
+{
+    CuMask m;
+    m.setSeCu(mi50, 1, 0);
+    const std::string s = m.toString(mi50);
+    EXPECT_NE(s.find("SE0[000000000000000]"), std::string::npos);
+    EXPECT_NE(s.find("SE1[100000000000000]"), std::string::npos);
+}
+
+TEST(CuMask, NonUniformArch)
+{
+    ArchParams small;
+    small.numSe = 2;
+    small.cusPerSe = 4;
+    const CuMask full = CuMask::full(small);
+    EXPECT_EQ(full.count(), 8u);
+    EXPECT_EQ(full.activeSeCount(small), 2u);
+    CuMask m;
+    m.setSeCu(small, 1, 3);
+    EXPECT_TRUE(m.test(7));
+}
+
+TEST(CuMaskDeath, OutOfRange)
+{
+    CuMask m;
+    EXPECT_DEATH(m.set(64), "out of range");
+    EXPECT_DEATH(m.setSeCu(mi50, 4, 0), "out of range");
+    EXPECT_DEATH(m.setSeCu(mi50, 0, 15), "out of range");
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, tie-breaking,
+ * cancellation, bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesAreFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleIn)
+{
+    EventQueue eq;
+    Tick fired = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { fired = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 150u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.pending(id));
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.pending(id));
+    EXPECT_FALSE(eq.deschedule(id)); // second cancel is a no-op
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, CancelOneOfMany)
+{
+    EventQueue eq;
+    int sum = 0;
+    eq.schedule(1, [&] { sum += 1; });
+    const EventId id = eq.schedule(2, [&] { sum += 10; });
+    eq.schedule(3, [&] { sum += 100; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(sum, 101);
+}
+
+TEST(EventQueue, RunLimitStopsAndSetsTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepOneAtATime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10)
+            eq.scheduleIn(1, recurse);
+    };
+    eq.scheduleIn(1, recurse);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(5, [&] { fired = true; });
+    eq.clear();
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pendingCount(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, CancelInsideEarlierEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId later = eq.schedule(10, [&] { fired = true; });
+    eq.schedule(5, [&] { eq.deschedule(later); });
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueueDeath, NullCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.schedule(1, EventQueue::Callback()), "null");
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the progress-based processor-sharing scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/fluid_scheduler.hh"
+
+namespace krisp
+{
+namespace
+{
+
+/** Harness giving every active job the same externally set rate. */
+struct Fixture
+{
+    EventQueue eq;
+    double rate = 1.0;
+    std::vector<std::pair<JobId, Tick>> completions;
+    FluidScheduler fs{
+        eq,
+        [this](FluidScheduler &f) {
+            for (const JobId id : f.activeJobs())
+                f.setRate(id, rate);
+        },
+        [this](JobId id) { completions.emplace_back(id, eq.now()); }};
+};
+
+TEST(FluidScheduler, SingleJobCompletesOnTime)
+{
+    Fixture fx;
+    fx.rate = 0.5; // work units per tick
+    fx.fs.add(100.0);
+    fx.eq.run();
+    ASSERT_EQ(fx.completions.size(), 1u);
+    EXPECT_EQ(fx.completions[0].second, 200u);
+}
+
+TEST(FluidScheduler, ZeroWorkJobCompletesImmediately)
+{
+    Fixture fx;
+    fx.fs.add(0.0);
+    EXPECT_EQ(fx.completions.size(), 1u);
+    EXPECT_EQ(fx.fs.activeCount(), 0u);
+}
+
+TEST(FluidScheduler, TwoJobsIndependentRates)
+{
+    EventQueue eq;
+    std::map<JobId, double> rates;
+    std::vector<std::pair<JobId, Tick>> done;
+    FluidScheduler fs(
+        eq,
+        [&](FluidScheduler &f) {
+            for (const JobId id : f.activeJobs())
+                f.setRate(id, rates.at(id));
+        },
+        [&](JobId id) { done.emplace_back(id, eq.now()); });
+
+    const JobId slow = [&] {
+        // Rates must exist before the rate callback runs; stage them
+        // pessimistically and fix up after add() returns.
+        rates[1] = 1.0;
+        rates[2] = 1.0;
+        return fs.add(1000.0);
+    }();
+    const JobId fast = fs.add(100.0);
+    rates[slow] = 1.0;
+    rates[fast] = 10.0;
+    fs.refresh();
+
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].first, fast);
+    EXPECT_EQ(done[0].second, 10u);
+    EXPECT_EQ(done[1].first, slow);
+    EXPECT_EQ(done[1].second, 1000u);
+}
+
+TEST(FluidScheduler, RateChangeMidFlight)
+{
+    Fixture fx;
+    fx.rate = 1.0;
+    fx.fs.add(100.0);
+    // Halve the rate after 50 ticks of progress.
+    fx.eq.schedule(50, [&] {
+        fx.rate = 0.5;
+        fx.fs.refresh();
+    });
+    fx.eq.run();
+    ASSERT_EQ(fx.completions.size(), 1u);
+    // 50 units at rate 1 + 50 units at rate 0.5 -> 50 + 100 = 150.
+    EXPECT_EQ(fx.completions[0].second, 150u);
+}
+
+TEST(FluidScheduler, ProcessorSharingTwoEqualJobs)
+{
+    EventQueue eq;
+    std::vector<Tick> done;
+    FluidScheduler fs(
+        eq,
+        [](FluidScheduler &f) {
+            // Capacity 1 split evenly among active jobs.
+            const auto jobs = f.activeJobs();
+            for (const JobId id : jobs)
+                f.setRate(id, 1.0 / jobs.size());
+        },
+        [&](JobId) { done.push_back(eq.now()); });
+    fs.add(100.0);
+    fs.add(100.0);
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Both share capacity until the first finishes; with equal work
+    // both finish at t=200.
+    EXPECT_EQ(done[0], 200u);
+    EXPECT_EQ(done[1], 200u);
+}
+
+TEST(FluidScheduler, SecondJobSpeedsUpAfterFirstCompletes)
+{
+    EventQueue eq;
+    std::vector<Tick> done;
+    FluidScheduler fs(
+        eq,
+        [](FluidScheduler &f) {
+            const auto jobs = f.activeJobs();
+            for (const JobId id : jobs)
+                f.setRate(id, 1.0 / jobs.size());
+        },
+        [&](JobId) { done.push_back(eq.now()); });
+    fs.add(50.0);
+    fs.add(150.0);
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Shared until t=100 (50 each done), then the big one runs alone:
+    // 100 remaining at rate 1 -> t=200.
+    EXPECT_EQ(done[0], 100u);
+    EXPECT_EQ(done[1], 200u);
+}
+
+TEST(FluidScheduler, CancelRemovesJob)
+{
+    Fixture fx;
+    const JobId id = fx.fs.add(1000.0);
+    fx.fs.cancel(id);
+    EXPECT_FALSE(fx.fs.active(id));
+    fx.eq.run();
+    EXPECT_TRUE(fx.completions.empty());
+}
+
+TEST(FluidScheduler, RemainingTracksProgress)
+{
+    Fixture fx;
+    fx.rate = 1.0;
+    const JobId id = fx.fs.add(100.0);
+    fx.eq.schedule(30, [&] {
+        EXPECT_NEAR(fx.fs.remaining(id), 70.0, 1e-6);
+    });
+    fx.eq.run(30);
+    EXPECT_NEAR(fx.fs.remaining(id), 70.0, 1e-6);
+    fx.eq.run();
+}
+
+TEST(FluidScheduler, ZeroRateJobNeverCompletes)
+{
+    Fixture fx;
+    fx.rate = 0.0;
+    fx.fs.add(10.0);
+    fx.eq.run(1'000'000);
+    EXPECT_TRUE(fx.completions.empty());
+    EXPECT_EQ(fx.fs.activeCount(), 1u);
+}
+
+TEST(FluidScheduler, CompletionCallbackCanAddJob)
+{
+    EventQueue eq;
+    int completed = 0;
+    FluidScheduler *fsp = nullptr;
+    FluidScheduler fs(
+        eq,
+        [](FluidScheduler &f) {
+            for (const JobId id : f.activeJobs())
+                f.setRate(id, 1.0);
+        },
+        [&](JobId) {
+            if (++completed == 1)
+                fsp->add(50.0); // chain a follow-up job
+        });
+    fsp = &fs;
+    fs.add(100.0);
+    eq.run();
+    EXPECT_EQ(completed, 2);
+    EXPECT_EQ(eq.now(), 150u);
+}
+
+TEST(FluidScheduler, ManyJobsAllComplete)
+{
+    Fixture fx;
+    fx.rate = 2.0;
+    for (int i = 1; i <= 50; ++i)
+        fx.fs.add(i * 10.0);
+    fx.eq.run();
+    EXPECT_EQ(fx.completions.size(), 50u);
+    EXPECT_EQ(fx.fs.activeCount(), 0u);
+    // Latest completion: 500 work at rate 2 -> t=250.
+    EXPECT_EQ(fx.completions.back().second, 250u);
+}
+
+TEST(FluidSchedulerDeath, NegativeWorkPanics)
+{
+    Fixture fx;
+    EXPECT_DEATH(fx.fs.add(-1.0), "negative work");
+}
+
+TEST(FluidSchedulerDeath, SetRateOnInactiveJobPanics)
+{
+    Fixture fx;
+    EXPECT_DEATH(fx.fs.setRate(999, 1.0), "inactive");
+}
+
+} // namespace
+} // namespace krisp

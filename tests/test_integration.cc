@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Cross-module integration tests reproducing the paper's qualitative
+ * claims end to end on small configurations: distribution-policy
+ * spikes (Fig. 8), kernel-wise right-sizing preserving latency while
+ * shrinking partitions, emulation overhead scaling (Fig. 12), and
+ * the Conserved policy's energy advantage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_device.hh"
+#include "kern/kernel_builder.hh"
+#include "models/model_zoo.hh"
+#include "profile/model_profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const GpuConfig gpu = GpuConfig::mi50();
+const ArchParams &arch = gpu.arch;
+
+/** Isolated wall time of one kernel on a given stream mask. */
+Tick
+runMasked(const KernelDescPtr &kernel, const CuMask &mask)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    HsaQueue &q = device.createQueue();
+    device.setQueueCuMask(q.id(), mask);
+    Tick done = 0;
+    auto sig = HsaSignal::create(1);
+    sig->waitZero([&] { done = eq.now(); });
+    q.push(AqlPacket::dispatch(kernel, sig));
+    eq.run();
+    return done;
+}
+
+KernelDescPtr
+vecMulKernel()
+{
+    // The Fig. 8 microbenchmark: a large streaming multiply.
+    return std::make_shared<const KernelDescriptor>(
+        makeElementwise(arch, 32u << 20, "vecmul", 2));
+}
+
+TEST(Integration, Fig8PackedSpikeAtSixteenCus)
+{
+    const auto k = vecMulKernel();
+    ResourceMonitor idle(arch);
+    MaskAllocator packed(DistributionPolicy::Packed);
+    MaskAllocator conserved(DistributionPolicy::Conserved);
+
+    const Tick t_packed16 = runMasked(k, packed.allocate(16, idle));
+    const Tick t_conserved16 =
+        runMasked(k, conserved.allocate(16, idle));
+    const Tick t_packed15 = runMasked(k, packed.allocate(15, idle));
+    // The 15+1 imbalance makes 16 packed CUs far slower than 16
+    // conserved CUs — and even slower than 15 packed CUs.
+    EXPECT_GT(t_packed16, 2 * t_conserved16);
+    EXPECT_GT(t_packed16, t_packed15);
+}
+
+TEST(Integration, Fig8DistributedDipAtFifteenCus)
+{
+    // A compute-bound kernel exposes the SE imbalance (the streaming
+    // vecmul is bandwidth-bound at 15 CUs, which hides it).
+    auto k = std::make_shared<KernelDescriptor>();
+    k->name = "compute_loop";
+    k->numWorkgroups = 6000;
+    k->wgDurationNs = 100.0;
+    k->saturationWgsPerCu = 1;
+    ResourceMonitor idle(arch);
+    MaskAllocator distributed(DistributionPolicy::Distributed);
+    MaskAllocator conserved(DistributionPolicy::Conserved);
+    // 15 CUs distributed = (4,4,4,3): the 3-CU SE bottlenecks.
+    const Tick t_dist = runMasked(k, distributed.allocate(15, idle));
+    const Tick t_cons = runMasked(k, conserved.allocate(15, idle));
+    EXPECT_GT(t_dist, t_cons);
+}
+
+TEST(Integration, Fig8PoliciesEqualAtFullDevice)
+{
+    const auto k = vecMulKernel();
+    ResourceMonitor idle(arch);
+    for (const auto policy :
+         {DistributionPolicy::Packed, DistributionPolicy::Distributed,
+          DistributionPolicy::Conserved}) {
+        MaskAllocator alloc(policy);
+        EXPECT_EQ(runMasked(k, alloc.allocate(60, idle)),
+                  runMasked(k, CuMask::full(arch)));
+    }
+}
+
+TEST(Integration, ConservedSavesEnergyByIdlingSes)
+{
+    // Sec. IV-C1: at ~40 CUs the Conserved policy powers fewer
+    // shader engines than Distributed for the same work.
+    const auto k = vecMulKernel();
+    ResourceMonitor idle(arch);
+    MaskAllocator conserved(DistributionPolicy::Conserved);
+    MaskAllocator distributed(DistributionPolicy::Distributed);
+
+    auto energy_for = [&](const CuMask &mask) {
+        EventQueue eq;
+        GpuDevice device(eq, gpu);
+        HsaQueue &q = device.createQueue();
+        device.setQueueCuMask(q.id(), mask);
+        q.push(AqlPacket::dispatch(k, nullptr));
+        eq.run();
+        return device.power().energyJoules();
+    };
+    const double e_cons = energy_for(conserved.allocate(40, idle));
+    const double e_dist = energy_for(distributed.allocate(40, idle));
+    EXPECT_LT(e_cons, e_dist);
+}
+
+TEST(Integration, KrispRightSizingPreservesModelLatency)
+{
+    // Running a whole model with per-kernel right-sizing should stay
+    // within a few percent of the full-GPU latency while requesting
+    // far fewer CUs on average.
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    ModelZoo zoo(arch);
+    const auto &seq = zoo.kernels("resnet152", 32);
+
+    auto run_seq = [&](Stream &s, KrispRuntime *krisp) {
+        const Tick start = eq.now();
+        auto sig =
+            HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+        Tick end = start;
+        sig->waitZero([&] { end = eq.now(); });
+        for (const auto &k : seq) {
+            if (krisp) {
+                krisp->launch(s, k, sig);
+            } else {
+                s.launchWithSignal(k, sig);
+            }
+        }
+        eq.run();
+        return end - start;
+    };
+
+    Stream &plain = hip.createStream();
+    const Tick t_full = run_seq(plain, nullptr);
+
+    KernelProfiler prof(gpu);
+    PerfDatabase db;
+    prof.profileInto(db, seq);
+    ProfiledSizer sizer(db, arch.totalCus());
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    KrispRuntime krisp(hip, sizer, alloc, EnforcementMode::Native);
+    Stream &sized = hip.createStream();
+    const Tick t_krisp = run_seq(sized, &krisp);
+
+    EXPECT_LT(static_cast<double>(t_krisp),
+              1.10 * static_cast<double>(t_full));
+    const double avg_cus =
+        static_cast<double>(krisp.stats().requestedCusTotal) /
+        static_cast<double>(krisp.stats().launches);
+    EXPECT_LT(avg_cus, 35.0);
+}
+
+TEST(Integration, EmulationOverheadScalesWithKernelCount)
+{
+    // Fig. 12 / Sec. V-B: L_over is proportional to the number of
+    // kernel calls, so models with more kernels pay more.
+    ModelZoo zoo(arch);
+    auto overhead_for = [&](const std::string &model) {
+        const auto &seq = zoo.kernels(model, 32);
+        auto run_mode = [&](EnforcementMode mode) {
+            EventQueue eq;
+            GpuDevice device(eq, gpu);
+            HipRuntime hip(eq, device);
+            FixedSizer sizer(arch.totalCus());
+            MaskAllocator alloc(DistributionPolicy::Conserved);
+            KrispRuntime krisp(hip, sizer, alloc, mode);
+            Stream &s = hip.createStream();
+            auto sig = HsaSignal::create(
+                static_cast<std::int64_t>(seq.size()));
+            Tick end = 0;
+            sig->waitZero([&] { end = eq.now(); });
+            for (const auto &k : seq)
+                krisp.launch(s, k, sig);
+            eq.run();
+            return end;
+        };
+        return run_mode(EnforcementMode::Emulated) -
+               run_mode(EnforcementMode::Native);
+    };
+    const Tick over_alexnet = overhead_for("alexnet");   // 34 kernels
+    const Tick over_albert = overhead_for("albert");     // 304
+    EXPECT_GT(over_alexnet, 0u);
+    const double ratio = static_cast<double>(over_albert) /
+                         static_cast<double>(over_alexnet);
+    EXPECT_NEAR(ratio, 304.0 / 34.0, 2.0);
+}
+
+TEST(Integration, IsolationLimitsInterference)
+{
+    // Two co-located device-filling kernel streams: with isolated
+    // per-kernel partitions, per-kernel latency varies less than
+    // with full-mask sharing.
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    auto kernel = std::make_shared<const KernelDescriptor>(
+        makeGemm(arch, 2048, 2048, 1024));
+
+    KernelProfiler prof(gpu);
+    PerfDatabase db;
+    prof.profileInto(db, {kernel});
+    ProfiledSizer sizer(db, arch.totalCus());
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    KrispRuntime krisp(hip, sizer, alloc, EnforcementMode::Native);
+
+    Stream &sa = hip.createStream();
+    Stream &sb = hip.createStream();
+    auto sig = HsaSignal::create(8);
+    for (int i = 0; i < 4; ++i) {
+        krisp.launch(sa, kernel, sig);
+        krisp.launch(sb, kernel, sig);
+    }
+    bool done = false;
+    sig->waitZero([&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(device.stats().kernelsCompleted, 8u);
+    // Isolation kept overlap bounded.
+    EXPECT_EQ(alloc.stats().requests, 8u);
+}
+
+TEST(Integration, DeviceDrainsToIdleAfterMixedWork)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    ModelZoo zoo(arch);
+    Stream &s = hip.createStream();
+    const auto &seq = zoo.kernels("squeezenet", 8);
+    auto sig =
+        HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+    for (const auto &k : seq)
+        s.launchWithSignal(k, sig);
+    bool synced = false;
+    s.synchronize([&] { synced = true; });
+    eq.run();
+    EXPECT_TRUE(synced);
+    EXPECT_TRUE(device.idle());
+    EXPECT_EQ(device.monitor().residentKernels(), 0u);
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for kernel descriptors and the layer-shape builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kern/kernel_builder.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+TEST(ConvShape, OutputSize)
+{
+    ConvShape s{32, 3, 64, 224, 7, 2, 1, 3};
+    EXPECT_EQ(s.outSize(), 112u);
+    ConvShape same{1, 8, 8, 14, 3, 1, 1, 1};
+    EXPECT_EQ(same.outSize(), 14u);
+    ConvShape one{1, 8, 8, 14, 1, 1, 1, 0};
+    EXPECT_EQ(one.outSize(), 14u);
+    ConvShape alex{32, 3, 96, 224, 11, 4, 1, 2};
+    EXPECT_EQ(alex.outSize(), 55u);
+}
+
+TEST(ConvShape, FlopsAccounting)
+{
+    ConvShape s{1, 16, 32, 8, 3, 1, 1, 1};
+    // 2 * B * outC * inC * out^2 * k^2
+    EXPECT_DOUBLE_EQ(s.flops(), 2.0 * 1 * 32 * 16 * 64 * 9);
+}
+
+TEST(ConvShape, GroupsReduceFlops)
+{
+    ConvShape dense{1, 32, 32, 8, 3, 1, 1, 1};
+    ConvShape grouped = dense;
+    grouped.groups = 4;
+    EXPECT_DOUBLE_EQ(grouped.flops(), dense.flops() / 4.0);
+}
+
+TEST(KernelBuilder, ConvProducesPositiveWork)
+{
+    const auto d = makeConv(arch, KernelClass::WinogradConv,
+                            {32, 64, 64, 56, 3, 1, 1, 1});
+    EXPECT_GT(d.numWorkgroups, 0u);
+    EXPECT_GT(d.wgDurationNs, 0.0);
+    EXPECT_GT(d.bytes, 0.0);
+    EXPECT_GT(d.inputBytes, 0.0);
+    EXPECT_EQ(d.klass, KernelClass::WinogradConv);
+}
+
+TEST(KernelBuilder, Sp3AsmSaturatesWithOneWg)
+{
+    const auto d = makeConv(arch, KernelClass::Sp3AsmConv,
+                            {32, 256, 256, 28, 3, 1, 1, 1});
+    EXPECT_EQ(d.saturationWgsPerCu, 1u);
+}
+
+TEST(KernelBuilder, WinogradReducesFlops)
+{
+    const ConvShape s{32, 64, 64, 56, 3, 1, 1, 1};
+    const auto wino = makeConv(arch, KernelClass::WinogradConv, s);
+    const auto sp3 = makeConv(arch, KernelClass::Sp3AsmConv, s);
+    // Same shape: Winograd carries 2.25x fewer FLOPs. Compare total
+    // compute work = wgs * wgDuration * efficiency-adjusted rate.
+    const double wino_flops = wino.numWorkgroups * wino.wgDurationNs *
+                              arch.cuFlopsPerNs * 0.78;
+    const double sp3_flops = sp3.numWorkgroups * sp3.wgDurationNs *
+                             arch.cuFlopsPerNs * 0.88;
+    EXPECT_NEAR(sp3_flops / wino_flops, 2.25, 0.01);
+}
+
+TEST(KernelBuilder, SmallKConvIsTrafficHeavy)
+{
+    // squeeze-style conv: tiny accumulation depth -> poor reuse.
+    const auto small_k = makeConv(arch, KernelClass::ImplicitGemmConv,
+                                  {32, 16, 64, 55, 1, 1, 1, 0});
+    const ConvShape s{32, 16, 64, 55, 1, 1, 1, 0};
+    EXPECT_GT(small_k.bytes, s.ioBytes()); // amplified beyond ideal
+}
+
+TEST(KernelBuilder, GroupedConvExemptFromSmallKPath)
+{
+    // Same operand footprint, grouped -> no small-K amplification.
+    const ConvShape g{32, 1024, 1024, 14, 3, 1, 32, 1};
+    const auto d = makeConv(arch, KernelClass::ImplicitGemmConv, g);
+    EXPECT_NEAR(d.bytes, g.ioBytes() * 1.5, g.ioBytes() * 0.01);
+}
+
+TEST(KernelBuilder, GemmTileCounts)
+{
+    // Fat GEMM: square 64x64 macro tiles, no split-K at K=1024.
+    const auto fat = makeGemm(arch, 1024, 1024, 1024);
+    EXPECT_EQ(fat.numWorkgroups, 16u * 16u);
+    // Deep K: split-K kicks in above 1024.
+    const auto deep = makeGemm(arch, 1024, 1024, 2048);
+    EXPECT_EQ(deep.numWorkgroups, 16u * 16u * 3u);
+    // Skinny GEMM: wide 128 tiles.
+    const auto skinny = makeGemm(arch, 256, 768, 768);
+    EXPECT_EQ(skinny.numWorkgroups, 4u * 6u);
+    // Skinny + wide N: 256 tiles.
+    const auto ffn = makeGemm(arch, 256, 3072, 768);
+    EXPECT_EQ(ffn.numWorkgroups, 4u * 12u);
+}
+
+TEST(KernelBuilder, GemmSplitKForDeepAccumulation)
+{
+    const auto d = makeGemm(arch, 256, 768, 3072);
+    // K=3072 -> split-K factor 4 over 64x128 tiles.
+    EXPECT_EQ(d.numWorkgroups, 4u * 6u * 4u);
+}
+
+TEST(KernelBuilder, GemmFlopsConserved)
+{
+    const auto d = makeGemm(arch, 512, 512, 512);
+    const double flops = d.numWorkgroups * d.wgDurationNs *
+                         arch.cuFlopsPerNs * 0.82;
+    EXPECT_NEAR(flops, 2.0 * 512 * 512 * 512, flops * 0.01);
+}
+
+TEST(KernelBuilder, BatchedGemmScalesWithBatch)
+{
+    const auto one = makeBatchedGemm(arch, 64, 64, 64, 1);
+    const auto many = makeBatchedGemm(arch, 64, 64, 64, 384);
+    EXPECT_EQ(many.numWorkgroups, 384u * one.numWorkgroups);
+    EXPECT_NEAR(many.bytes, 384.0 * one.bytes, one.bytes);
+}
+
+TEST(KernelBuilder, ElementwiseMemoryBound)
+{
+    const auto d = makeElementwise(arch, 1 << 20, "relu", 1);
+    // Streaming op: bytes ~ 2 tensors x 4 B x elems.
+    EXPECT_NEAR(d.bytes, 2.0 * 4.0 * (1 << 20), 1.0);
+    EXPECT_GT(d.issueFactor, 1.0);
+}
+
+TEST(KernelBuilder, ElementwiseNameCarriesOp)
+{
+    const auto d = makeElementwise(arch, 1024, "gelu", 1);
+    EXPECT_NE(d.name.find("gelu"), std::string::npos);
+}
+
+TEST(KernelBuilder, ReductionWgCap)
+{
+    const auto d = makeReduction(arch, std::uint64_t(1) << 32);
+    EXPECT_LE(d.numWorkgroups, 960u);
+}
+
+TEST(KernelBuilder, SoftmaxRowsAreWorkgroups)
+{
+    const auto d = makeSoftmax(arch, 4096, 128);
+    EXPECT_EQ(d.numWorkgroups, 4096u);
+    EXPECT_EQ(d.wgThreads, 128u);
+    const auto wide = makeSoftmax(arch, 16, 5000);
+    EXPECT_EQ(wide.wgThreads, 1024u); // clamped
+}
+
+TEST(KernelBuilder, GatherHasLowIssueFactor)
+{
+    const auto d = makeGather(arch, 4096, 128);
+    EXPECT_LT(d.issueFactor, 1.0); // random access
+}
+
+TEST(KernelBuilder, PoolingAndTranspose)
+{
+    const auto p = makePooling(arch, 32, 64, 27, 3);
+    EXPECT_GT(p.numWorkgroups, 0u);
+    const auto t = makeTranspose(arch, 1 << 20);
+    EXPECT_GT(t.bytes, 4.0 * (1 << 20)); // read + write, amplified
+}
+
+TEST(KernelDescriptor, ProfileKeyIdentifiesGeometry)
+{
+    const auto a = makeGemm(arch, 256, 768, 768);
+    const auto b = makeGemm(arch, 256, 768, 768);
+    const auto c = makeGemm(arch, 512, 768, 768);
+    EXPECT_EQ(a.profileKey(), b.profileKey());
+    EXPECT_NE(a.profileKey(), c.profileKey());
+}
+
+TEST(KernelDescriptor, TotalThreads)
+{
+    KernelDescriptor d;
+    d.numWorkgroups = 100;
+    d.wgThreads = 256;
+    EXPECT_EQ(d.totalThreads(), 25600u);
+}
+
+TEST(KernelClassNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < numKernelClasses; ++i)
+        names.insert(kernelClassName(kernelClassAt(i)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(numKernelClasses));
+}
+
+TEST(KernelClassNames, PaperKernelsPresent)
+{
+    // Fig. 6 calls out these library kernels by name.
+    EXPECT_STREQ(kernelClassName(KernelClass::ConvFft),
+                 "MIOpenConvFFT_fwd_in");
+    EXPECT_STREQ(kernelClassName(KernelClass::Sp3AsmConv),
+                 "miopenSp3AsmConv_v21_1_2");
+    EXPECT_STREQ(kernelClassName(KernelClass::ImplicitGemmConv),
+                 "gfx9_f3x2_fp32_stride1_group");
+}
+
+/** Every class builds a valid conv descriptor where applicable. */
+class ConvClassTest : public ::testing::TestWithParam<KernelClass>
+{
+};
+
+TEST_P(ConvClassTest, ValidDescriptor)
+{
+    const auto d = makeConv(arch, GetParam(),
+                            {16, 32, 64, 28, 3, 1, 1, 1});
+    EXPECT_GT(d.numWorkgroups, 0u);
+    EXPECT_GT(d.wgDurationNs, 0.0);
+    EXPECT_GE(d.saturationWgsPerCu, 1u);
+    EXPECT_GT(d.bytes, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConvClasses, ConvClassTest,
+                         ::testing::Values(
+                             KernelClass::ImplicitGemmConv,
+                             KernelClass::Sp3AsmConv,
+                             KernelClass::ConvFft,
+                             KernelClass::WinogradConv,
+                             KernelClass::DepthwiseConv));
+
+/** Batch scaling property: work scales linearly with batch. */
+class BatchScalingTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BatchScalingTest, ConvWorkScalesWithBatch)
+{
+    const unsigned b = GetParam();
+    const auto one = makeConv(arch, KernelClass::WinogradConv,
+                              {1, 64, 64, 56, 3, 1, 1, 1});
+    const auto many = makeConv(arch, KernelClass::WinogradConv,
+                               {b, 64, 64, 56, 3, 1, 1, 1});
+    const double work_one = one.numWorkgroups * one.wgDurationNs;
+    const double work_many = many.numWorkgroups * many.wgDurationNs;
+    EXPECT_NEAR(work_many / work_one, b, 0.05 * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchScalingTest,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+TEST(KernelBuilderDeath, InvalidInputs)
+{
+    EXPECT_EXIT(makeGemm(arch, 0, 1, 1),
+                ::testing::ExitedWithCode(1), "non-zero");
+    EXPECT_EXIT(makeElementwise(arch, 0),
+                ::testing::ExitedWithCode(1), "zero");
+    EXPECT_EXIT(makeConv(arch, KernelClass::Gemm,
+                         {1, 1, 1, 8, 3, 1, 1, 1}),
+                ::testing::ExitedWithCode(1), "non-convolution");
+    ConvShape bad{1, 1, 1, 8, 3, 0, 1, 1};
+    EXPECT_EXIT(bad.outSize(), ::testing::ExitedWithCode(1),
+                "stride");
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests of the KRISP interception layer: native kernel-scoped
+ * partition instances versus the barrier-packet emulation, including
+ * the emulation overhead model L_over (Sec. V-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_device.hh"
+#include "kern/kernel_builder.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+struct Fixture
+{
+    EventQueue eq;
+    GpuConfig cfg = GpuConfig::mi50();
+    GpuDevice device{eq, cfg};
+    HipRuntime hip{eq, device};
+    PerfDatabase db;
+    MaskAllocator alloc{DistributionPolicy::Conserved, 0};
+
+    KernelDescPtr
+    kernel(unsigned wgs = 600, double wg_ns = 50.0)
+    {
+        auto d = std::make_shared<KernelDescriptor>();
+        d->name = "k";
+        d->numWorkgroups = wgs;
+        d->wgDurationNs = wg_ns;
+        d->saturationWgsPerCu = 2;
+        return d;
+    }
+
+    /** Run a sequence through a KrispRuntime; return wall ticks. */
+    Tick
+    runSequence(KrispRuntime &krisp, Stream &stream,
+                const std::vector<KernelDescPtr> &seq)
+    {
+        const Tick start = eq.now();
+        auto sig =
+            HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+        Tick end = start;
+        sig->waitZero([&] { end = eq.now(); });
+        for (const auto &k : seq)
+            krisp.launch(stream, k, sig);
+        eq.run();
+        return end - start;
+    }
+};
+
+TEST(KrispRuntime, NativeModeInstallsAllocator)
+{
+    Fixture fx;
+    FixedSizer sizer(15);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Native);
+    Stream &s = fx.hip.createStream();
+    fx.runSequence(krisp, s, {fx.kernel()});
+    EXPECT_EQ(fx.device.stats().krispAllocations, 1u);
+    EXPECT_EQ(krisp.stats().launches, 1u);
+    EXPECT_EQ(krisp.stats().requestedCusTotal, 15u);
+    EXPECT_EQ(krisp.stats().emulatedReconfigs, 0u);
+}
+
+TEST(KrispRuntime, EmulatedModeReconfiguresQueueMask)
+{
+    Fixture fx;
+    FixedSizer sizer(15);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Emulated);
+    Stream &s = fx.hip.createStream();
+    fx.runSequence(krisp, s, {fx.kernel(), fx.kernel()});
+    // One queue CU-mask ioctl per kernel launch.
+    EXPECT_EQ(krisp.stats().emulatedReconfigs, 2u);
+    EXPECT_EQ(fx.hip.ioctlService().completed(), 2u);
+    // The stream's queue ends up with the 15-CU mask.
+    EXPECT_EQ(s.hsaQueue().cuMask().count(), 15u);
+    // No firmware allocations in emulated mode.
+    EXPECT_EQ(fx.device.stats().krispAllocations, 0u);
+    // Two barrier packets per kernel were processed.
+    EXPECT_EQ(fx.device.stats().barriersProcessed, 4u);
+}
+
+TEST(KrispRuntime, EmulatedAndNativeUseSamePartitionSize)
+{
+    Fixture fx;
+    FixedSizer sizer(20);
+    KrispRuntime native(fx.hip, sizer, fx.alloc,
+                        EnforcementMode::Native);
+    Stream &sa = fx.hip.createStream();
+    fx.runSequence(native, sa, {fx.kernel()});
+
+    MaskAllocator alloc2(DistributionPolicy::Conserved, 0);
+    KrispRuntime emulated(fx.hip, sizer, alloc2,
+                          EnforcementMode::Emulated);
+    Stream &sb = fx.hip.createStream();
+    fx.runSequence(emulated, sb, {fx.kernel()});
+    EXPECT_EQ(sb.hsaQueue().cuMask().count(), 20u);
+}
+
+TEST(KrispRuntime, EmulationOverheadIsPositiveAndPerKernel)
+{
+    // L_over = L_emu - L_native grows with the number of kernels
+    // (each kernel pays barriers + callback + serialised ioctl).
+    FixedSizer sizer(60);
+    std::vector<Tick> native_t, emu_t;
+    for (const int n : {5, 10}) {
+        {
+            Fixture fx;
+            KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                               EnforcementMode::Native);
+            Stream &s = fx.hip.createStream();
+            std::vector<KernelDescPtr> seq(n, fx.kernel());
+            native_t.push_back(fx.runSequence(krisp, s, seq));
+        }
+        {
+            Fixture fx;
+            KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                               EnforcementMode::Emulated);
+            Stream &s = fx.hip.createStream();
+            std::vector<KernelDescPtr> seq(n, fx.kernel());
+            emu_t.push_back(fx.runSequence(krisp, s, seq));
+        }
+    }
+    const Tick over5 = emu_t[0] - native_t[0];
+    const Tick over10 = emu_t[1] - native_t[1];
+    EXPECT_GT(over5, 0u);
+    // Per-kernel overhead: doubling kernels ~doubles L_over.
+    EXPECT_NEAR(static_cast<double>(over10),
+                2.0 * static_cast<double>(over5),
+                0.2 * static_cast<double>(over10));
+}
+
+TEST(KrispRuntime, EmulatedKernelsStillSerialisedCorrectly)
+{
+    Fixture fx;
+    FixedSizer sizer(30);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Emulated);
+    Stream &s = fx.hip.createStream();
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i) {
+        auto sig = HsaSignal::create(1);
+        sig->waitZero([&] { done.push_back(fx.eq.now()); });
+        krisp.launch(s, fx.kernel(), sig);
+    }
+    fx.eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_LT(done[0], done[1]);
+    EXPECT_LT(done[1], done[2]);
+    EXPECT_EQ(fx.device.stats().kernelsCompleted, 3u);
+}
+
+TEST(KrispRuntime, ProfiledSizerDrivesPerKernelSizes)
+{
+    Fixture fx;
+    auto small = fx.kernel(30, 50.0);  // low parallelism
+    auto large = fx.kernel(6000, 5.0); // device filling
+    fx.db.setMinCus(small->profileKey(), 8);
+    fx.db.setMinCus(large->profileKey(), 55);
+    ProfiledSizer sizer(fx.db, 60);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Native);
+    Stream &s = fx.hip.createStream();
+    fx.runSequence(krisp, s, {small, large});
+    EXPECT_EQ(krisp.stats().requestedCusTotal, 8u + 55u);
+    EXPECT_EQ(sizer.misses, 0u);
+}
+
+TEST(KrispRuntime, ModeNames)
+{
+    EXPECT_STREQ(enforcementModeName(EnforcementMode::Native),
+                 "native");
+    EXPECT_STREQ(enforcementModeName(EnforcementMode::Emulated),
+                 "emulated");
+}
+
+TEST(KrispRuntimeDeath, NullKernelRejected)
+{
+    Fixture fx;
+    FixedSizer sizer(10);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Native);
+    Stream &s = fx.hip.createStream();
+    EXPECT_EXIT(krisp.launch(s, nullptr, nullptr),
+                ::testing::ExitedWithCode(1), "null");
+}
+
+} // namespace
+} // namespace krisp

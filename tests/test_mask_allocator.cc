@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for Algorithm 1 (partition resource mask generation) and
+ * its three CU distribution policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mask_allocator.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+TEST(MaskAllocator, ConservedUsesFewestSes)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    // Fig. 7: 19 CUs -> 2 SEs, split 10 + 9.
+    const CuMask m = alloc.allocate(19, idle);
+    EXPECT_EQ(m.count(), 19u);
+    EXPECT_EQ(m.activeSeCount(arch), 2u);
+    EXPECT_EQ(m.countInSe(arch, 0), 10u);
+    EXPECT_EQ(m.countInSe(arch, 1), 9u);
+}
+
+TEST(MaskAllocator, DistributedSpreadsAcrossAllSes)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(DistributionPolicy::Distributed);
+    // Fig. 7: 19 CUs distributed -> 5,5,5,4.
+    const CuMask m = alloc.allocate(19, idle);
+    EXPECT_EQ(m.count(), 19u);
+    EXPECT_EQ(m.activeSeCount(arch), 4u);
+    EXPECT_EQ(m.countInSe(arch, 0), 5u);
+    EXPECT_EQ(m.countInSe(arch, 3), 4u);
+}
+
+TEST(MaskAllocator, PackedFillsSeBeforeSpilling)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(DistributionPolicy::Packed);
+    // Fig. 7: 19 CUs packed -> 15 + 4.
+    const CuMask m = alloc.allocate(19, idle);
+    EXPECT_EQ(m.count(), 19u);
+    EXPECT_EQ(m.countInSe(arch, 0), 15u);
+    EXPECT_EQ(m.countInSe(arch, 1), 4u);
+}
+
+TEST(MaskAllocator, FullDeviceRequest)
+{
+    ResourceMonitor idle(arch);
+    for (const auto policy :
+         {DistributionPolicy::Conserved, DistributionPolicy::Packed,
+          DistributionPolicy::Distributed}) {
+        MaskAllocator alloc(policy);
+        EXPECT_EQ(alloc.allocate(60, idle).count(), 60u);
+        // Over-sized requests clamp to the device.
+        EXPECT_EQ(alloc.allocate(200, idle).count(), 60u);
+    }
+}
+
+TEST(MaskAllocator, SingleCuRequest)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    const CuMask m = alloc.allocate(1, idle);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_EQ(m.activeSeCount(arch), 1u);
+}
+
+TEST(MaskAllocator, EvenSplitAcrossSes)
+{
+    // 31 CUs conserved -> 3 SEs split 11/10/10 (not 11/11/9).
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    const CuMask m = alloc.allocate(31, idle);
+    EXPECT_EQ(m.count(), 31u);
+    EXPECT_EQ(m.activeSeCount(arch), 3u);
+    EXPECT_EQ(m.minCusPerActiveSe(arch), 10u);
+}
+
+TEST(MaskAllocator, PicksLeastLoadedSe)
+{
+    ResourceMonitor mon(arch);
+    // Occupy SE0 completely.
+    mon.addKernel(CuMask::firstN(15));
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    const CuMask m = alloc.allocate(15, mon);
+    EXPECT_EQ(m.count(), 15u);
+    EXPECT_EQ(m.countInSe(arch, 0), 0u);
+}
+
+TEST(MaskAllocator, PicksLeastLoadedCusWithinSe)
+{
+    ResourceMonitor mon(arch);
+    // Occupy the first 5 CUs of every SE (ties the SE choice, so the
+    // stable sort picks SE0); the grant must use the idle CUs.
+    CuMask busy;
+    for (unsigned se = 0; se < arch.numSe; ++se)
+        for (unsigned cu = 0; cu < 5; ++cu)
+            busy.setSeCu(arch, se, cu);
+    mon.addKernel(busy);
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    const CuMask m = alloc.allocate(10, mon);
+    EXPECT_EQ(m.count(), 10u);
+    // All granted CUs are the idle ones of SE0.
+    for (unsigned cu = 0; cu < 5; ++cu)
+        EXPECT_FALSE(m.test(cu));
+    for (unsigned cu = 5; cu < 15; ++cu)
+        EXPECT_TRUE(m.test(cu));
+}
+
+TEST(MaskAllocator, IsolationGrantsDisjointMasks)
+{
+    ResourceMonitor mon(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved,
+                        /*overlap_limit=*/0);
+    const CuMask a = alloc.allocate(20, mon);
+    mon.addKernel(a);
+    const CuMask b = alloc.allocate(20, mon);
+    mon.addKernel(b);
+    const CuMask c = alloc.allocate(20, mon);
+    EXPECT_EQ(a.count(), 20u);
+    EXPECT_EQ(b.count(), 20u);
+    EXPECT_EQ(c.count(), 20u);
+    EXPECT_TRUE((a & b).empty());
+    EXPECT_TRUE((a & c).empty());
+    EXPECT_TRUE((b & c).empty());
+}
+
+TEST(MaskAllocator, BalancedModeShrinksWhenGpuIsBusy)
+{
+    ResourceMonitor mon(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved,
+                        /*overlap_limit=*/0);
+    // 50 of 60 CUs already taken.
+    mon.addKernel(CuMask::firstN(50));
+    const CuMask m = alloc.allocate(40, mon);
+    // Half-request floor: 20 CUs, balanced, preferring idle CUs.
+    EXPECT_EQ(m.count(), 20u);
+    EXPECT_GE(m.minCusPerActiveSe(arch),
+              m.count() / m.activeSeCount(arch));
+    EXPECT_EQ(alloc.stats().shortGrants, 1u);
+}
+
+TEST(MaskAllocator, BalancedModePrefersIdleCus)
+{
+    ResourceMonitor mon(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved,
+                        /*overlap_limit=*/0);
+    mon.addKernel(CuMask::firstN(30)); // SE0+SE1 busy
+    const CuMask m = alloc.allocate(30, mon);
+    EXPECT_EQ(m.count(), 30u);
+    EXPECT_TRUE((m & CuMask::firstN(30)).empty());
+}
+
+TEST(MaskAllocator, OverlapBudgetExtendsGrant)
+{
+    ResourceMonitor mon(arch);
+    mon.addKernel(CuMask::firstN(50));
+    // Budget of 60 (KRISP-O): full request granted with overlap.
+    MaskAllocator oversub(DistributionPolicy::Conserved, 60);
+    EXPECT_EQ(oversub.allocate(40, mon).count(), 40u);
+    // Budget of 10: 10 idle + 10 overlap = 20... the grant can reach
+    // free + budget = 20.
+    MaskAllocator limited(DistributionPolicy::Conserved, 10);
+    EXPECT_EQ(limited.allocate(40, mon).count(), 20u);
+}
+
+TEST(MaskAllocator, StrictModeSkipsOccupiedCus)
+{
+    ResourceMonitor mon(arch);
+    mon.addKernel(CuMask::firstN(15)); // SE0 fully busy
+    MaskAllocator alloc(DistributionPolicy::Packed, 0);
+    alloc.setBalancedGrants(false);
+    // Packed strict over SE order by load: SE1..3 idle first.
+    const CuMask m = alloc.allocate(50, mon);
+    // 45 idle CUs grantable; the 5 occupied SE0 CUs are skipped but
+    // counted, so the grant is short.
+    EXPECT_EQ(m.count(), 45u);
+    EXPECT_EQ((m & CuMask::firstN(15)).count(), 0u);
+}
+
+TEST(MaskAllocator, StrictModeNeverReturnsEmpty)
+{
+    ResourceMonitor mon(arch);
+    mon.addKernel(CuMask::full(arch));
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    alloc.setBalancedGrants(false);
+    const CuMask m = alloc.allocate(30, mon);
+    EXPECT_EQ(m.count(), 1u); // single least-loaded CU fallback
+}
+
+TEST(MaskAllocator, BalancedModeFullyBusyDeviceStillGrants)
+{
+    ResourceMonitor mon(arch);
+    mon.addKernel(CuMask::full(arch));
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    const CuMask m = alloc.allocate(30, mon);
+    // Escape hatch: half the request, overlapped.
+    EXPECT_EQ(m.count(), 15u);
+}
+
+TEST(MaskAllocator, StatsAccumulate)
+{
+    ResourceMonitor mon(arch);
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    alloc.allocate(10, mon);
+    mon.addKernel(CuMask::firstN(60));
+    alloc.allocate(10, mon);
+    EXPECT_EQ(alloc.stats().requests, 2u);
+    EXPECT_GT(alloc.stats().grantedCus, 10u);
+    EXPECT_GT(alloc.stats().overlappedCus, 0u);
+}
+
+TEST(MaskAllocator, PolicyNames)
+{
+    EXPECT_STREQ(distributionPolicyName(DistributionPolicy::Conserved),
+                 "conserved");
+    EXPECT_STREQ(distributionPolicyName(DistributionPolicy::Packed),
+                 "packed");
+    EXPECT_STREQ(
+        distributionPolicyName(DistributionPolicy::Distributed),
+        "distributed");
+}
+
+/** Property sweep: every size yields a valid balanced grant. */
+class AllocatorSweep
+    : public ::testing::TestWithParam<DistributionPolicy>
+{
+};
+
+TEST_P(AllocatorSweep, EverySizeOnIdleDevice)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc(GetParam());
+    for (unsigned n = 1; n <= 60; ++n) {
+        const CuMask m = alloc.allocate(n, idle);
+        EXPECT_EQ(m.count(), n) << "size " << n;
+        // Balance: per-SE counts differ by at most one (packed fills
+        // whole SEs so only its last SE may be partial).
+        if (GetParam() != DistributionPolicy::Packed) {
+            unsigned lo = 15, hi = 0;
+            for (unsigned se = 0; se < 4; ++se) {
+                const unsigned c = m.countInSe(arch, se);
+                if (c > 0) {
+                    lo = std::min(lo, c);
+                    hi = std::max(hi, c);
+                }
+            }
+            EXPECT_LE(hi - lo, 1u) << "size " << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllocatorSweep,
+                         ::testing::Values(
+                             DistributionPolicy::Conserved,
+                             DistributionPolicy::Distributed,
+                             DistributionPolicy::Packed));
+
+TEST(MaskAllocatorDeath, ZeroRequestRejected)
+{
+    ResourceMonitor idle(arch);
+    MaskAllocator alloc;
+    EXPECT_EXIT(alloc.allocate(0, idle),
+                ::testing::ExitedWithCode(1), "zero");
+}
+
+TEST(ResourceMonitor, AddRemoveCycle)
+{
+    ResourceMonitor mon(arch);
+    const CuMask m = CuMask::firstN(10);
+    mon.addKernel(m);
+    mon.addKernel(m);
+    EXPECT_EQ(mon.kernelsOnCu(0), 2u);
+    EXPECT_EQ(mon.seKernelSum(0), 20u);
+    EXPECT_EQ(mon.residentKernels(), 2u);
+    mon.removeKernel(m);
+    EXPECT_EQ(mon.kernelsOnCu(0), 1u);
+    mon.removeKernel(m);
+    EXPECT_EQ(mon.busyCus(), 0u);
+    EXPECT_EQ(mon.idleCus().count(), 60u);
+}
+
+TEST(ResourceMonitorDeath, Underflow)
+{
+    ResourceMonitor mon(arch);
+    EXPECT_DEATH(mon.removeKernel(CuMask::firstN(1)), "empty");
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the open-loop frontend: Poisson arrivals, dynamic
+ * batching, back-pressure and latency accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/load_generator.hh"
+
+namespace krisp
+{
+namespace
+{
+
+OpenLoopConfig
+quickConfig(double rate)
+{
+    OpenLoopConfig cfg;
+    cfg.model = "squeezenet";
+    cfg.numWorkers = 2;
+    cfg.arrivalRatePerSec = rate;
+    cfg.warmupNs = ticksFromMs(100);
+    cfg.measureNs = ticksFromMs(800);
+    return cfg;
+}
+
+TEST(OpenLoop, LightLoadServesEverything)
+{
+    OpenLoopConfig cfg = quickConfig(50.0);
+    const OpenLoopResult r = OpenLoopServer(cfg).run();
+    EXPECT_GT(r.served, 10u);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_NEAR(r.achievedRps, 50.0, 25.0);
+    EXPECT_GT(r.p50Ms, 0.0);
+    EXPECT_GE(r.p95Ms, r.p50Ms);
+    EXPECT_GE(r.p99Ms, r.p95Ms);
+    EXPECT_GT(r.energyPerRequestJ, 0.0);
+}
+
+TEST(OpenLoop, DeterministicGivenSeed)
+{
+    OpenLoopConfig cfg = quickConfig(100.0);
+    const OpenLoopResult a = OpenLoopServer(cfg).run();
+    const OpenLoopResult b = OpenLoopServer(cfg).run();
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_DOUBLE_EQ(a.p95Ms, b.p95Ms);
+    cfg.seed = 99;
+    const OpenLoopResult c = OpenLoopServer(cfg).run();
+    EXPECT_NE(a.served, c.served);
+}
+
+TEST(OpenLoop, BatchesGrowWithLoad)
+{
+    const OpenLoopResult light =
+        OpenLoopServer(quickConfig(50.0)).run();
+    const OpenLoopResult heavy =
+        OpenLoopServer(quickConfig(2000.0)).run();
+    EXPECT_GT(heavy.meanBatchSize, light.meanBatchSize);
+    EXPECT_LE(heavy.meanBatchSize, 32.0);
+}
+
+TEST(OpenLoop, LatencyGrowsWithLoad)
+{
+    // Note: mild load can *reduce* queueing delay versus a trickle
+    // (full batches assemble faster than the batching timeout), so
+    // the comparison needs genuine saturation.
+    const OpenLoopResult light =
+        OpenLoopServer(quickConfig(50.0)).run();
+    const OpenLoopResult heavy =
+        OpenLoopServer(quickConfig(15000.0)).run();
+    EXPECT_GT(heavy.p95Ms, light.p95Ms);
+    EXPECT_GT(heavy.meanQueueDelayMs, light.meanQueueDelayMs);
+}
+
+TEST(OpenLoop, OverloadDropsInsteadOfDiverging)
+{
+    OpenLoopConfig cfg = quickConfig(20000.0);
+    cfg.queueCapacity = 64;
+    const OpenLoopResult r = OpenLoopServer(cfg).run();
+    EXPECT_GT(r.dropRate, 0.0);
+    EXPECT_LE(r.dropRate, 1.0);
+}
+
+TEST(OpenLoop, BatchTimeoutBoundsQueueDelay)
+{
+    // At a trickle rate, the batching timeout (not batch assembly)
+    // governs queueing delay.
+    OpenLoopConfig cfg = quickConfig(20.0);
+    cfg.batchTimeoutNs = ticksFromMs(1.0);
+    const OpenLoopResult r = OpenLoopServer(cfg).run();
+    EXPECT_LT(r.meanQueueDelayMs, 3.0);
+    EXPECT_LT(r.meanBatchSize, 4.0);
+}
+
+TEST(OpenLoop, AllPoliciesRun)
+{
+    for (const PartitionPolicy policy : allPartitionPolicies()) {
+        OpenLoopConfig cfg = quickConfig(100.0);
+        cfg.policy = policy;
+        const OpenLoopResult r = OpenLoopServer(cfg).run();
+        EXPECT_GT(r.served, 0u)
+            << partitionPolicyName(policy);
+    }
+}
+
+TEST(OpenLoop, KrispReducesEnergyPerRequest)
+{
+    OpenLoopConfig mps = quickConfig(400.0);
+    mps.numWorkers = 4;
+    OpenLoopConfig krisp = mps;
+    krisp.policy = PartitionPolicy::KrispIsolated;
+    mps.policy = PartitionPolicy::MpsDefault;
+    const OpenLoopResult rm = OpenLoopServer(mps).run();
+    const OpenLoopResult rk = OpenLoopServer(krisp).run();
+    EXPECT_LT(rk.energyPerRequestJ, rm.energyPerRequestJ * 1.05);
+}
+
+TEST(OpenLoopDeath, InvalidConfigs)
+{
+    OpenLoopConfig cfg = quickConfig(100.0);
+    cfg.numWorkers = 0;
+    EXPECT_EXIT({ OpenLoopServer s(cfg); },
+                ::testing::ExitedWithCode(1), "worker");
+    cfg = quickConfig(0.0);
+    EXPECT_EXIT({ OpenLoopServer s(cfg); },
+                ::testing::ExitedWithCode(1), "rate");
+    cfg = quickConfig(100.0);
+    cfg.model = "bogus";
+    EXPECT_EXIT({ OpenLoopServer s(cfg); },
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // namespace
+} // namespace krisp

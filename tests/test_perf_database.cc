@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the Required-CUs table and kernel sizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/perf_database.hh"
+#include "kern/kernel_builder.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+TEST(PerfDatabase, SetAndGet)
+{
+    PerfDatabase db;
+    EXPECT_TRUE(db.empty());
+    db.setMinCus("k1", 12);
+    EXPECT_EQ(db.size(), 1u);
+    ASSERT_TRUE(db.minCus("k1").has_value());
+    EXPECT_EQ(*db.minCus("k1"), 12u);
+    EXPECT_FALSE(db.minCus("missing").has_value());
+}
+
+TEST(PerfDatabase, OverwriteUpdates)
+{
+    PerfDatabase db;
+    db.setMinCus("k", 10);
+    db.setMinCus("k", 20);
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_EQ(*db.minCus("k"), 20u);
+}
+
+TEST(PerfDatabase, DescriptorLookupUsesProfileKey)
+{
+    PerfDatabase db;
+    const auto d = makeGemm(arch, 256, 768, 768);
+    db.setMinCus(d.profileKey(), 12);
+    EXPECT_EQ(*db.minCus(d), 12u);
+}
+
+TEST(PerfDatabase, CsvRoundTrip)
+{
+    PerfDatabase db;
+    db.setMinCus("alpha/g10x256", 7);
+    db.setMinCus("beta/g99x64", 60);
+    const std::string csv = db.toCsv();
+
+    PerfDatabase other;
+    EXPECT_EQ(other.loadCsv(csv), 2u);
+    EXPECT_EQ(*other.minCus("alpha/g10x256"), 7u);
+    EXPECT_EQ(*other.minCus("beta/g99x64"), 60u);
+}
+
+TEST(PerfDatabase, LoadCsvSkipsBlankLines)
+{
+    PerfDatabase db;
+    EXPECT_EQ(db.loadCsv("a,1\n\nb,2\n"), 2u);
+    EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(PerfDatabase, KeysWithCommasUseLastComma)
+{
+    PerfDatabase db;
+    db.loadCsv("weird,key,5\n");
+    EXPECT_EQ(*db.minCus("weird,key"), 5u);
+}
+
+TEST(PerfDatabase, Clear)
+{
+    PerfDatabase db;
+    db.setMinCus("x", 1);
+    db.clear();
+    EXPECT_TRUE(db.empty());
+}
+
+TEST(ProfiledSizer, LooksUpAndFallsBack)
+{
+    PerfDatabase db;
+    const auto known = makeGemm(arch, 256, 768, 768);
+    const auto unknown = makeGemm(arch, 512, 768, 768);
+    db.setMinCus(known.profileKey(), 9);
+
+    ProfiledSizer sizer(db, 60);
+    EXPECT_EQ(sizer.rightSize(known), 9u);
+    EXPECT_EQ(sizer.misses, 0u);
+    EXPECT_EQ(sizer.rightSize(unknown), 60u);
+    EXPECT_EQ(sizer.misses, 1u);
+}
+
+TEST(FixedSizer, AlwaysSameAnswer)
+{
+    FixedSizer sizer(42);
+    const auto d = makeGemm(arch, 64, 64, 64);
+    EXPECT_EQ(sizer.rightSize(d), 42u);
+}
+
+TEST(PerfDatabaseDeath, ZeroMinCusRejected)
+{
+    PerfDatabase db;
+    EXPECT_EXIT(db.setMinCus("k", 0), ::testing::ExitedWithCode(1),
+                "zero");
+}
+
+TEST(PerfDatabaseDeath, MalformedCsvRejected)
+{
+    PerfDatabase db;
+    EXPECT_EXIT(db.loadCsv("no-comma-here\n"),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+} // namespace
+} // namespace krisp

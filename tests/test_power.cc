@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the board power model: piecewise-constant
+ * integration, state composition, measurement windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/power_model.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+namespace
+{
+
+PowerParams
+testParams()
+{
+    PowerParams p;
+    p.idleW = 40.0;
+    p.cuActiveW = 2.0;
+    p.seUncoreW = 10.0;
+    p.memMaxW = 50.0;
+    return p;
+}
+
+TEST(PowerModel, StartsAtIdle)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    EXPECT_DOUBLE_EQ(pm.currentPowerW(), 40.0);
+    EXPECT_DOUBLE_EQ(pm.energyJoules(), 0.0);
+}
+
+TEST(PowerModel, PowerComposition)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    pm.update(/*busy_cus=*/15, /*active_ses=*/1, /*bw=*/0.0);
+    EXPECT_DOUBLE_EQ(pm.currentPowerW(), 40.0 + 30.0 + 10.0);
+    pm.update(60, 4, 1.0);
+    EXPECT_DOUBLE_EQ(pm.currentPowerW(),
+                     40.0 + 120.0 + 40.0 + 50.0);
+    pm.update(0, 0, 0.0);
+    EXPECT_DOUBLE_EQ(pm.currentPowerW(), 40.0);
+}
+
+TEST(PowerModel, IntegratesPiecewise)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    // 1 ms idle, then 2 ms at a busier state.
+    eq.schedule(ticksFromMs(1.0), [&] { pm.update(30, 2, 0.5); });
+    eq.schedule(ticksFromMs(3.0), [&] { pm.update(0, 0, 0.0); });
+    eq.run();
+    // idle: 40 W x 1 ms = 0.040 J
+    // busy: (40 + 60 + 20 + 25) W x 2 ms = 0.290 J
+    EXPECT_NEAR(pm.energyJoules(), 0.040 + 0.290, 1e-9);
+}
+
+TEST(PowerModel, EnergyMonotone)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    double last = 0;
+    for (int i = 1; i <= 5; ++i) {
+        eq.schedule(ticksFromMs(i), [&] {
+            const double e = pm.energyJoules();
+            EXPECT_GE(e, last);
+            last = e;
+        });
+    }
+    eq.run();
+    EXPECT_GT(last, 0.0);
+}
+
+TEST(PowerModel, WindowMeasurement)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    eq.schedule(ticksFromMs(1.0), [] {});
+    eq.run();
+    const double mark = pm.energyJoules();
+    eq.schedule(ticksFromMs(2.0), [] {});
+    eq.run();
+    // One extra millisecond at idle.
+    EXPECT_NEAR(pm.energySinceJoules(mark), 0.040, 1e-9);
+}
+
+TEST(PowerModel, RepeatedReadsDoNotDoubleCount)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    eq.schedule(ticksFromMs(1.0), [] {});
+    eq.run();
+    const double a = pm.energyJoules();
+    const double b = pm.energyJoules();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(PowerModel, BandwidthUtilisationClamped)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    pm.update(0, 0, 1.0 + 1e-12); // fp noise tolerated
+    EXPECT_DOUBLE_EQ(pm.currentPowerW(), 90.0);
+}
+
+TEST(PowerModelDeath, OutOfRangeBandwidth)
+{
+    EventQueue eq;
+    PowerModel pm(eq, testParams());
+    EXPECT_DEATH(pm.update(0, 0, 1.5), "out of range");
+}
+
+} // namespace
+} // namespace krisp

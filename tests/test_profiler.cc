@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of kernel- and model-level profiling: min-CU search, sweep
+ * masks, kneepoints, and the Required-CUs database fill.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hh"
+#include "profile/model_profiler.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const GpuConfig gpu = GpuConfig::mi50();
+
+KernelDescriptor
+computeKernel(unsigned wgs, double wg_ns, unsigned sat)
+{
+    KernelDescriptor d;
+    d.name = "synthetic";
+    d.numWorkgroups = wgs;
+    d.wgDurationNs = wg_ns;
+    d.saturationWgsPerCu = sat;
+    return d;
+}
+
+TEST(KernelProfiler, SweepMasksAreConservedAndSized)
+{
+    KernelProfiler prof(gpu);
+    for (unsigned n = 1; n <= 60; ++n) {
+        const CuMask m = prof.sweepMask(n);
+        EXPECT_EQ(m.count(), n);
+        // Conserved: fewest SEs.
+        EXPECT_EQ(m.activeSeCount(gpu.arch), (n + 14) / 15);
+    }
+}
+
+TEST(KernelProfiler, MinCusBounded)
+{
+    KernelProfiler prof(gpu);
+    const auto d = computeKernel(6000, 10.0, 1);
+    const unsigned mc = prof.minCus(d);
+    EXPECT_GE(mc, 1u);
+    EXPECT_LE(mc, 60u);
+}
+
+TEST(KernelProfiler, SaturationLimitedKernelHasLowMinCus)
+{
+    KernelProfiler prof(gpu);
+    // 48 WGs, saturation 4 -> ~12 CUs suffice.
+    const auto d = computeKernel(48, 5000.0, 4);
+    const unsigned mc = prof.minCus(d);
+    EXPECT_LE(mc, 14u);
+    EXPECT_GE(mc, 8u);
+}
+
+TEST(KernelProfiler, DeviceFillingKernelNeedsMostCus)
+{
+    KernelProfiler prof(gpu);
+    const auto d = computeKernel(60000, 100.0, 1);
+    EXPECT_GE(prof.minCus(d), 50u);
+}
+
+TEST(KernelProfiler, TinyKernelToleratesAlmostAnything)
+{
+    KernelProfiler prof(gpu);
+    // One workgroup: launch overhead dominates.
+    const auto d = computeKernel(1, 100.0, 1);
+    EXPECT_LE(prof.minCus(d), 2u);
+}
+
+TEST(KernelProfiler, MemoryBoundKernelPlateaus)
+{
+    KernelProfiler prof(gpu);
+    KernelDescriptor d = computeKernel(10000, 1.0, 1);
+    d.bytes = 100e6; // ~100 us at full bandwidth
+    d.issueFactor = 1.5;
+    const unsigned mc = prof.minCus(d);
+    // Plateau ends near 1024 / (34 * 1.5) ~ 20 CUs.
+    EXPECT_LE(mc, 26u);
+    EXPECT_GE(mc, 14u);
+}
+
+TEST(KernelProfiler, LatencyIncludesLaunchOverhead)
+{
+    KernelProfiler prof(gpu);
+    const auto d = computeKernel(60, 100.0, 1);
+    const double lat = prof.latencyNs(d, 60);
+    EXPECT_GE(lat, static_cast<double>(gpu.packetProcessNs +
+                                       gpu.kernelLaunchOverheadNs));
+}
+
+TEST(KernelProfiler, ProfileIntoFillsDatabaseOnce)
+{
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler prof(gpu);
+    PerfDatabase db;
+    const auto &seq = zoo.kernels("squeezenet", 32);
+    prof.profileInto(db, seq);
+    const std::size_t size_once = db.size();
+    EXPECT_GT(size_once, 0u);
+    EXPECT_LE(size_once, seq.size());
+    // Idempotent.
+    prof.profileInto(db, seq);
+    EXPECT_EQ(db.size(), size_once);
+    // Every kernel resolvable.
+    for (const auto &k : seq)
+        EXPECT_TRUE(db.minCus(*k).has_value());
+}
+
+TEST(KernelProfiler, Deterministic)
+{
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler a(gpu), b(gpu);
+    for (const auto &k : zoo.kernels("alexnet", 32))
+        EXPECT_EQ(a.minCus(*k), b.minCus(*k));
+}
+
+TEST(ModelProfiler, LatencyDecreasesWithCus)
+{
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+    const auto &seq = zoo.kernels("resnet152", 32);
+    const double l10 = mprof.modelLatencyNs(seq, 10);
+    const double l30 = mprof.modelLatencyNs(seq, 30);
+    const double l60 = mprof.modelLatencyNs(seq, 60);
+    EXPECT_GT(l10, l30);
+    EXPECT_GE(l30, l60 * 0.999);
+}
+
+TEST(ModelProfiler, RightSizeWithinDevice)
+{
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+    for (const auto &info : ModelZoo::workloads()) {
+        const unsigned rs = mprof.rightSizeCus(zoo.kernels(info.name,
+                                                           32));
+        EXPECT_GE(rs, 1u) << info.name;
+        EXPECT_LE(rs, 60u) << info.name;
+    }
+}
+
+TEST(ModelProfiler, RightSizeOrderingMatchesPaperExtremes)
+{
+    // The paper's key qualitative fact: albert is the most tolerant,
+    // vgg19 and resnext101 the least (Table III).
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+    const unsigned albert = mprof.rightSizeCus(zoo.kernels("albert",
+                                                           32));
+    const unsigned vgg = mprof.rightSizeCus(zoo.kernels("vgg19", 32));
+    const unsigned resnext =
+        mprof.rightSizeCus(zoo.kernels("resnext101", 32));
+    const unsigned shuffle =
+        mprof.rightSizeCus(zoo.kernels("shufflenet", 32));
+    EXPECT_LT(albert, vgg);
+    EXPECT_LT(albert, resnext);
+    EXPECT_LT(shuffle, vgg);
+    EXPECT_GE(vgg, 45u);
+    EXPECT_LE(albert, 20u);
+}
+
+TEST(ModelProfiler, SweepCoversAllSizesAndIsConsistent)
+{
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+    const auto &seq = zoo.kernels("squeezenet", 32);
+    const auto sweep = mprof.sweep(seq);
+    ASSERT_EQ(sweep.size(), 60u);
+    for (unsigned i = 0; i < 60; ++i) {
+        EXPECT_EQ(sweep[i].cus, i + 1);
+        EXPECT_GT(sweep[i].latencyNs, 0.0);
+        EXPECT_NEAR(sweep[i].relativeThroughput,
+                    sweep[59].latencyNs / sweep[i].latencyNs, 1e-9);
+    }
+    EXPECT_NEAR(sweep[59].relativeThroughput, 1.0, 1e-9);
+}
+
+TEST(ModelProfiler, PaperRightSizesApproximatelyReproduced)
+{
+    // Reproduction band: within +/- 12 CUs (or 35%) of Table III.
+    ModelZoo zoo(gpu.arch);
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+    for (const auto &info : ModelZoo::workloads()) {
+        const unsigned rs =
+            mprof.rightSizeCus(zoo.kernels(info.name, 32));
+        const double diff = std::abs(
+            static_cast<double>(rs) -
+            static_cast<double>(info.paperRightSizeCus));
+        EXPECT_LE(diff, std::max(12.0,
+                                 0.35 * info.paperRightSizeCus))
+            << info.name << ": got " << rs << ", paper "
+            << info.paperRightSizeCus;
+    }
+}
+
+TEST(ModelProfilerDeath, EmptySequenceRejected)
+{
+    KernelProfiler kprof(gpu);
+    ModelProfiler mprof(kprof);
+    EXPECT_EXIT(mprof.modelLatencyNs({}, 60),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace krisp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the partition-resize schemes (Fig. 2 / Table II model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/reconfig.hh"
+
+namespace krisp
+{
+namespace
+{
+
+ReconfigExperiment
+quickExperiment()
+{
+    ReconfigExperiment exp;
+    exp.model = "squeezenet";
+    exp.cusBefore = 60;
+    exp.cusAfter = 20;
+    exp.resizeAtNs = ticksFromSec(0.2);
+    exp.horizonNs = ticksFromSec(3.0);
+    // Scaled-down reconfiguration costs so every scheme's effect
+    // lands inside the short test horizon (1.0 s total).
+    exp.costs.processStartNs = ticksFromMs(300);
+    exp.costs.partitionConfigNs = ticksFromMs(200);
+    exp.costs.modelLoadNs = ticksFromMs(500);
+    return exp;
+}
+
+TEST(Reconfig, SchemeNames)
+{
+    EXPECT_STREQ(resizeSchemeName(ResizeScheme::ProcessRestart),
+                 "process-restart");
+    EXPECT_STREQ(resizeSchemeName(ResizeScheme::ShadowInstance),
+                 "shadow-instance");
+    EXPECT_STREQ(resizeSchemeName(ResizeScheme::KernelScoped),
+                 "kernel-scoped");
+}
+
+TEST(Reconfig, CostsSum)
+{
+    ReconfigCosts costs;
+    EXPECT_EQ(costs.totalNs(), costs.processStartNs +
+                                   costs.partitionConfigNs +
+                                   costs.modelLoadNs);
+}
+
+TEST(Reconfig, ProcessRestartPaysFullDowntime)
+{
+    const auto exp = quickExperiment();
+    const ReconfigResult r =
+        runReconfig(exp, ResizeScheme::ProcessRestart);
+    // Downtime is the reconfiguration cost (seconds).
+    EXPECT_NEAR(r.downtimeMs, ticksToMs(exp.costs.totalNs()), 1.0);
+    EXPECT_GT(r.timeToEffectMs, ticksToMs(exp.costs.totalNs()));
+}
+
+TEST(Reconfig, ShadowInstanceHidesDowntimeButNotLatency)
+{
+    const auto exp = quickExperiment();
+    const ReconfigResult r =
+        runReconfig(exp, ResizeScheme::ShadowInstance);
+    // Hot-swap downtime is tens of microseconds.
+    EXPECT_LT(r.downtimeMs, 0.2);
+    // But the new size still takes ~the full reconfiguration time to
+    // come into effect (epoch-granular repartitioning).
+    EXPECT_GT(r.timeToEffectMs,
+              0.9 * ticksToMs(exp.costs.totalNs()));
+}
+
+TEST(Reconfig, KernelScopedIsInstant)
+{
+    const auto exp = quickExperiment();
+    const ReconfigResult r =
+        runReconfig(exp, ResizeScheme::KernelScoped);
+    EXPECT_DOUBLE_EQ(r.downtimeMs, 0.0);
+    // Milliseconds, not seconds (Table II "Low (milliseconds)").
+    EXPECT_LT(r.timeToEffectMs, 50.0);
+}
+
+TEST(Reconfig, ThroughputOrdering)
+{
+    const auto exp = quickExperiment();
+    const auto restart =
+        runReconfig(exp, ResizeScheme::ProcessRestart);
+    const auto shadow =
+        runReconfig(exp, ResizeScheme::ShadowInstance);
+    const auto kernel =
+        runReconfig(exp, ResizeScheme::KernelScoped);
+    // The restart scheme loses seconds of service.
+    EXPECT_LT(restart.completed, shadow.completed);
+    EXPECT_LT(restart.completed, kernel.completed);
+    EXPECT_GT(kernel.completed, 0u);
+}
+
+TEST(Reconfig, CompletionsRecorded)
+{
+    const auto exp = quickExperiment();
+    const auto r = runReconfig(exp, ResizeScheme::KernelScoped);
+    EXPECT_EQ(r.completionsMs.size(), r.completed);
+    for (std::size_t i = 1; i < r.completionsMs.size(); ++i)
+        EXPECT_GE(r.completionsMs[i], r.completionsMs[i - 1]);
+}
+
+TEST(Reconfig, GrowingThePartitionAlsoWorks)
+{
+    ReconfigExperiment exp = quickExperiment();
+    std::swap(exp.cusBefore, exp.cusAfter); // 20 -> 60
+    const auto r = runReconfig(exp, ResizeScheme::KernelScoped);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_LT(r.timeToEffectMs, 50.0);
+}
+
+TEST(ReconfigDeath, InvalidExperiment)
+{
+    ReconfigExperiment exp = quickExperiment();
+    exp.cusAfter = 0;
+    EXPECT_EXIT(runReconfig(exp, ResizeScheme::KernelScoped),
+                ::testing::ExitedWithCode(1), "non-zero");
+    exp = quickExperiment();
+    exp.resizeAtNs = exp.horizonNs;
+    EXPECT_EXIT(runReconfig(exp, ResizeScheme::KernelScoped),
+                ::testing::ExitedWithCode(1), "horizon");
+}
+
+} // namespace
+} // namespace krisp

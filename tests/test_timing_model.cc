@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit and property tests for the isolated kernel timing model:
+ * workgroup wave quantisation, shader-engine imbalance, saturation
+ * floors and the memory roofline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel_builder.hh"
+#include "kern/timing_model.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+/** Purely compute-bound synthetic kernel. */
+KernelDescriptor
+computeKernel(unsigned wgs, double wg_ns, unsigned sat = 1)
+{
+    KernelDescriptor d;
+    d.name = "synthetic_compute";
+    d.numWorkgroups = wgs;
+    d.wgDurationNs = wg_ns;
+    d.saturationWgsPerCu = sat;
+    d.bytes = 0;
+    return d;
+}
+
+/** Purely memory-bound synthetic kernel. */
+KernelDescriptor
+memoryKernel(double bytes, double issue_factor = 1.0)
+{
+    KernelDescriptor d;
+    d.name = "synthetic_memory";
+    d.numWorkgroups = 10000;
+    d.wgDurationNs = 0.001;
+    d.saturationWgsPerCu = 1;
+    d.bytes = bytes;
+    d.issueFactor = issue_factor;
+    return d;
+}
+
+/** Conserved mask with n CUs: fewest SEs, split +/- one CU. */
+CuMask
+conservedMask(unsigned n)
+{
+    const unsigned num_se = (n + arch.cusPerSe - 1) / arch.cusPerSe;
+    const unsigned base = n / num_se;
+    const unsigned extra = n % num_se;
+    CuMask m;
+    for (unsigned se = 0; se < num_se; ++se) {
+        const unsigned quota = base + (se < extra ? 1 : 0);
+        for (unsigned cu = 0; cu < quota; ++cu)
+            m.setSeCu(arch, se, cu);
+    }
+    return m;
+}
+
+TEST(TimingModel, OneWgPerCuAtFullDevice)
+{
+    // 240 WGs over 60 CUs (4 SEs): 60 per SE, 4 per CU.
+    const auto d = computeKernel(240, 100.0);
+    EXPECT_DOUBLE_EQ(
+        timing::computeTimeNs(d, CuMask::full(arch), arch), 400.0);
+}
+
+TEST(TimingModel, ComputeScalesWithCus)
+{
+    const auto d = computeKernel(600, 10.0);
+    const double t60 =
+        timing::computeTimeNs(d, conservedMask(60), arch);
+    const double t30 =
+        timing::computeTimeNs(d, conservedMask(30), arch);
+    const double t15 =
+        timing::computeTimeNs(d, conservedMask(15), arch);
+    EXPECT_NEAR(t30 / t60, 2.0, 0.1);
+    EXPECT_NEAR(t15 / t60, 4.0, 0.1);
+}
+
+TEST(TimingModel, SaturationFloorMakesSmallKernelsTolerant)
+{
+    // 48 WGs, saturation 4: the kernel cannot use more than 12 CUs.
+    const auto d = computeKernel(48, 100.0, 4);
+    const double t60 =
+        timing::computeTimeNs(d, CuMask::full(arch), arch);
+    const double t12 =
+        timing::computeTimeNs(d, conservedMask(12), arch);
+    EXPECT_DOUBLE_EQ(t60, 400.0); // floor: 4 quanta
+    EXPECT_DOUBLE_EQ(t12, t60);   // no loss down to 12 CUs
+    const double t6 = timing::computeTimeNs(d, conservedMask(6), arch);
+    EXPECT_GT(t6, t12);
+}
+
+TEST(TimingModel, PackedSixteenCuSpike)
+{
+    // Fig. 8: 16 CUs packed (15 + 1) halves the workgroups into the
+    // one-CU SE -> massive slowdown vs 16 CUs conserved (8 + 8).
+    const auto d = computeKernel(1200, 10.0);
+    CuMask packed = CuMask::firstN(16);
+    CuMask conserved;
+    for (unsigned cu = 0; cu < 8; ++cu) {
+        conserved.setSeCu(arch, 0, cu);
+        conserved.setSeCu(arch, 1, cu);
+    }
+    const double t_packed = timing::computeTimeNs(d, packed, arch);
+    const double t_conserved =
+        timing::computeTimeNs(d, conserved, arch);
+    // Packed: 600 WGs into the 1-CU SE -> 600 quanta. Conserved:
+    // 600 / 8 = 75 quanta.
+    EXPECT_DOUBLE_EQ(t_packed, 6000.0);
+    EXPECT_DOUBLE_EQ(t_conserved, 750.0);
+}
+
+TEST(TimingModel, DistributedFifteenCuDip)
+{
+    // 15 CUs spread over 4 SEs (4,4,4,3): the 3-CU SE bottlenecks;
+    // 15 CUs conserved in one SE has no such imbalance.
+    const auto d = computeKernel(1200, 10.0);
+    CuMask distributed;
+    unsigned left = 15;
+    for (unsigned cu = 0; cu < 4 && left; ++cu) {
+        for (unsigned se = 0; se < 4 && left; ++se, --left)
+            distributed.setSeCu(arch, se, cu);
+    }
+    ASSERT_EQ(distributed.count(), 15u);
+    const double t_dist = timing::computeTimeNs(d, distributed, arch);
+    const double t_cons =
+        timing::computeTimeNs(d, conservedMask(15), arch);
+    // Distributed: 300 WGs per SE, bottleneck ceil(300/3)=100 quanta.
+    // Conserved: one SE, ceil(1200/15)=80 quanta.
+    EXPECT_DOUBLE_EQ(t_dist, 1000.0);
+    EXPECT_DOUBLE_EQ(t_cons, 800.0);
+}
+
+TEST(TimingModel, MemoryPlateau)
+{
+    // A memory-bound kernel keeps full-device latency while its CUs
+    // can still issue the full bandwidth share.
+    const auto d = memoryKernel(1024.0 * 1000); // 1000 ns at full BW
+    const double t60 =
+        timing::memoryTimeNs(d, 60, arch);
+    EXPECT_DOUBLE_EQ(t60, 1000.0);
+    // Saturation point: 1024 / 34 ~ 31 CUs at issue factor 1.
+    const double t31 = timing::memoryTimeNs(d, 31, arch);
+    EXPECT_NEAR(t31, 1000.0, 35.0);
+    const double t10 = timing::memoryTimeNs(d, 10, arch);
+    EXPECT_NEAR(t10, 1024.0 * 1000 / (10 * 34.0), 1.0);
+    EXPECT_GT(t10, 2.0 * t60);
+}
+
+TEST(TimingModel, IssueFactorShiftsPlateau)
+{
+    const auto streaming = memoryKernel(1e6, 1.5);
+    const auto scattered = memoryKernel(1e6, 0.6);
+    // At 20 CUs the streaming kernel still saturates its share; the
+    // scattered one is issue-limited.
+    EXPECT_LT(timing::memoryTimeNs(streaming, 21, arch),
+              timing::memoryTimeNs(scattered, 21, arch));
+    // At 60 CUs both hit the device bandwidth cap.
+    EXPECT_DOUBLE_EQ(timing::memoryTimeNs(streaming, 60, arch),
+                     timing::memoryTimeNs(scattered, 60, arch));
+}
+
+TEST(TimingModel, RooflineMax)
+{
+    auto d = computeKernel(600, 10.0);
+    d.bytes = 1024.0 * 500; // 500 ns of memory at full BW
+    const CuMask full = CuMask::full(arch);
+    // Compute: 600/60=10 per CU -> 100 ns; memory 500 ns wins.
+    EXPECT_DOUBLE_EQ(timing::isolatedDurationNs(d, full, arch),
+                     500.0);
+    d.bytes = 1024.0 * 50;
+    EXPECT_DOUBLE_EQ(timing::isolatedDurationNs(d, full, arch),
+                     100.0);
+}
+
+TEST(TimingModel, ZeroByteKernelHasNoMemoryTime)
+{
+    const auto d = computeKernel(60, 10.0);
+    EXPECT_DOUBLE_EQ(timing::memoryTimeNs(d, 60, arch), 0.0);
+}
+
+/** Monotonicity property over conserved masks. */
+class MonotonicityTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MonotonicityTest, MoreCusNeverSlower)
+{
+    const unsigned wgs = GetParam();
+    const auto d = computeKernel(wgs, 7.0, 2);
+    double prev = 1e300;
+    for (unsigned n = 1; n <= 60; ++n) {
+        const double t =
+            timing::computeTimeNs(d, conservedMask(n), arch);
+        // Conserved masks are balanced, so latency is non-increasing
+        // in the CU count up to small quantisation blips at the
+        // SE-count transitions (the Fig. 16 spikes' cousins).
+        EXPECT_LE(t, prev * 1.05)
+            << "regression at " << n << " CUs";
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkgroupCounts, MonotonicityTest,
+                         ::testing::Values(1u, 7u, 48u, 96u, 600u,
+                                           4096u, 100000u));
+
+/** Real builder kernels behave sanely across the sweep. */
+class BuilderSweepTest : public ::testing::TestWithParam<KernelClass>
+{
+};
+
+TEST_P(BuilderSweepTest, LatencyFiniteAndBounded)
+{
+    const auto d = makeConv(arch, GetParam(),
+                            {32, 64, 128, 28, 3, 1, 1, 1});
+    const double t60 =
+        timing::isolatedDurationNs(d, CuMask::full(arch), arch);
+    const double t1 =
+        timing::isolatedDurationNs(d, conservedMask(1), arch);
+    EXPECT_GT(t60, 0.0);
+    EXPECT_GE(t1, t60);
+    EXPECT_LE(t1, t60 * 200.0); // 60 CUs can't be >200x one CU
+}
+
+INSTANTIATE_TEST_SUITE_P(ConvClasses, BuilderSweepTest,
+                         ::testing::Values(
+                             KernelClass::ImplicitGemmConv,
+                             KernelClass::Sp3AsmConv,
+                             KernelClass::ConvFft,
+                             KernelClass::WinogradConv,
+                             KernelClass::DepthwiseConv));
+
+TEST(TimingModelDeath, EmptyMaskPanics)
+{
+    const auto d = computeKernel(10, 1.0);
+    EXPECT_DEATH(timing::computeTimeNs(d, CuMask(), arch), "empty");
+}
+
+} // namespace
+} // namespace krisp

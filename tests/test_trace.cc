@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the kernel trace hook and cross-cutting conservation
+ * properties of the device timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_device.hh"
+#include "kern/kernel_builder.hh"
+#include "models/model_zoo.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const GpuConfig gpu = GpuConfig::mi50();
+
+KernelDescPtr
+computeKernel(unsigned wgs, double wg_ns)
+{
+    auto d = std::make_shared<KernelDescriptor>();
+    d->name = "traced";
+    d->numWorkgroups = wgs;
+    d->wgDurationNs = wg_ns;
+    d->saturationWgsPerCu = 1;
+    return d;
+}
+
+TEST(Trace, EventPerKernelWithConsistentTimestamps)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    std::vector<KernelTraceEvent> events;
+    device.setTraceFn([&](const KernelTraceEvent &ev) {
+        events.push_back(ev);
+    });
+    HsaQueue &q = device.createQueue();
+    for (int i = 0; i < 5; ++i)
+        q.push(AqlPacket::dispatch(computeKernel(60, 100.0), nullptr));
+    eq.run();
+
+    ASSERT_EQ(events.size(), 5u);
+    for (const auto &ev : events) {
+        EXPECT_EQ(ev.name, "traced");
+        EXPECT_EQ(ev.queue, 0u);
+        EXPECT_LE(ev.dispatchTick, ev.startTick);
+        EXPECT_LT(ev.startTick, ev.endTick);
+        EXPECT_EQ(ev.startTick - ev.dispatchTick,
+                  gpu.kernelLaunchOverheadNs);
+        EXPECT_EQ(ev.mask.count(), 60u);
+    }
+    // Distinct, increasing kernel ids.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GT(events[i].id, events[i - 1].id);
+}
+
+TEST(Trace, MaskReflectsKrispGrant)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    MaskAllocator alloc(DistributionPolicy::Conserved, 0);
+    device.setKrispAllocator(&alloc);
+    KernelTraceEvent last;
+    device.setTraceFn(
+        [&](const KernelTraceEvent &ev) { last = ev; });
+    HsaQueue &q = device.createQueue();
+    q.push(AqlPacket::dispatch(computeKernel(600, 10.0), nullptr,
+                               /*requested_cus=*/12));
+    eq.run();
+    EXPECT_EQ(last.mask.count(), 12u);
+    EXPECT_EQ(last.mask.activeSeCount(gpu.arch), 1u);
+}
+
+TEST(Trace, DisablingStopsEvents)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    int count = 0;
+    device.setTraceFn([&](const KernelTraceEvent &) { ++count; });
+    HsaQueue &q = device.createQueue();
+    q.push(AqlPacket::dispatch(computeKernel(60, 10.0), nullptr));
+    eq.run();
+    EXPECT_EQ(count, 1);
+    device.setTraceFn(nullptr);
+    q.push(AqlPacket::dispatch(computeKernel(60, 10.0), nullptr));
+    eq.run();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Trace, SerializedKernelsDoNotOverlapInTrace)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    std::vector<KernelTraceEvent> events;
+    device.setTraceFn([&](const KernelTraceEvent &ev) {
+        events.push_back(ev);
+    });
+    HsaQueue &q = device.createQueue();
+    ModelZoo zoo(gpu.arch);
+    const auto &seq = zoo.kernels("alexnet", 8);
+    for (const auto &k : seq)
+        q.push(AqlPacket::dispatch(k, nullptr)); // barrier bit set
+    eq.run();
+    ASSERT_EQ(events.size(), seq.size());
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].startTick, events[i - 1].endTick);
+}
+
+TEST(Trace, WallClockCoversSumOfKernelTimes)
+{
+    // Conservation: for a serialised stream, total wall time equals
+    // the sum of kernel windows plus per-kernel fixed overheads.
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    double window_ns = 0;
+    unsigned count = 0;
+    device.setTraceFn([&](const KernelTraceEvent &ev) {
+        window_ns += static_cast<double>(ev.endTick - ev.startTick);
+        ++count;
+    });
+    HsaQueue &q = device.createQueue();
+    for (int i = 0; i < 10; ++i)
+        q.push(AqlPacket::dispatch(computeKernel(120, 50.0), nullptr));
+    const Tick t0 = eq.now();
+    eq.run();
+    const double wall = static_cast<double>(eq.now() - t0);
+    const double overheads =
+        static_cast<double>(count) *
+        static_cast<double>(gpu.packetProcessNs +
+                            gpu.kernelLaunchOverheadNs);
+    EXPECT_NEAR(wall, window_ns + overheads, count * 2.0);
+}
+
+TEST(Trace, ConcurrentQueuesInterleave)
+{
+    EventQueue eq;
+    GpuDevice device(eq, gpu);
+    std::vector<KernelTraceEvent> events;
+    device.setTraceFn([&](const KernelTraceEvent &ev) {
+        events.push_back(ev);
+    });
+    HsaQueue &qa = device.createQueue();
+    HsaQueue &qb = device.createQueue();
+    qa.push(AqlPacket::dispatch(computeKernel(2400, 100.0), nullptr));
+    qb.push(AqlPacket::dispatch(computeKernel(2400, 100.0), nullptr));
+    eq.run();
+    ASSERT_EQ(events.size(), 2u);
+    // Their windows overlap (same dispatch time, shared device).
+    EXPECT_LT(events[0].startTick, events[1].endTick);
+    EXPECT_LT(events[1].startTick, events[0].endTick);
+    EXPECT_NE(events[0].queue, events[1].queue);
+}
+
+} // namespace
+} // namespace krisp
