@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_balanced_grants.dir/ablation_balanced_grants.cc.o"
+  "CMakeFiles/ablation_balanced_grants.dir/ablation_balanced_grants.cc.o.d"
+  "ablation_balanced_grants"
+  "ablation_balanced_grants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balanced_grants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

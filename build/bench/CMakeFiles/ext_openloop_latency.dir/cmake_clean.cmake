@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_openloop_latency.dir/ext_openloop_latency.cc.o"
+  "CMakeFiles/ext_openloop_latency.dir/ext_openloop_latency.cc.o.d"
+  "ext_openloop_latency"
+  "ext_openloop_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_openloop_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_model_sensitivity.dir/fig03_model_sensitivity.cc.o"
+  "CMakeFiles/fig03_model_sensitivity.dir/fig03_model_sensitivity.cc.o.d"
+  "fig03_model_sensitivity"
+  "fig03_model_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

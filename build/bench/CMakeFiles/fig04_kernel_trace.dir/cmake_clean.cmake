@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_kernel_trace.dir/fig04_kernel_trace.cc.o"
+  "CMakeFiles/fig04_kernel_trace.dir/fig04_kernel_trace.cc.o.d"
+  "fig04_kernel_trace"
+  "fig04_kernel_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_kernel_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

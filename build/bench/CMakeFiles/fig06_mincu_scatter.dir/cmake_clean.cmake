@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_mincu_scatter.dir/fig06_mincu_scatter.cc.o"
+  "CMakeFiles/fig06_mincu_scatter.dir/fig06_mincu_scatter.cc.o.d"
+  "fig06_mincu_scatter"
+  "fig06_mincu_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_mincu_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_alloc_policies.dir/fig07_alloc_policies.cc.o"
+  "CMakeFiles/fig07_alloc_policies.dir/fig07_alloc_policies.cc.o.d"
+  "fig07_alloc_policies"
+  "fig07_alloc_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_alloc_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

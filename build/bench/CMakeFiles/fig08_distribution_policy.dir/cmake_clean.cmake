@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_distribution_policy.dir/fig08_distribution_policy.cc.o"
+  "CMakeFiles/fig08_distribution_policy.dir/fig08_distribution_policy.cc.o.d"
+  "fig08_distribution_policy"
+  "fig08_distribution_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_distribution_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_emulation_overhead.dir/fig12_emulation_overhead.cc.o"
+  "CMakeFiles/fig12_emulation_overhead.dir/fig12_emulation_overhead.cc.o.d"
+  "fig12_emulation_overhead"
+  "fig12_emulation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_emulation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_main_eval.dir/fig13_main_eval.cc.o"
+  "CMakeFiles/fig13_main_eval.dir/fig13_main_eval.cc.o.d"
+  "fig13_main_eval"
+  "fig13_main_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_main_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_batch_sensitivity.dir/fig14_batch_sensitivity.cc.o"
+  "CMakeFiles/fig14_batch_sensitivity.dir/fig14_batch_sensitivity.cc.o.d"
+  "fig14_batch_sensitivity"
+  "fig14_batch_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_batch_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

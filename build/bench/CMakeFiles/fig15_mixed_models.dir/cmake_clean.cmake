@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mixed_models.dir/fig15_mixed_models.cc.o"
+  "CMakeFiles/fig15_mixed_models.dir/fig15_mixed_models.cc.o.d"
+  "fig15_mixed_models"
+  "fig15_mixed_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mixed_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_mixed_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_overlap_limit.dir/fig16_overlap_limit.cc.o"
+  "CMakeFiles/fig16_overlap_limit.dir/fig16_overlap_limit.cc.o.d"
+  "fig16_overlap_limit"
+  "fig16_overlap_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_overlap_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

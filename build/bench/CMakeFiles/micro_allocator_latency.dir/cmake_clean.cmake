@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_allocator_latency.dir/micro_allocator_latency.cc.o"
+  "CMakeFiles/micro_allocator_latency.dir/micro_allocator_latency.cc.o.d"
+  "micro_allocator_latency"
+  "micro_allocator_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_allocator_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_max_concurrency.dir/table4_max_concurrency.cc.o"
+  "CMakeFiles/table4_max_concurrency.dir/table4_max_concurrency.cc.o.d"
+  "table4_max_concurrency"
+  "table4_max_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_max_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_perfdb.dir/build_perfdb.cpp.o"
+  "CMakeFiles/build_perfdb.dir/build_perfdb.cpp.o.d"
+  "build_perfdb"
+  "build_perfdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_perfdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

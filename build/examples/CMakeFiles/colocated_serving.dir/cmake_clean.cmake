@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_serving.dir/colocated_serving.cpp.o"
+  "CMakeFiles/colocated_serving.dir/colocated_serving.cpp.o.d"
+  "colocated_serving"
+  "colocated_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_walkthrough.dir/emulation_walkthrough.cpp.o"
+  "CMakeFiles/emulation_walkthrough.dir/emulation_walkthrough.cpp.o.d"
+  "emulation_walkthrough"
+  "emulation_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openloop_serving.dir/openloop_serving.cpp.o"
+  "CMakeFiles/openloop_serving.dir/openloop_serving.cpp.o.d"
+  "openloop_serving"
+  "openloop_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openloop_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_models.dir/profile_models.cpp.o"
+  "CMakeFiles/profile_models.dir/profile_models.cpp.o.d"
+  "profile_models"
+  "profile_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

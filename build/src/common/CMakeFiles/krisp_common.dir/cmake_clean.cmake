@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_common.dir/logging.cc.o"
+  "CMakeFiles/krisp_common.dir/logging.cc.o.d"
+  "CMakeFiles/krisp_common.dir/stats.cc.o"
+  "CMakeFiles/krisp_common.dir/stats.cc.o.d"
+  "CMakeFiles/krisp_common.dir/table.cc.o"
+  "CMakeFiles/krisp_common.dir/table.cc.o.d"
+  "libkrisp_common.a"
+  "libkrisp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

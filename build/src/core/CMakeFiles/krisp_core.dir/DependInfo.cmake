@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/krisp_runtime.cc" "src/core/CMakeFiles/krisp_core.dir/krisp_runtime.cc.o" "gcc" "src/core/CMakeFiles/krisp_core.dir/krisp_runtime.cc.o.d"
+  "/root/repo/src/core/mask_allocator.cc" "src/core/CMakeFiles/krisp_core.dir/mask_allocator.cc.o" "gcc" "src/core/CMakeFiles/krisp_core.dir/mask_allocator.cc.o.d"
+  "/root/repo/src/core/perf_database.cc" "src/core/CMakeFiles/krisp_core.dir/perf_database.cc.o" "gcc" "src/core/CMakeFiles/krisp_core.dir/perf_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/krisp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/krisp_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/krisp_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/krisp_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/krisp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/krisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

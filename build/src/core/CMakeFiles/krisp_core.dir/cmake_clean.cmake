@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_core.dir/krisp_runtime.cc.o"
+  "CMakeFiles/krisp_core.dir/krisp_runtime.cc.o.d"
+  "CMakeFiles/krisp_core.dir/mask_allocator.cc.o"
+  "CMakeFiles/krisp_core.dir/mask_allocator.cc.o.d"
+  "CMakeFiles/krisp_core.dir/perf_database.cc.o"
+  "CMakeFiles/krisp_core.dir/perf_database.cc.o.d"
+  "libkrisp_core.a"
+  "libkrisp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

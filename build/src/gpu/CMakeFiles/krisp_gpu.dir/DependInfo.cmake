@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_device.cc" "src/gpu/CMakeFiles/krisp_gpu.dir/gpu_device.cc.o" "gcc" "src/gpu/CMakeFiles/krisp_gpu.dir/gpu_device.cc.o.d"
+  "/root/repo/src/gpu/power_model.cc" "src/gpu/CMakeFiles/krisp_gpu.dir/power_model.cc.o" "gcc" "src/gpu/CMakeFiles/krisp_gpu.dir/power_model.cc.o.d"
+  "/root/repo/src/gpu/resource_monitor.cc" "src/gpu/CMakeFiles/krisp_gpu.dir/resource_monitor.cc.o" "gcc" "src/gpu/CMakeFiles/krisp_gpu.dir/resource_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsa/CMakeFiles/krisp_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/krisp_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/krisp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/krisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_gpu.dir/gpu_device.cc.o"
+  "CMakeFiles/krisp_gpu.dir/gpu_device.cc.o.d"
+  "CMakeFiles/krisp_gpu.dir/power_model.cc.o"
+  "CMakeFiles/krisp_gpu.dir/power_model.cc.o.d"
+  "CMakeFiles/krisp_gpu.dir/resource_monitor.cc.o"
+  "CMakeFiles/krisp_gpu.dir/resource_monitor.cc.o.d"
+  "libkrisp_gpu.a"
+  "libkrisp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_hip.dir/hip_runtime.cc.o"
+  "CMakeFiles/krisp_hip.dir/hip_runtime.cc.o.d"
+  "CMakeFiles/krisp_hip.dir/stream.cc.o"
+  "CMakeFiles/krisp_hip.dir/stream.cc.o.d"
+  "libkrisp_hip.a"
+  "libkrisp_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsa/ioctl_service.cc" "src/hsa/CMakeFiles/krisp_hsa.dir/ioctl_service.cc.o" "gcc" "src/hsa/CMakeFiles/krisp_hsa.dir/ioctl_service.cc.o.d"
+  "/root/repo/src/hsa/queue.cc" "src/hsa/CMakeFiles/krisp_hsa.dir/queue.cc.o" "gcc" "src/hsa/CMakeFiles/krisp_hsa.dir/queue.cc.o.d"
+  "/root/repo/src/hsa/signal.cc" "src/hsa/CMakeFiles/krisp_hsa.dir/signal.cc.o" "gcc" "src/hsa/CMakeFiles/krisp_hsa.dir/signal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/krisp_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/krisp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/krisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

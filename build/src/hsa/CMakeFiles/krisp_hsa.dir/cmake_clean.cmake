@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_hsa.dir/ioctl_service.cc.o"
+  "CMakeFiles/krisp_hsa.dir/ioctl_service.cc.o.d"
+  "CMakeFiles/krisp_hsa.dir/queue.cc.o"
+  "CMakeFiles/krisp_hsa.dir/queue.cc.o.d"
+  "CMakeFiles/krisp_hsa.dir/signal.cc.o"
+  "CMakeFiles/krisp_hsa.dir/signal.cc.o.d"
+  "libkrisp_hsa.a"
+  "libkrisp_hsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

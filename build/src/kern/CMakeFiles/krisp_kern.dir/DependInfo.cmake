@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/cu_mask.cc" "src/kern/CMakeFiles/krisp_kern.dir/cu_mask.cc.o" "gcc" "src/kern/CMakeFiles/krisp_kern.dir/cu_mask.cc.o.d"
+  "/root/repo/src/kern/kernel_builder.cc" "src/kern/CMakeFiles/krisp_kern.dir/kernel_builder.cc.o" "gcc" "src/kern/CMakeFiles/krisp_kern.dir/kernel_builder.cc.o.d"
+  "/root/repo/src/kern/kernel_desc.cc" "src/kern/CMakeFiles/krisp_kern.dir/kernel_desc.cc.o" "gcc" "src/kern/CMakeFiles/krisp_kern.dir/kernel_desc.cc.o.d"
+  "/root/repo/src/kern/timing_model.cc" "src/kern/CMakeFiles/krisp_kern.dir/timing_model.cc.o" "gcc" "src/kern/CMakeFiles/krisp_kern.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/krisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

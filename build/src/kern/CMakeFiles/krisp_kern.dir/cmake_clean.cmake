@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_kern.dir/cu_mask.cc.o"
+  "CMakeFiles/krisp_kern.dir/cu_mask.cc.o.d"
+  "CMakeFiles/krisp_kern.dir/kernel_builder.cc.o"
+  "CMakeFiles/krisp_kern.dir/kernel_builder.cc.o.d"
+  "CMakeFiles/krisp_kern.dir/kernel_desc.cc.o"
+  "CMakeFiles/krisp_kern.dir/kernel_desc.cc.o.d"
+  "CMakeFiles/krisp_kern.dir/timing_model.cc.o"
+  "CMakeFiles/krisp_kern.dir/timing_model.cc.o.d"
+  "libkrisp_kern.a"
+  "libkrisp_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_models.dir/albert.cc.o"
+  "CMakeFiles/krisp_models.dir/albert.cc.o.d"
+  "CMakeFiles/krisp_models.dir/cnn_models.cc.o"
+  "CMakeFiles/krisp_models.dir/cnn_models.cc.o.d"
+  "CMakeFiles/krisp_models.dir/model_zoo.cc.o"
+  "CMakeFiles/krisp_models.dir/model_zoo.cc.o.d"
+  "libkrisp_models.a"
+  "libkrisp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkrisp_models.a"
+)

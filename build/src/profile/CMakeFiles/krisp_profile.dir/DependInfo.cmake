@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/kernel_profiler.cc" "src/profile/CMakeFiles/krisp_profile.dir/kernel_profiler.cc.o" "gcc" "src/profile/CMakeFiles/krisp_profile.dir/kernel_profiler.cc.o.d"
+  "/root/repo/src/profile/model_profiler.cc" "src/profile/CMakeFiles/krisp_profile.dir/model_profiler.cc.o" "gcc" "src/profile/CMakeFiles/krisp_profile.dir/model_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/krisp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/krisp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/krisp_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/krisp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/krisp_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/krisp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/krisp_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/krisp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

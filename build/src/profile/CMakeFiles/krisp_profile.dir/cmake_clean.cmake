@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_profile.dir/kernel_profiler.cc.o"
+  "CMakeFiles/krisp_profile.dir/kernel_profiler.cc.o.d"
+  "CMakeFiles/krisp_profile.dir/model_profiler.cc.o"
+  "CMakeFiles/krisp_profile.dir/model_profiler.cc.o.d"
+  "libkrisp_profile.a"
+  "libkrisp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

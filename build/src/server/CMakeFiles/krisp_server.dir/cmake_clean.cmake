@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_server.dir/experiment.cc.o"
+  "CMakeFiles/krisp_server.dir/experiment.cc.o.d"
+  "CMakeFiles/krisp_server.dir/inference_server.cc.o"
+  "CMakeFiles/krisp_server.dir/inference_server.cc.o.d"
+  "CMakeFiles/krisp_server.dir/load_generator.cc.o"
+  "CMakeFiles/krisp_server.dir/load_generator.cc.o.d"
+  "CMakeFiles/krisp_server.dir/policies.cc.o"
+  "CMakeFiles/krisp_server.dir/policies.cc.o.d"
+  "CMakeFiles/krisp_server.dir/reconfig.cc.o"
+  "CMakeFiles/krisp_server.dir/reconfig.cc.o.d"
+  "libkrisp_server.a"
+  "libkrisp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

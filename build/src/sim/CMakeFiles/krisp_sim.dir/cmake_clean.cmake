@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krisp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/krisp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/krisp_sim.dir/fluid_scheduler.cc.o"
+  "CMakeFiles/krisp_sim.dir/fluid_scheduler.cc.o.d"
+  "libkrisp_sim.a"
+  "libkrisp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krisp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cu_mask.dir/test_cu_mask.cc.o"
+  "CMakeFiles/test_cu_mask.dir/test_cu_mask.cc.o.d"
+  "test_cu_mask"
+  "test_cu_mask.pdb"
+  "test_cu_mask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cu_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid_scheduler.dir/test_fluid_scheduler.cc.o"
+  "CMakeFiles/test_fluid_scheduler.dir/test_fluid_scheduler.cc.o.d"
+  "test_fluid_scheduler"
+  "test_fluid_scheduler.pdb"
+  "test_fluid_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

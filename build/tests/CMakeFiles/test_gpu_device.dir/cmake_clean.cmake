@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_device.dir/test_gpu_device.cc.o"
+  "CMakeFiles/test_gpu_device.dir/test_gpu_device.cc.o.d"
+  "test_gpu_device"
+  "test_gpu_device.pdb"
+  "test_gpu_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

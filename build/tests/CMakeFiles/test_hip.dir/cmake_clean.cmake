@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hip.dir/test_hip.cc.o"
+  "CMakeFiles/test_hip.dir/test_hip.cc.o.d"
+  "test_hip"
+  "test_hip.pdb"
+  "test_hip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

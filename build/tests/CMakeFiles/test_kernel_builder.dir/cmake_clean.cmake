@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_builder.dir/test_kernel_builder.cc.o"
+  "CMakeFiles/test_kernel_builder.dir/test_kernel_builder.cc.o.d"
+  "test_kernel_builder"
+  "test_kernel_builder.pdb"
+  "test_kernel_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openloop.dir/test_openloop.cc.o"
+  "CMakeFiles/test_openloop.dir/test_openloop.cc.o.d"
+  "test_openloop"
+  "test_openloop.pdb"
+  "test_openloop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_database.dir/test_perf_database.cc.o"
+  "CMakeFiles/test_perf_database.dir/test_perf_database.cc.o.d"
+  "test_perf_database"
+  "test_perf_database.pdb"
+  "test_perf_database[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

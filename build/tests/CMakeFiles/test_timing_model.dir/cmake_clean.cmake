@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_model.dir/test_timing_model.cc.o"
+  "CMakeFiles/test_timing_model.dir/test_timing_model.cc.o.d"
+  "test_timing_model"
+  "test_timing_model.pdb"
+  "test_timing_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

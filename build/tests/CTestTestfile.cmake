@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_fluid_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_cu_mask[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_model[1]_include.cmake")
+include("/root/repo/build/tests/test_hsa[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_device[1]_include.cmake")
+include("/root/repo/build/tests/test_mask_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_database[1]_include.cmake")
+include("/root/repo/build/tests/test_krisp_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_reconfig[1]_include.cmake")
+include("/root/repo/build/tests/test_openloop[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_hip[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
