@@ -76,9 +76,10 @@ runFleet(const std::string &model, bool balanced)
 int
 main()
 {
-    bench::banner("ablation_balanced_grants",
-                  "design ablation: balanced vs literal Algorithm 1 "
-                  "grants under isolation");
+    bench::BenchReport report(
+        "ablation_balanced_grants",
+        "design ablation: balanced vs literal Algorithm 1 grants "
+        "under isolation");
 
     TextTable table({"model", "literal_alg1_rps", "balanced_rps",
                      "balanced_speedup"});
@@ -86,6 +87,9 @@ main()
          {"resnet152", "vgg19", "densenet201"}) {
         const double strict = runFleet(model, false);
         const double balanced = runFleet(model, true);
+        report.set(model + ".literal_alg1_rps", strict);
+        report.set(model + ".balanced_rps", balanced);
+        report.set(model + ".balanced_speedup", balanced / strict);
         table.row()
             .cell(model)
             .cell(strict, 2)
@@ -93,5 +97,6 @@ main()
             .cell(balanced / strict, 2);
     }
     table.print("4-way KRISP-I co-location throughput");
+    report.write();
     return 0;
 }

@@ -1,9 +1,12 @@
 /**
  * @file
  * Shared helpers for the benchmark binaries: common experiment
- * configuration and environment-variable knobs.
+ * configuration, environment-variable knobs, and the machine-readable
+ * results summary every bench writes next to its stdout tables.
  *
- * KRISP_BENCH_QUICK=1 shrinks request counts for smoke runs.
+ * KRISP_BENCH_QUICK=1    shrinks request counts for smoke runs.
+ * KRISP_BENCH_OUT_DIR=d  directory for BENCH_*.json summaries and
+ *                        *.trace.json trace files (default ".").
  */
 
 #ifndef KRISP_BENCH_BENCH_UTIL_HH
@@ -12,7 +15,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
+#include "obs/metrics.hh"
 #include "server/experiment.hh"
 
 namespace krisp
@@ -25,6 +30,14 @@ quickMode()
 {
     const char *env = std::getenv("KRISP_BENCH_QUICK");
     return env != nullptr && env[0] == '1';
+}
+
+/** Directory receiving BENCH_*.json and *.trace.json artifacts. */
+inline std::string
+outDir()
+{
+    const char *env = std::getenv("KRISP_BENCH_OUT_DIR");
+    return env != nullptr && env[0] != '\0' ? env : ".";
 }
 
 /** Standard experiment configuration for the paper reproductions. */
@@ -47,6 +60,87 @@ banner(const std::string &title, const std::string &paper_ref)
                 title.c_str(), paper_ref.c_str());
     std::fflush(stdout);
 }
+
+/**
+ * Machine-readable results summary for one bench run.
+ *
+ * Construct it at the top of main() (it prints the banner), record
+ * the headline numbers with set()/label()/metrics(), and call
+ * write() at the end: the summary lands in
+ * <outDir()>/BENCH_<name>.json so the perf trajectory can be diffed
+ * across revisions instead of scraping the stdout tables.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, std::string paper_ref)
+        : name_(std::move(name))
+    {
+        banner(name_, paper_ref);
+        metrics_.label("bench.name").set(name_);
+        metrics_.label("bench.reproduces").set(paper_ref);
+        metrics_.gauge("bench.quick_mode")
+            .set(quickMode() ? 1.0 : 0.0);
+    }
+
+    /** Full registry access for accumulators/percentiles etc. */
+    MetricsRegistry &metrics() { return metrics_; }
+
+    /** Record one numeric result. */
+    void
+    set(const std::string &key, double value)
+    {
+        metrics_.gauge(key).set(value);
+    }
+
+    /** Record one string-valued result. */
+    void
+    label(const std::string &key, const std::string &value)
+    {
+        metrics_.label(key).set(value);
+    }
+
+    /** Record the standard aggregate numbers of one server run. */
+    void
+    addServerResult(const std::string &prefix, const ServerResult &r)
+    {
+        set(prefix + ".total_rps", r.totalRps);
+        set(prefix + ".max_p95_ms", r.maxP95Ms);
+        set(prefix + ".energy_per_inference_j", r.energyPerInferenceJ);
+        set(prefix + ".completed",
+            static_cast<double>(r.completed));
+        set(prefix + ".measure_seconds", r.measureSeconds);
+        set(prefix + ".truncated", r.truncated ? 1.0 : 0.0);
+    }
+
+    /** Where this bench's summary JSON goes. */
+    std::string
+    jsonPath() const
+    {
+        return outDir() + "/BENCH_" + name_ + ".json";
+    }
+
+    /** Where a trace file with the given tag goes. */
+    std::string
+    tracePath(const std::string &tag) const
+    {
+        return outDir() + "/" + name_ + "." + tag + ".trace.json";
+    }
+
+    /** Write the summary JSON (call once at the end of main). */
+    void
+    write()
+    {
+        const std::string path = jsonPath();
+        if (metrics_.writeJsonFile(path))
+            std::printf("\nresults summary: %s\n", path.c_str());
+        std::fflush(stdout);
+    }
+
+  private:
+    std::string name_;
+    MetricsRegistry metrics_;
+};
 
 } // namespace bench
 } // namespace krisp

@@ -19,10 +19,10 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("ext_openloop_latency",
-                  "extension: open-loop Poisson load, dynamic "
-                  "batching (frontend/queue/worker architecture of "
-                  "Sec. VI-A)");
+    bench::BenchReport report(
+        "ext_openloop_latency",
+        "extension: open-loop Poisson load, dynamic batching "
+        "(frontend/queue/worker architecture of Sec. VI-A)");
 
     const std::vector<double> rates = {100, 300, 600, 900, 1200,
                                        1500};
@@ -41,6 +41,13 @@ main()
             cfg.measureNs = bench::quickMode() ? ticksFromSec(1.0)
                                                : ticksFromSec(4.0);
             const OpenLoopResult r = OpenLoopServer(cfg).run();
+            const std::string prefix =
+                std::string(partitionPolicyName(policy)) + ".rps" +
+                std::to_string(static_cast<unsigned>(rate));
+            report.set(prefix + ".achieved_rps", r.achievedRps);
+            report.set(prefix + ".p95_ms", r.p95Ms);
+            report.set(prefix + ".energy_per_request_j",
+                       r.energyPerRequestJ);
             table.row()
                 .cell(r.offeredRps, 0)
                 .cell(r.achievedRps, 1)
@@ -55,5 +62,6 @@ main()
         table.print(std::string("resnet152 x4 workers, ") +
                     partitionPolicyName(policy));
     }
+    report.write();
     return 0;
 }

@@ -23,8 +23,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("fig02_reconfig_timeline",
-                  "Fig. 2 / Table II (partition resize overheads)");
+    bench::BenchReport report(
+        "fig02_reconfig_timeline",
+        "Fig. 2 / Table II (partition resize overheads)");
 
     ReconfigExperiment exp;
     exp.model = "resnet152";
@@ -39,6 +40,10 @@ main()
          {ResizeScheme::ProcessRestart, ResizeScheme::ShadowInstance,
           ResizeScheme::KernelScoped}) {
         const ReconfigResult r = runReconfig(exp, scheme);
+        const std::string prefix = resizeSchemeName(scheme);
+        report.set(prefix + ".downtime_ms", r.downtimeMs);
+        report.set(prefix + ".time_to_effect_ms", r.timeToEffectMs);
+        report.set(prefix + ".rps", r.rps);
         table.row()
             .cell(resizeSchemeName(scheme))
             .cell(r.downtimeMs, 2)
@@ -76,5 +81,6 @@ main()
     }
     timeline.print("completions per 500 ms bucket (service gap "
                    "visible for process-restart)");
+    report.write();
     return 0;
 }

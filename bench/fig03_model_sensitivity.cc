@@ -19,8 +19,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("fig03_model_sensitivity",
-                  "Fig. 3 (model resource/latency curves)");
+    bench::BenchReport report(
+        "fig03_model_sensitivity",
+        "Fig. 3 (model resource/latency curves)");
 
     const GpuConfig gpu = GpuConfig::mi50();
     ModelZoo zoo(gpu.arch);
@@ -49,6 +50,11 @@ main()
         table.print(info.name + "  (kneepoint/right-size: " +
                     std::to_string(rs) + " CUs, paper: " +
                     std::to_string(info.paperRightSizeCus) + ")");
+        report.set(info.name + ".rightsize_cus",
+                   static_cast<double>(rs));
+        report.set(info.name + ".paper_rightsize_cus",
+                   static_cast<double>(info.paperRightSizeCus));
     }
+    report.write();
     return 0;
 }

@@ -6,11 +6,17 @@
  * Paper expectation: albert sits mostly at <= 10 CUs with periodic
  * spikes into the 50-60 range (FFN GEMMs); resnext101 sits mostly
  * high with dips below 20 for its elementwise/norm kernels.
+ *
+ * Besides the stdout sparkline, this bench serves one albert worker
+ * under KRISP (emulated enforcement) with the observability sink
+ * attached and writes the kernel timeline as a Chrome trace-event
+ * file for Perfetto (see EXPERIMENTS.md, "Capturing traces").
  */
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
 #include "models/model_zoo.hh"
+#include "obs/obs.hh"
 #include "profile/kernel_profiler.hh"
 
 using namespace krisp;
@@ -20,7 +26,7 @@ namespace
 
 void
 traceModel(const ModelZoo &zoo, const KernelProfiler &prof,
-           const std::string &model)
+           const std::string &model, bench::BenchReport &report)
 {
     const auto &seq = zoo.kernels(model, 32);
 
@@ -60,6 +66,14 @@ traceModel(const ModelZoo &zoo, const KernelProfiler &prof,
                 100.0 * above50 / seq.size());
     if (spikes.rows() > 0)
         spikes.print(model + " spike kernels (first 12)");
+
+    report.set(model + ".kernels",
+               static_cast<double>(seq.size()));
+    report.set(model + ".mean_min_cus", sum / seq.size());
+    report.set(model + ".pct_le10_cus",
+               100.0 * below10 / seq.size());
+    report.set(model + ".pct_ge50_cus",
+               100.0 * above50 / seq.size());
 }
 
 } // namespace
@@ -67,12 +81,33 @@ traceModel(const ModelZoo &zoo, const KernelProfiler &prof,
 int
 main()
 {
-    bench::banner("fig04_kernel_trace",
-                  "Fig. 4 (albert / resnext101 min-CU traces)");
+    bench::BenchReport report(
+        "fig04_kernel_trace",
+        "Fig. 4 (albert / resnext101 min-CU traces)");
     const GpuConfig gpu = GpuConfig::mi50();
     ModelZoo zoo(gpu.arch);
     KernelProfiler prof(gpu);
-    traceModel(zoo, prof, "albert");
-    traceModel(zoo, prof, "resnext101");
+    traceModel(zoo, prof, "albert", report);
+    traceModel(zoo, prof, "resnext101", report);
+
+    // The same phenomenon at full fidelity: one albert worker served
+    // under KRISP with emulated enforcement, so the trace shows the
+    // right-size decisions, barrier injections, serialized ioctls and
+    // queue CU-mask reconfigurations around every kernel span.
+    ObsContext obs;
+    ServerConfig cfg = bench::paperConfig(32);
+    cfg.workerModels = {"albert"};
+    cfg.policy = PartitionPolicy::KrispIsolated;
+    cfg.enforcement = EnforcementMode::Emulated;
+    cfg.measuredRequests = bench::quickMode() ? 2 : 5;
+    cfg.obs = &obs;
+    const ServerResult res = InferenceServer(cfg).run();
+    report.addServerResult("albert_krisp_emulated", res);
+
+    const std::string trace = report.tracePath("albert_krisp");
+    obs.trace.writeChromeJsonFile(trace);
+    std::printf("\nkernel timeline trace: %s "
+                "(open at https://ui.perfetto.dev)\n", trace.c_str());
+    report.write();
     return 0;
 }

@@ -48,8 +48,9 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
 int
 main()
 {
-    bench::banner("fig06_mincu_scatter",
-                  "Fig. 6a/6b (min-CU vs kernel size / input size)");
+    bench::BenchReport report(
+        "fig06_mincu_scatter",
+        "Fig. 6a/6b (min-CU vs kernel size / input size)");
 
     const GpuConfig gpu = GpuConfig::mi50();
     ModelZoo zoo(gpu.arch);
@@ -94,12 +95,16 @@ main()
     table.print("profiled kernels across all workloads (" +
                 std::to_string(kernels.size()) + " distinct)");
 
+    const double r_threads = pearson(log_threads, mincus);
+    const double r_input = pearson(log_input, mincus);
+    report.set("distinct_kernels",
+               static_cast<double>(kernels.size()));
+    report.set("pearson_mincu_vs_log_threads", r_threads);
+    report.set("pearson_mincu_vs_log_input_bytes", r_input);
     std::printf("\nPearson correlation of min-CU vs log10(kernel "
-                "size): %.3f\n",
-                pearson(log_threads, mincus));
+                "size): %.3f\n", r_threads);
     std::printf("Pearson correlation of min-CU vs log10(input "
-                "bytes): %.3f\n",
-                pearson(log_input, mincus));
+                "bytes): %.3f\n", r_input);
     std::printf("(paper: neither predicts the requirement; profiling"
                 " is required)\n");
 
@@ -108,5 +113,6 @@ main()
         ranges.row().cell(name).cell(range.first).cell(range.second);
     ranges.print("per-class min-CU ranges (same class, wide spread "
                  "-> size alone insufficient)");
+    report.write();
     return 0;
 }

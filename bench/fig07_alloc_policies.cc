@@ -16,8 +16,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("fig07_alloc_policies",
-                  "Fig. 7 (19 CUs over 4 SEs, three policies)");
+    bench::BenchReport report(
+        "fig07_alloc_policies",
+        "Fig. 7 (19 CUs over 4 SEs, three policies)");
 
     const ArchParams arch = ArchParams::mi50();
     ResourceMonitor idle(arch);
@@ -28,6 +29,11 @@ main()
           DistributionPolicy::Conserved}) {
         MaskAllocator alloc(policy);
         const CuMask m = alloc.allocate(19, idle);
+        for (unsigned se = 0; se < 4; ++se) {
+            report.set(std::string(distributionPolicyName(policy)) +
+                           ".se" + std::to_string(se),
+                       m.countInSe(arch, se));
+        }
         table.row()
             .cell(distributionPolicyName(policy))
             .cell(m.countInSe(arch, 0))
@@ -56,5 +62,6 @@ main()
             .cell(m.countInSe(arch, 3));
     }
     busy.print("same request with SE0 occupied (least-loaded first)");
+    report.write();
     return 0;
 }

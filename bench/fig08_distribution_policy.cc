@@ -50,8 +50,9 @@ run(const GpuConfig &gpu, const KernelDescPtr &kernel,
 int
 main()
 {
-    bench::banner("fig08_distribution_policy",
-                  "Fig. 8 (vecmul latency/energy vs CUs x policy)");
+    bench::BenchReport report(
+        "fig08_distribution_policy",
+        "Fig. 8 (vecmul latency/energy vs CUs x policy)");
 
     const GpuConfig gpu = GpuConfig::mi50();
     // Vector multiply with a meaningful compute component so both the
@@ -90,10 +91,13 @@ main()
     }
     table.print("vector-multiply kernel vs active CUs");
 
+    const double saving =
+        100.0 * (1.0 - cons40_energy / dist40_energy);
+    report.set("conserved_energy_saving_pct_at_40cus", saving);
     std::printf("\nconserved energy saving vs distributed at 40 CUs: "
-                "%.1f%%  (paper: up to ~8%%)\n",
-                100.0 * (1.0 - cons40_energy / dist40_energy));
+                "%.1f%%  (paper: up to ~8%%)\n", saving);
     std::printf("expect packed spikes at 16/31/46 and distributed "
                 "dips at 15/11/7 in the *_us columns.\n");
+    report.write();
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "core/krisp_runtime.hh"
 #include "gpu/gpu_device.hh"
 #include "models/model_zoo.hh"
+#include "obs/obs.hh"
 #include "sim/event_queue.hh"
 
 using namespace krisp;
@@ -27,15 +28,20 @@ namespace
 {
 
 Tick
-runModel(const std::vector<KernelDescPtr> &seq, EnforcementMode mode)
+runModel(const std::vector<KernelDescPtr> &seq, EnforcementMode mode,
+         ObsContext *obs = nullptr)
 {
     EventQueue eq;
     const GpuConfig gpu = GpuConfig::mi50();
     GpuDevice device(eq, gpu);
     HipRuntime hip(eq, device);
+    if (obs != nullptr) {
+        obs->trace.setClock(&eq);
+        hip.attachObs(obs);
+    }
     FixedSizer sizer(gpu.arch.totalCus()); // full mask: pure overhead
     MaskAllocator alloc(DistributionPolicy::Conserved);
-    KrispRuntime krisp(hip, sizer, alloc, mode);
+    KrispRuntime krisp(hip, sizer, alloc, mode, obs);
     Stream &s = hip.createStream();
     auto sig =
         HsaSignal::create(static_cast<std::int64_t>(seq.size()));
@@ -52,8 +58,8 @@ runModel(const std::vector<KernelDescPtr> &seq, EnforcementMode mode)
 int
 main()
 {
-    bench::banner("fig12_emulation_overhead",
-                  "Fig. 12 / Sec. V-B (L_over accounting)");
+    bench::BenchReport report("fig12_emulation_overhead",
+                              "Fig. 12 / Sec. V-B (L_over accounting)");
 
     ModelZoo zoo(ArchParams::mi50());
     TextTable table({"model", "kernels", "L_native_ms", "L_emu_ms",
@@ -64,6 +70,11 @@ main()
         const Tick native = runModel(seq, EnforcementMode::Native);
         const Tick emu = runModel(seq, EnforcementMode::Emulated);
         const Tick over = emu - native;
+        report.set(info.name + ".l_native_ms", ticksToMs(native));
+        report.set(info.name + ".l_emulated_ms", ticksToMs(emu));
+        report.set(info.name + ".l_over_per_kernel_us",
+                   ticksToUs(over) /
+                       static_cast<double>(seq.size()));
         table.row()
             .cell(info.name)
             .cell(seq.size())
@@ -80,5 +91,17 @@ main()
     std::printf("\nL_over per kernel should be roughly constant "
                 "across models (barriers + callback + serialised "
                 "ioctl per launch).\n");
+
+    // One representative emulated pass with the trace sink attached:
+    // every kernel span is book-ended by the two barrier packets and
+    // the serialized ioctl that make up L_over.
+    ObsContext obs;
+    runModel(zoo.kernels("shufflenet", 32),
+             EnforcementMode::Emulated, &obs);
+    const std::string trace = report.tracePath("shufflenet_emulated");
+    obs.trace.writeChromeJsonFile(trace);
+    std::printf("emulated-pass trace: %s "
+                "(open at https://ui.perfetto.dev)\n", trace.c_str());
+    report.write();
     return 0;
 }

@@ -26,8 +26,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("fig13_main_eval",
-                  "Fig. 13a/b/c + headline claims (Sec. VI-B)");
+    bench::BenchReport report(
+        "fig13_main_eval",
+        "Fig. 13a/b/c + headline claims (Sec. VI-B)");
 
     ExperimentContext ctx(bench::paperConfig(32));
     const std::vector<unsigned> worker_counts = {1, 2, 4};
@@ -63,6 +64,13 @@ main()
     TextTable summary({"policy", "geo_norm_rps_x2", "geo_norm_rps_x4",
                        "geo_energy_ratio_x4"});
     for (const PartitionPolicy policy : allPartitionPolicies()) {
+        const std::string prefix = partitionPolicyName(policy);
+        report.set(prefix + ".geo_norm_rps_x2",
+                   geomean(rps_acc[policy][2]));
+        report.set(prefix + ".geo_norm_rps_x4",
+                   geomean(rps_acc[policy][4]));
+        report.set(prefix + ".geo_energy_ratio_x4",
+                   geomean(energy_acc[policy][4]));
         summary.row()
             .cell(partitionPolicyName(policy))
             .cell(geomean(rps_acc[policy][2]), 2)
@@ -84,5 +92,9 @@ main()
     std::printf("KRISP-I energy per inference vs isolated at 4 "
                 "workers: %.0f%% reduction (paper: 33%%)\n",
                 100.0 * (1.0 - energy4));
+    report.set("krisp_i_vs_static_equal_x4", krisp4 / static4);
+    report.set("krisp_i_energy_reduction_pct_x4",
+               100.0 * (1.0 - energy4));
+    report.write();
     return 0;
 }

@@ -21,8 +21,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("fig14_batch_sensitivity",
-                  "Fig. 14 (geomean normalized RPS, batch 16 and 8)");
+    bench::BenchReport report(
+        "fig14_batch_sensitivity",
+        "Fig. 14 (geomean normalized RPS, batch 16 and 8)");
 
     for (const unsigned batch : {16u, 8u}) {
         ExperimentContext ctx(bench::paperConfig(batch));
@@ -41,6 +42,13 @@ main()
         }
         TextTable table({"policy", "x1", "x2", "x4"});
         for (const PartitionPolicy policy : allPartitionPolicies()) {
+            const std::string prefix =
+                "batch" + std::to_string(batch) + "." +
+                partitionPolicyName(policy);
+            report.set(prefix + ".geo_norm_rps_x2",
+                       geomean(acc[policy][2]));
+            report.set(prefix + ".geo_norm_rps_x4",
+                       geomean(acc[policy][4]));
             table.row()
                 .cell(partitionPolicyName(policy))
                 .cell(geomean(acc[policy][1]), 2)
@@ -50,5 +58,6 @@ main()
         table.print("batch " + std::to_string(batch) +
                     ": geomean normalized RPS");
     }
+    report.write();
     return 0;
 }

@@ -48,8 +48,9 @@ box(std::vector<double> v)
 int
 main()
 {
-    bench::banner("fig15_mixed_models",
-                  "Fig. 15 (mixed-model pair throughput boxplot)");
+    bench::BenchReport report(
+        "fig15_mixed_models",
+        "Fig. 15 (mixed-model pair throughput boxplot)");
 
     ExperimentContext ctx(bench::paperConfig(32));
     const std::vector<PartitionPolicy> policies = {
@@ -81,6 +82,9 @@ main()
                        "mean"});
     for (const PartitionPolicy policy : policies) {
         const BoxStats b = box(dist[policy]);
+        const std::string prefix = partitionPolicyName(policy);
+        report.set(prefix + ".median_agg_norm_rps", b.median);
+        report.set(prefix + ".mean_agg_norm_rps", b.mean);
         summary.row()
             .cell(partitionPolicyName(policy))
             .cell(b.min, 2)
@@ -91,5 +95,6 @@ main()
             .cell(b.mean, 2);
     }
     summary.print("fig15 boxplot statistics over the 28 pairs");
+    report.write();
     return 0;
 }

@@ -21,8 +21,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("fig16_overlap_limit",
-                  "Fig. 16 (oversubscription-limit sensitivity)");
+    bench::BenchReport report(
+        "fig16_overlap_limit",
+        "Fig. 16 (oversubscription-limit sensitivity)");
 
     ExperimentContext ctx(bench::paperConfig(32));
     // Contention-sensitive workloads dominate this effect.
@@ -45,6 +46,10 @@ main()
                               limit)
                              .normalizedRps);
         }
+        const std::string prefix =
+            "limit" + std::to_string(limit);
+        report.set(prefix + ".geo_norm_rps_x2", geomean(x2));
+        report.set(prefix + ".geo_norm_rps_x4", geomean(x4));
         table.row()
             .cell(limit)
             .cell(geomean(x2), 3)
@@ -53,5 +58,6 @@ main()
     table.print("geomean normalized RPS vs allowed CU overlap (" +
                 std::to_string(models.size()) + " models)");
     std::printf("\nlimit 0 == KRISP-I, limit 60 == KRISP-O.\n");
+    report.write();
     return 0;
 }

@@ -20,8 +20,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("table3_workloads",
-                  "Table III (workloads, right-size, p95)");
+    bench::BenchReport report(
+        "table3_workloads",
+        "Table III (workloads, right-size, p95)");
 
     const GpuConfig gpu = GpuConfig::mi50();
     ModelZoo zoo(gpu.arch);
@@ -35,6 +36,11 @@ main()
         const auto &seq = zoo.kernels(info.name, 32);
         const unsigned rs = mprof.rightSizeCus(seq);
         const double p95 = ctx.isolated(info.name).maxP95Ms;
+        report.set(info.name + ".kernels",
+                   static_cast<double>(seq.size()));
+        report.set(info.name + ".rightsize_cus",
+                   static_cast<double>(rs));
+        report.set(info.name + ".isolated_p95_ms", p95);
         table.row()
             .cell(info.name)
             .cell(seq.size())
@@ -45,5 +51,6 @@ main()
             .cell(info.paperP95Ms, 1);
     }
     table.print("Table III: measured vs paper");
+    report.write();
     return 0;
 }

@@ -19,9 +19,9 @@ using namespace krisp;
 int
 main()
 {
-    bench::banner("table4_max_concurrency",
-                  "Table IV (max concurrent models without SLO "
-                  "violation)");
+    bench::BenchReport report(
+        "table4_max_concurrency",
+        "Table IV (max concurrent models without SLO violation)");
 
     ExperimentContext ctx(bench::paperConfig(32));
     const std::vector<unsigned> worker_counts = {1, 2, 4};
@@ -42,6 +42,9 @@ main()
             }
             maxima.push_back(max_ok);
             best = std::max(best, max_ok);
+            report.set(info.name + "." +
+                           partitionPolicyName(policy),
+                       static_cast<double>(max_ok));
         }
         for (const unsigned m : maxima)
             table.cell(m);
@@ -58,5 +61,6 @@ main()
         table.cell(winners);
     }
     table.print("max concurrent workers meeting the 2x-isolated SLO");
+    report.write();
     return 0;
 }

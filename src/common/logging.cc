@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace krisp
 {
@@ -13,6 +14,7 @@ const char *
 levelTag(LogLevel level)
 {
     switch (level) {
+      case LogLevel::Debug: return "debug";
       case LogLevel::Inform: return "info";
       case LogLevel::Warn: return "warn";
       case LogLevel::Panic: return "panic";
@@ -21,11 +23,57 @@ levelTag(LogLevel level)
     return "?";
 }
 
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("KRISP_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Inform;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "inform") == 0)
+        return LogLevel::Inform;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    std::fprintf(stderr,
+                 "warn: unknown KRISP_LOG_LEVEL '%s' "
+                 "(expected debug|info|warn); using info\n", env);
+    return LogLevel::Inform;
+}
+
+LogLevel &
+threshold()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    threshold() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return threshold();
+}
+
+bool
+logLevelEnabled(LogLevel level)
+{
+    // panic/fatal are never filtered.
+    return level >= LogLevel::Panic || level >= threshold();
+}
 
 void
 logMessage(LogLevel level, const char *where, const std::string &what)
 {
+    if (!logLevelEnabled(level))
+        return;
     std::fprintf(stderr, "%s: %s (%s)\n", levelTag(level), what.c_str(),
                  where);
     std::fflush(stderr);

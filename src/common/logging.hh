@@ -8,6 +8,12 @@
  *            exits with status 1.
  * warn()   - suspicious but recoverable condition.
  * inform() - normal status output.
+ * debug()  - verbose tracing output, silenced by default.
+ *
+ * Verbosity is controlled at runtime: setLogLevel() programmatically,
+ * or the KRISP_LOG_LEVEL environment variable ("debug", "info",
+ * "warn") read once at startup. Messages below the threshold are
+ * dropped; panic/fatal always print.
  */
 
 #ifndef KRISP_COMMON_LOGGING_HH
@@ -19,9 +25,10 @@
 namespace krisp
 {
 
-/** Severity levels understood by logMessage(). */
+/** Severity levels understood by logMessage(), least severe first. */
 enum class LogLevel
 {
+    Debug,
     Inform,
     Warn,
     Panic,
@@ -29,7 +36,20 @@ enum class LogLevel
 };
 
 /**
- * Emit one formatted log line to stderr.
+ * Set the minimum severity that reaches stderr. panic/fatal are
+ * always emitted regardless of the threshold.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current threshold (KRISP_LOG_LEVEL env var unless overridden). */
+LogLevel logLevel();
+
+/** True if a message at @p level would be emitted. */
+bool logLevelEnabled(LogLevel level);
+
+/**
+ * Emit one formatted log line to stderr. Messages below the current
+ * threshold are dropped.
  *
  * @param level severity tag prepended to the line
  * @param where "file:line" source location
@@ -96,5 +116,17 @@ concat(Args &&...args)
 #define inform(...)                                                       \
     ::krisp::logMessage(::krisp::LogLevel::Inform, KRISP_WHERE,           \
         ::krisp::detail::concat(__VA_ARGS__))
+
+/**
+ * Verbose tracing output; the enabled check runs before the argument
+ * pack is formatted, so disabled debug lines cost one branch.
+ */
+#define debug(...)                                                        \
+    do {                                                                  \
+        if (::krisp::logLevelEnabled(::krisp::LogLevel::Debug)) {         \
+            ::krisp::logMessage(::krisp::LogLevel::Debug, KRISP_WHERE,    \
+                ::krisp::detail::concat(__VA_ARGS__));                    \
+        }                                                                 \
+    } while (0)
 
 #endif // KRISP_COMMON_LOGGING_HH

@@ -19,11 +19,32 @@ enforcementModeName(EnforcementMode mode)
 
 KrispRuntime::KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
                            MaskAllocator &allocator,
-                           EnforcementMode mode)
+                           EnforcementMode mode, ObsContext *obs)
     : hip_(hip), sizer_(sizer), allocator_(allocator), mode_(mode)
 {
     if (mode_ == EnforcementMode::Native)
         hip_.device().setKrispAllocator(&allocator_);
+
+    MetricsRegistry &reg =
+        obs != nullptr ? obs->metrics : own_metrics_;
+    launches_ = &reg.counter("krisp.launches");
+    emulated_reconfigs_ = &reg.counter("krisp.emulated_reconfigs");
+    requested_cus_total_ = &reg.counter("krisp.requested_cus_total");
+    requested_cus_ = &reg.accumulator("krisp.requested_cus");
+    if (obs != nullptr) {
+        trace_ = &obs->trace;
+        reg.label("krisp.enforcement").set(enforcementModeName(mode_));
+    }
+}
+
+KrispRuntimeStats
+KrispRuntime::stats() const
+{
+    KrispRuntimeStats s;
+    s.launches = launches_->value();
+    s.emulatedReconfigs = emulated_reconfigs_->value();
+    s.requestedCusTotal = requested_cus_total_->value();
+    return s;
 }
 
 void
@@ -33,8 +54,11 @@ KrispRuntime::launch(Stream &stream, KernelDescPtr kernel,
     fatal_if(!kernel, "KRISP launch of a null kernel");
     const unsigned cus = sizer_.rightSize(*kernel);
     panic_if(cus == 0, "sizer returned zero CUs");
-    ++stats_.launches;
-    stats_.requestedCusTotal += cus;
+    launches_->inc();
+    requested_cus_total_->inc(cus);
+    requested_cus_->add(static_cast<double>(cus));
+    KRISP_TRACE_EVENT(trace_, rightSize(kernel->name, cus,
+                                        enforcementModeName(mode_)));
 
     if (mode_ == EnforcementMode::Native) {
         launchNative(stream, std::move(kernel), std::move(completion),
@@ -64,12 +88,15 @@ KrispRuntime::launchEmulated(Stream &stream, KernelDescPtr kernel,
     auto drained = HsaSignal::create(1);   // B1 completion
     auto mask_ready = HsaSignal::create(1); // set after the ioctl
 
+    const QueueId qid = stream.hsaQueue().id();
     AqlPacket b1 = AqlPacket::barrier({}, drained,
                                       /*barrier_bit=*/true);
+    KRISP_TRACE_EVENT(trace_, barrierInject(qid, "B1-drain"));
     stream.enqueuePacket(std::move(b1));
 
     AqlPacket b2 = AqlPacket::barrier({mask_ready}, nullptr,
                                       /*barrier_bit=*/true);
+    KRISP_TRACE_EVENT(trace_, barrierInject(qid, "B2-hold"));
     stream.enqueuePacket(std::move(b2));
 
     stream.launchWithSignal(std::move(kernel), std::move(completion),
@@ -84,7 +111,7 @@ KrispRuntime::launchEmulated(Stream &stream, KernelDescPtr kernel,
             const CuMask mask = allocator_.allocate(
                 cus, hip_.device().monitor());
             hip_.streamSetCuMask(*stream_ptr, mask, [this, mask_ready] {
-                ++stats_.emulatedReconfigs;
+                emulated_reconfigs_->inc();
                 mask_ready->subtract(1);
             });
         });

@@ -31,6 +31,7 @@
 #include "core/perf_database.hh"
 #include "hip/hip_runtime.hh"
 #include "hip/stream.hh"
+#include "obs/obs.hh"
 
 namespace krisp
 {
@@ -44,7 +45,11 @@ enum class EnforcementMode
 
 const char *enforcementModeName(EnforcementMode mode);
 
-/** Counters for the interception layer. */
+/**
+ * Snapshot of the interception-layer counters. The live values are
+ * metrics-registry instruments ("krisp.*"); this struct is the
+ * caller-friendly view stats() assembles from them.
+ */
 struct KrispRuntimeStats
 {
     std::uint64_t launches = 0;
@@ -64,18 +69,26 @@ class KrispRuntime
      * @param allocator Algorithm 1 instance (shared with the device
      *                  in Native mode)
      * @param mode      enforcement mechanism
+     * @param obs       optional observability context: per-launch
+     *                  right-size decisions and barrier injections go
+     *                  to its trace sink, counters register in its
+     *                  metrics registry ("krisp.*"). Without one, the
+     *                  counters live in a private registry.
      *
      * In Native mode the allocator is installed into the GPU command
      * processor as the KRISP firmware extension.
      */
     KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
-                 MaskAllocator &allocator, EnforcementMode mode);
+                 MaskAllocator &allocator, EnforcementMode mode,
+                 ObsContext *obs = nullptr);
 
     KrispRuntime(const KrispRuntime &) = delete;
     KrispRuntime &operator=(const KrispRuntime &) = delete;
 
     EnforcementMode mode() const { return mode_; }
-    const KrispRuntimeStats &stats() const { return stats_; }
+
+    /** Counter snapshot (values live in the metrics registry). */
+    KrispRuntimeStats stats() const;
 
     /**
      * Launch @p kernel on @p stream with kernel-wise right-sizing;
@@ -94,7 +107,14 @@ class KrispRuntime
     const KernelSizer &sizer_;
     MaskAllocator &allocator_;
     EnforcementMode mode_;
-    KrispRuntimeStats stats_;
+
+    /** Fallback registry when no ObsContext is supplied. */
+    MetricsRegistry own_metrics_;
+    TraceSink *trace_ = nullptr;
+    Counter *launches_ = nullptr;
+    Counter *emulated_reconfigs_ = nullptr;
+    Counter *requested_cus_total_ = nullptr;
+    Accumulator *requested_cus_ = nullptr;
 };
 
 } // namespace krisp

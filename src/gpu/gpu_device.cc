@@ -68,6 +68,7 @@ GpuDevice::createQueue()
         id, config_.queueCapacity, CuMask::full(config_.arch));
     QueueCtx *raw = ctx.get();
     ctx->queue->setDoorbell([this, raw] { tryProcess(*raw); });
+    ctx->queue->setTraceSink(trace_);
     queues_.push_back(std::move(ctx));
     return *queues_.back()->queue;
 }
@@ -90,6 +91,45 @@ void
 GpuDevice::setKrispAllocator(MaskAllocatorIface *allocator)
 {
     allocator_ = allocator;
+}
+
+void
+GpuDevice::attachObs(ObsContext *obs)
+{
+    trace_ = obs != nullptr ? &obs->trace : nullptr;
+    if (trace_ != nullptr)
+        trace_->setClock(&eq_);
+    for (const auto &ctx : queues_)
+        ctx->queue->setTraceSink(trace_);
+}
+
+void
+GpuDevice::publishMetrics(MetricsRegistry &metrics) const
+{
+    metrics.gauge("gpu.kernels_dispatched")
+        .set(static_cast<double>(stats_.kernelsDispatched));
+    metrics.gauge("gpu.kernels_completed")
+        .set(static_cast<double>(stats_.kernelsCompleted));
+    metrics.gauge("gpu.packets_processed")
+        .set(static_cast<double>(stats_.packetsProcessed));
+    metrics.gauge("gpu.barriers_processed")
+        .set(static_cast<double>(stats_.barriersProcessed));
+    metrics.gauge("gpu.krisp_allocations")
+        .set(static_cast<double>(stats_.krispAllocations));
+    metrics.gauge("gpu.kernel_latency_ns.mean")
+        .set(stats_.kernelLatencyNs.mean());
+    if (stats_.kernelLatencyNs.count() > 0) {
+        metrics.gauge("gpu.kernel_latency_ns.max")
+            .set(stats_.kernelLatencyNs.max());
+    }
+    metrics.gauge("gpu.concurrency_at_dispatch.mean")
+        .set(stats_.concurrencyAtDispatch.mean());
+    std::uint64_t reconfigs = 0;
+    for (const auto &ctx : queues_)
+        reconfigs += ctx->queue->reconfigs();
+    metrics.gauge("gpu.queue_mask_reconfigs")
+        .set(static_cast<double>(reconfigs));
+    metrics.gauge("gpu.energy_joules").set(power_.energyJoules());
 }
 
 unsigned
@@ -174,6 +214,8 @@ GpuDevice::handleBarrier(QueueCtx &ctx)
         if (dep && dep->value() > 0)
             ++*pending;
     }
+    KRISP_TRACE_EVENT(trace_,
+                      barrierProcess(ctx.queue->id(), *pending));
     if (*pending == 0) {
         finishBarrier(ctx);
         return;
@@ -224,6 +266,26 @@ GpuDevice::dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
     rk.onComplete = pkt.onComplete;
     rk.dispatchTick = eq_.now();
 
+    if (trace_ != nullptr && trace_->enabled()) {
+        trace_->kernelDispatch(rk.id, rk.qid, rk.desc->name,
+                               pkt.requestedCus);
+        // Even WG split across shader engines active in the mask —
+        // the dispatch behaviour behind Fig. 8's imbalance spikes.
+        const ArchParams &arch = config_.arch;
+        std::vector<unsigned> per_se(arch.numSe, 0);
+        const unsigned active = mask.activeSeCount(arch);
+        const unsigned wgs = rk.desc->numWorkgroups;
+        unsigned nth = 0;
+        for (unsigned se = 0; se < arch.numSe && active > 0; ++se) {
+            if (mask.countInSe(arch, se) > 0) {
+                per_se[se] =
+                    wgs / active + (nth < wgs % active ? 1 : 0);
+                ++nth;
+            }
+        }
+        trace_->wgDispatch(rk.id, rk.qid, wgs, per_se);
+    }
+
     eq_.scheduleIn(config_.kernelLaunchOverheadNs,
                    [this, rk = std::move(rk)]() mutable {
         rk.startTick = eq_.now();
@@ -259,6 +321,11 @@ GpuDevice::onKernelComplete(JobId job)
         ev.endTick = eq_.now();
         trace_fn_(ev);
     }
+    KRISP_TRACE_EVENT(trace_,
+                      kernelSpan(rk.id, rk.qid, rk.desc->name,
+                                 rk.mask.bits(), rk.mask.count(),
+                                 rk.dispatchTick, rk.startTick,
+                                 eq_.now()));
 
     QueueCtx &ctx = *queues_.at(rk.qid);
     panic_if(ctx.outstanding == 0, "queue outstanding underflow");

@@ -36,6 +36,7 @@
 #include "gpu/resource_monitor.hh"
 #include "hsa/queue.hh"
 #include "kern/timing_model.hh"
+#include "obs/obs.hh"
 #include "sim/event_queue.hh"
 #include "sim/fluid_scheduler.hh"
 
@@ -116,6 +117,21 @@ class GpuDevice
         trace_fn_ = std::move(fn);
     }
 
+    /**
+     * Attach an observability context: the trace sink receives
+     * kernel / workgroup / barrier / mask events (and is bound to
+     * this device's simulated clock), existing and future HSA queues
+     * report their reconfigurations into it. Pass nullptr to detach.
+     * Purely observational — attaching never changes simulated time.
+     */
+    void attachObs(ObsContext *obs);
+
+    /**
+     * Snapshot device statistics into @p metrics under "gpu.*"
+     * (called once at end of run for the per-run JSON dump).
+     */
+    void publishMetrics(MetricsRegistry &metrics) const;
+
     const ResourceMonitor &monitor() const { return monitor_; }
     PowerModel &power() { return power_; }
     const PowerModel &power() const { return power_; }
@@ -171,6 +187,7 @@ class GpuDevice
     FluidScheduler fluid_;
     MaskAllocatorIface *allocator_ = nullptr;
     std::function<void(const KernelTraceEvent &)> trace_fn_;
+    TraceSink *trace_ = nullptr;
 
     std::vector<std::unique_ptr<QueueCtx>> queues_;
     std::unordered_map<JobId, RunningKernel> running_;

@@ -14,6 +14,13 @@ HipRuntime::HipRuntime(EventQueue &eq, GpuDevice &device,
 {
 }
 
+void
+HipRuntime::attachObs(ObsContext *obs)
+{
+    device_.attachObs(obs);
+    ioctl_.setTraceSink(obs != nullptr ? &obs->trace : nullptr);
+}
+
 Stream &
 HipRuntime::createStream()
 {

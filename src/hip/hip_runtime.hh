@@ -68,6 +68,13 @@ class HipRuntime
 
     IoctlService &ioctlService() { return ioctl_; }
 
+    /**
+     * Attach an observability context to the host runtime and its
+     * device: ioctl serialisation, queue reconfigs and kernel events
+     * all land in @p obs. Pass nullptr to detach.
+     */
+    void attachObs(ObsContext *obs);
+
   private:
     EventQueue &eq_;
     GpuDevice &device_;

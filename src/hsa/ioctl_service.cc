@@ -1,5 +1,6 @@
 #include "hsa/ioctl_service.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -16,7 +17,9 @@ void
 IoctlService::submit(Apply apply)
 {
     panic_if(!apply, "null ioctl body");
-    backlog_.push_back(std::move(apply));
+    backlog_.push_back(Pending{std::move(apply), eq_.now()});
+    max_backlog_ = std::max(max_backlog_, backlog_.size());
+    KRISP_TRACE_EVENT(trace_, ioctlSubmit(backlog_.size()));
     if (!busy_)
         startNext();
 }
@@ -29,11 +32,18 @@ IoctlService::startNext()
         return;
     }
     busy_ = true;
-    Apply apply = std::move(backlog_.front());
+    Pending next = std::move(backlog_.front());
     backlog_.pop_front();
-    eq_.scheduleIn(latency_, [this, apply = std::move(apply)] {
+    const Tick queued = eq_.now() - next.submitted;
+    queue_delay_ns_.add(static_cast<double>(queued));
+    const Tick start = eq_.now();
+    eq_.scheduleIn(latency_, [this, start, queued,
+                              apply = std::move(next.apply)] {
         apply();
         ++completed_;
+        KRISP_TRACE_EVENT(trace_, ioctlSpan(start, eq_.now(), queued));
+        debug("ioctl applied after ", queued, " ns queueing; backlog ",
+              backlog_.size());
         startNext();
     });
 }

@@ -16,7 +16,9 @@
 #include <deque>
 #include <functional>
 
+#include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace_sink.hh"
 #include "sim/event_queue.hh"
 
 namespace krisp
@@ -46,17 +48,35 @@ class IoctlService
 
     bool busy() const { return busy_; }
 
+    /** Observability hook: serialisation events + queueing delays. */
+    void setTraceSink(TraceSink *trace) { trace_ = trace; }
+
     /** Total ioctls completed (statistics). */
     std::uint64_t completed() const { return completed_; }
 
+    /** Deepest backlog observed (statistics). */
+    std::size_t maxBacklog() const { return max_backlog_; }
+
+    /** Per-ioctl time spent queued behind other ioctls, ns. */
+    const Accumulator &queueDelayNs() const { return queue_delay_ns_; }
+
   private:
+    struct Pending
+    {
+        Apply apply;
+        Tick submitted;
+    };
+
     void startNext();
 
     EventQueue &eq_;
     Tick latency_;
-    std::deque<Apply> backlog_;
+    std::deque<Pending> backlog_;
     bool busy_ = false;
+    TraceSink *trace_ = nullptr;
     std::uint64_t completed_ = 0;
+    std::size_t max_backlog_ = 0;
+    Accumulator queue_delay_ns_;
 };
 
 } // namespace krisp

@@ -18,6 +18,7 @@
 #include "common/types.hh"
 #include "hsa/aql.hh"
 #include "kern/cu_mask.hh"
+#include "obs/trace_sink.hh"
 
 namespace krisp
 {
@@ -58,13 +59,27 @@ class HsaQueue
 
     /** Stream-scoped CU mask applied to kernels without a KRISP size. */
     const CuMask &cuMask() const { return cu_mask_; }
-    void setCuMask(CuMask mask) { cu_mask_ = mask; }
+
+    void
+    setCuMask(CuMask mask)
+    {
+        cu_mask_ = mask;
+        ++reconfigs_;
+        KRISP_TRACE_EVENT(trace_,
+                          maskReconfig(id_, mask.bits(), mask.count()));
+    }
 
     /** Consumer registers interest in new packets. */
     void setDoorbell(Doorbell doorbell) { doorbell_ = std::move(doorbell); }
 
+    /** Observability hook; the sink provides the simulated clock. */
+    void setTraceSink(TraceSink *trace) { trace_ = trace; }
+
     /** Statistics: total packets ever pushed. */
     std::uint64_t pushed() const { return pushed_; }
+
+    /** Statistics: CU-mask reconfigurations applied to this queue. */
+    std::uint64_t reconfigs() const { return reconfigs_; }
 
   private:
     QueueId id_;
@@ -72,7 +87,9 @@ class HsaQueue
     CuMask cu_mask_;
     std::deque<AqlPacket> ring_;
     Doorbell doorbell_;
+    TraceSink *trace_ = nullptr;
     std::uint64_t pushed_ = 0;
+    std::uint64_t reconfigs_ = 0;
 };
 
 } // namespace krisp

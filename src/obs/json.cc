@@ -1,0 +1,80 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+namespace json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quote(const std::string &s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v)) {
+        warn("non-finite value in JSON output; emitting 0");
+        return "0";
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    panic_if(res.ec != std::errc(), "to_chars failed for double");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+number(std::uint64_t v)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    panic_if(res.ec != std::errc(), "to_chars failed for uint64");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+number(std::int64_t v)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    panic_if(res.ec != std::errc(), "to_chars failed for int64");
+    return std::string(buf, res.ptr);
+}
+
+} // namespace json
+} // namespace krisp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic JSON formatting helpers shared by the trace sink, the
+ * metrics registry and the benchmark reports.
+ *
+ * Numbers use the shortest round-trip representation (std::to_chars),
+ * so identical values always serialise to identical bytes — the
+ * property the trace-diffing tests rely on.
+ */
+
+#ifndef KRISP_OBS_JSON_HH
+#define KRISP_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace krisp
+{
+namespace json
+{
+
+/** Escape a string body per RFC 8259 (no surrounding quotes). */
+std::string escape(const std::string &s);
+
+/** Escaped and double-quoted string literal. */
+std::string quote(const std::string &s);
+
+/**
+ * Shortest round-trip decimal for a double. Non-finite values (which
+ * JSON cannot represent) serialise as 0 with a warning.
+ */
+std::string number(double v);
+
+std::string number(std::uint64_t v);
+std::string number(std::int64_t v);
+
+} // namespace json
+} // namespace krisp
+
+#endif // KRISP_OBS_JSON_HH

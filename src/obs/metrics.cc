@@ -1,0 +1,238 @@
+#include "obs/metrics.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+const char *
+kindName(int kind)
+{
+    switch (kind) {
+      case 0: return "counter";
+      case 1: return "gauge";
+      case 2: return "label";
+      case 3: return "accumulator";
+      case 4: return "percentiles";
+      case 5: return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+MetricsRegistry::Instrument &
+MetricsRegistry::fetch(const std::string &name, Kind kind)
+{
+    fatal_if(name.empty(), "metrics instrument needs a name");
+    auto it = instruments_.find(name);
+    if (it != instruments_.end()) {
+        fatal_if(it->second.kind != kind, "metric '", name,
+                 "' already registered as ",
+                 kindName(static_cast<int>(it->second.kind)),
+                 ", requested as ", kindName(static_cast<int>(kind)));
+        return it->second;
+    }
+    Instrument inst;
+    inst.kind = kind;
+    return instruments_.emplace(name, std::move(inst)).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    Instrument &inst = fetch(name, Kind::Counter);
+    if (!inst.counter)
+        inst.counter = std::make_unique<Counter>();
+    return *inst.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    Instrument &inst = fetch(name, Kind::Gauge);
+    if (!inst.gauge)
+        inst.gauge = std::make_unique<Gauge>();
+    return *inst.gauge;
+}
+
+Label &
+MetricsRegistry::label(const std::string &name)
+{
+    Instrument &inst = fetch(name, Kind::Label);
+    if (!inst.label)
+        inst.label = std::make_unique<Label>();
+    return *inst.label;
+}
+
+Accumulator &
+MetricsRegistry::accumulator(const std::string &name)
+{
+    Instrument &inst = fetch(name, Kind::Accumulator);
+    if (!inst.accumulator)
+        inst.accumulator = std::make_unique<Accumulator>();
+    return *inst.accumulator;
+}
+
+PercentileTracker &
+MetricsRegistry::percentiles(const std::string &name)
+{
+    Instrument &inst = fetch(name, Kind::Percentiles);
+    if (!inst.percentiles)
+        inst.percentiles = std::make_unique<PercentileTracker>();
+    return *inst.percentiles;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, double lo, double hi,
+                           std::size_t bins)
+{
+    Instrument &inst = fetch(name, Kind::Histogram);
+    if (!inst.histogram)
+        inst.histogram = std::make_unique<Histogram>(lo, hi, bins);
+    return *inst.histogram;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return instruments_.count(name) != 0;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, inst] : instruments_) {
+        switch (inst.kind) {
+          case Kind::Counter: inst.counter->reset(); break;
+          case Kind::Gauge: inst.gauge->reset(); break;
+          case Kind::Label: inst.label->reset(); break;
+          case Kind::Accumulator: inst.accumulator->reset(); break;
+          case Kind::Percentiles: inst.percentiles->reset(); break;
+          case Kind::Histogram: inst.histogram->reset(); break;
+        }
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    // One section per instrument kind; instruments in name order
+    // (std::map iteration) so snapshots diff cleanly.
+    struct Section
+    {
+        Kind kind;
+        const char *key;
+        bool first = true;
+    };
+    Section sections[] = {
+        {Kind::Counter, "counters"},   {Kind::Gauge, "gauges"},
+        {Kind::Label, "labels"},       {Kind::Accumulator, "accumulators"},
+        {Kind::Percentiles, "percentiles"},
+        {Kind::Histogram, "histograms"},
+    };
+
+    os << "{";
+    bool first_section = true;
+    for (auto &sec : sections) {
+        if (!first_section)
+            os << ",";
+        first_section = false;
+        os << json::quote(sec.key) << ":{";
+        for (const auto &[name, inst] : instruments_) {
+            if (inst.kind != sec.kind)
+                continue;
+            if (!sec.first)
+                os << ",";
+            sec.first = false;
+            os << json::quote(name) << ":";
+            switch (inst.kind) {
+              case Kind::Counter:
+                os << json::number(inst.counter->value());
+                break;
+              case Kind::Gauge:
+                os << json::number(inst.gauge->value());
+                break;
+              case Kind::Label:
+                os << json::quote(inst.label->value());
+                break;
+              case Kind::Accumulator: {
+                const Accumulator &a = *inst.accumulator;
+                os << "{\"count\":" << json::number(
+                       static_cast<std::uint64_t>(a.count()))
+                   << ",\"sum\":" << json::number(a.sum())
+                   << ",\"mean\":" << json::number(a.mean());
+                if (a.count() > 0) {
+                    os << ",\"min\":" << json::number(a.min())
+                       << ",\"max\":" << json::number(a.max())
+                       << ",\"stddev\":" << json::number(a.stddev());
+                }
+                os << "}";
+                break;
+              }
+              case Kind::Percentiles: {
+                const PercentileTracker &p = *inst.percentiles;
+                os << "{\"count\":" << json::number(
+                       static_cast<std::uint64_t>(p.count()));
+                if (!p.empty()) {
+                    os << ",\"mean\":" << json::number(p.mean())
+                       << ",\"min\":" << json::number(p.min())
+                       << ",\"p50\":" << json::number(p.percentile(0.5))
+                       << ",\"p95\":" << json::number(p.percentile(0.95))
+                       << ",\"p99\":" << json::number(p.percentile(0.99))
+                       << ",\"max\":" << json::number(p.max());
+                }
+                os << "}";
+                break;
+              }
+              case Kind::Histogram: {
+                const Histogram &h = *inst.histogram;
+                os << "{\"lo\":" << json::number(h.binLow(0))
+                   << ",\"hi\":" << json::number(h.binHigh(h.bins() - 1))
+                   << ",\"total\":" << json::number(
+                       static_cast<std::uint64_t>(h.total()))
+                   << ",\"bins\":[";
+                for (std::size_t i = 0; i < h.bins(); ++i) {
+                    if (i > 0)
+                        os << ",";
+                    os << json::number(
+                        static_cast<std::uint64_t>(h.binCount(i)));
+                }
+                os << "]}";
+                break;
+              }
+            }
+        }
+        os << "}";
+    }
+    os << "}\n";
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+bool
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("cannot open metrics snapshot file ", path);
+        return false;
+    }
+    writeJson(out);
+    return out.good();
+}
+
+} // namespace krisp

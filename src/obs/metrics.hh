@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Process-wide metrics registry.
+ *
+ * Components register named instruments — counters, gauges, string
+ * labels, and the statistics accumulators from common/stats.hh — and
+ * the registry serialises one JSON snapshot per run. Names are unique
+ * across instrument kinds; registering an existing name returns the
+ * same instrument, so independent components can share a counter.
+ *
+ * The registry is single-threaded like the simulator it observes; all
+ * output is deterministic (instruments serialise in name order).
+ */
+
+#ifndef KRISP_OBS_METRICS_HH
+#define KRISP_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace krisp
+{
+
+/** Monotonically increasing integer instrument. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-write-wins floating-point instrument. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Last-write-wins string instrument (run metadata, config echo). */
+class Label
+{
+  public:
+    void set(std::string v) { value_ = std::move(v); }
+    const std::string &value() const { return value_; }
+    void reset() { value_.clear(); }
+
+  private:
+    std::string value_;
+};
+
+/** Named instruments with one JSON snapshot per run. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Register-or-fetch an instrument. Reusing a name with a
+     * different instrument kind is a caller bug.
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Label &label(const std::string &name);
+    Accumulator &accumulator(const std::string &name);
+    PercentileTracker &percentiles(const std::string &name);
+    /** @p lo / @p hi / @p bins only apply on first registration. */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         std::size_t bins);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return instruments_.size(); }
+
+    /** Reset every instrument's value; registrations survive. */
+    void reset();
+
+    /**
+     * One JSON object: {"counters":{...},"gauges":{...},...}. Keys
+     * appear in name order; numbers are shortest-round-trip, so the
+     * snapshot is byte-stable across identical runs.
+     */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+    /** @return false (with a warning) if the file cannot be written. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Label,
+        Accumulator,
+        Percentiles,
+        Histogram,
+    };
+
+    struct Instrument
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Label> label;
+        std::unique_ptr<Accumulator> accumulator;
+        std::unique_ptr<PercentileTracker> percentiles;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Instrument &fetch(const std::string &name, Kind kind);
+
+    /** name -> instrument, ordered for deterministic serialisation. */
+    std::map<std::string, Instrument> instruments_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_OBS_METRICS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Umbrella observability context: one trace sink plus one metrics
+ * registry, threaded by pointer through the components of a run
+ * (device, HSA queues, ioctl service, KRISP runtime, server).
+ *
+ * Ownership stays with the caller (a bench, example or test); the
+ * simulated components only ever hold non-owning pointers, and a null
+ * context disables all instrumentation at the cost of one branch.
+ */
+
+#ifndef KRISP_OBS_OBS_HH
+#define KRISP_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+
+namespace krisp
+{
+
+/** Trace sink + metrics registry for one run. */
+struct ObsContext
+{
+    TraceSink trace;
+    MetricsRegistry metrics;
+
+    ObsContext() = default;
+    explicit ObsContext(const EventQueue &clock) : trace(&clock) {}
+};
+
+/**
+ * Snapshot an event queue's lifetime counters into @p metrics under
+ * "sim.events_*" gauges (the sim layer cannot depend on obs, so the
+ * pull direction is inverted here).
+ */
+inline void
+snapshotEventQueue(const EventQueue &eq, MetricsRegistry &metrics)
+{
+    metrics.gauge("sim.events_scheduled")
+        .set(static_cast<double>(eq.scheduledCount()));
+    metrics.gauge("sim.events_fired")
+        .set(static_cast<double>(eq.firedCount()));
+    metrics.gauge("sim.events_cancelled")
+        .set(static_cast<double>(eq.cancelledCount()));
+    metrics.gauge("sim.final_tick_ns")
+        .set(static_cast<double>(eq.now()));
+}
+
+} // namespace krisp
+
+#endif // KRISP_OBS_OBS_HH

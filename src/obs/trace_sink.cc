@@ -1,0 +1,407 @@
+#include "obs/trace_sink.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace krisp
+{
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::KernelDispatch: return "kernel.dispatch";
+      case TraceEventKind::KernelSpan: return "kernel.span";
+      case TraceEventKind::WgDispatch: return "wg.dispatch";
+      case TraceEventKind::MaskReconfig: return "mask.reconfig";
+      case TraceEventKind::BarrierInject: return "barrier.inject";
+      case TraceEventKind::BarrierProcess: return "barrier.process";
+      case TraceEventKind::IoctlSubmit: return "ioctl.submit";
+      case TraceEventKind::IoctlSpan: return "ioctl.span";
+      case TraceEventKind::RightSize: return "krisp.rightsize";
+      case TraceEventKind::RequestEnqueue: return "request.enqueue";
+      case TraceEventKind::RequestSpan: return "request.span";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Chrome "cat" field per event kind. */
+const char *
+kindCategory(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::KernelDispatch:
+      case TraceEventKind::KernelSpan:
+        return "kernel";
+      case TraceEventKind::WgDispatch: return "wg";
+      case TraceEventKind::MaskReconfig: return "mask";
+      case TraceEventKind::BarrierInject:
+      case TraceEventKind::BarrierProcess:
+        return "barrier";
+      case TraceEventKind::IoctlSubmit:
+      case TraceEventKind::IoctlSpan:
+        return "ioctl";
+      case TraceEventKind::RightSize: return "krisp";
+      case TraceEventKind::RequestEnqueue:
+      case TraceEventKind::RequestSpan:
+        return "request";
+    }
+    return "?";
+}
+
+std::string
+processName(std::uint32_t pid)
+{
+    switch (pid) {
+      case tracePidGpu: return "gpu";
+      case tracePidHost: return "host";
+      case tracePidServer: return "server";
+    }
+    return "pid" + std::to_string(pid);
+}
+
+std::string
+threadName(std::uint32_t pid, std::uint32_t tid)
+{
+    switch (pid) {
+      case tracePidGpu: return "queue " + std::to_string(tid);
+      case tracePidHost:
+        return tid == traceTidIoctl ? "ioctl" : "krisp-runtime";
+      case tracePidServer: return "worker " + std::to_string(tid);
+    }
+    return "tid" + std::to_string(tid);
+}
+
+/** Microseconds with nanosecond precision, stable formatting. */
+std::string
+ticksToUsJson(Tick t)
+{
+    return json::number(static_cast<double>(t) / 1e3);
+}
+
+} // namespace
+
+TraceArg
+TraceArg::u64(std::string key, std::uint64_t v)
+{
+    return TraceArg{std::move(key), json::number(v)};
+}
+
+TraceArg
+TraceArg::f64(std::string key, double v)
+{
+    return TraceArg{std::move(key), json::number(v)};
+}
+
+TraceArg
+TraceArg::str(std::string key, const std::string &v)
+{
+    return TraceArg{std::move(key), json::quote(v)};
+}
+
+TraceArg
+TraceArg::hex(std::string key, std::uint64_t bits)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                  static_cast<unsigned long long>(bits));
+    return TraceArg{std::move(key), buf};
+}
+
+TraceSink::TraceSink(const EventQueue *clock) : clock_(clock) {}
+
+bool
+TraceSink::envEnabled()
+{
+    const char *env = std::getenv("KRISP_TRACE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void
+TraceSink::push(TraceRecord rec)
+{
+    if (!enabled_)
+        return;
+    if (records_.size() >= limit_) {
+        if (!limit_warned_) {
+            warn("trace sink hit its record limit (", limit_,
+                 "); further events are dropped");
+            limit_warned_ = true;
+        }
+        return;
+    }
+    rec.seq = next_seq_++;
+    rec.recordedAt = now();
+    records_.push_back(std::move(rec));
+}
+
+void
+TraceSink::instant(TraceEventKind kind, std::string name,
+                   std::uint32_t pid, std::uint32_t tid,
+                   std::vector<TraceArg> args)
+{
+    TraceRecord rec;
+    rec.ts = now();
+    rec.kind = kind;
+    rec.phase = 'i';
+    rec.pid = pid;
+    rec.tid = tid;
+    rec.name = std::move(name);
+    rec.args = std::move(args);
+    push(std::move(rec));
+}
+
+void
+TraceSink::span(TraceEventKind kind, std::string name,
+                std::uint32_t pid, std::uint32_t tid, Tick start,
+                Tick end, std::vector<TraceArg> args)
+{
+    panic_if(end < start, "trace span ends before it starts");
+    TraceRecord rec;
+    rec.ts = start;
+    rec.dur = end - start;
+    rec.kind = kind;
+    rec.phase = 'X';
+    rec.pid = pid;
+    rec.tid = tid;
+    rec.name = std::move(name);
+    rec.args = std::move(args);
+    push(std::move(rec));
+}
+
+void
+TraceSink::kernelDispatch(KernelId id, QueueId queue,
+                          const std::string &name,
+                          unsigned requestedCus)
+{
+    instant(TraceEventKind::KernelDispatch, name, tracePidGpu, queue,
+            {TraceArg::u64("kid", id),
+             TraceArg::u64("requested_cus", requestedCus)});
+}
+
+void
+TraceSink::kernelSpan(KernelId id, QueueId queue,
+                      const std::string &name, std::uint64_t maskBits,
+                      unsigned cus, Tick dispatch, Tick start, Tick end)
+{
+    span(TraceEventKind::KernelSpan, name, tracePidGpu, queue, start,
+         end,
+         {TraceArg::u64("kid", id), TraceArg::hex("mask", maskBits),
+          TraceArg::u64("cus", cus),
+          TraceArg::u64("dispatch_ns", dispatch),
+          TraceArg::u64("queue_delay_ns", start - dispatch)});
+}
+
+void
+TraceSink::wgDispatch(KernelId id, QueueId queue, unsigned workgroups,
+                      const std::vector<unsigned> &perSeWgs)
+{
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg::u64("kid", id));
+    args.push_back(TraceArg::u64("wgs", workgroups));
+    for (std::size_t se = 0; se < perSeWgs.size(); ++se) {
+        args.push_back(TraceArg::u64("se" + std::to_string(se),
+                                     perSeWgs[se]));
+    }
+    instant(TraceEventKind::WgDispatch, "wg-dispatch", tracePidGpu,
+            queue, std::move(args));
+}
+
+void
+TraceSink::maskReconfig(QueueId queue, std::uint64_t maskBits,
+                        unsigned cus)
+{
+    instant(TraceEventKind::MaskReconfig, "mask-reconfig", tracePidGpu,
+            queue,
+            {TraceArg::hex("mask", maskBits),
+             TraceArg::u64("cus", cus)});
+}
+
+void
+TraceSink::barrierInject(QueueId queue, const char *which)
+{
+    instant(TraceEventKind::BarrierInject, "barrier-inject",
+            tracePidHost, traceTidRuntime,
+            {TraceArg::u64("queue", queue),
+             TraceArg::str("which", which)});
+}
+
+void
+TraceSink::barrierProcess(QueueId queue, unsigned deps)
+{
+    instant(TraceEventKind::BarrierProcess, "barrier", tracePidGpu,
+            queue, {TraceArg::u64("deps", deps)});
+}
+
+void
+TraceSink::ioctlSubmit(std::size_t backlog)
+{
+    instant(TraceEventKind::IoctlSubmit, "ioctl-submit", tracePidHost,
+            traceTidIoctl, {TraceArg::u64("backlog", backlog)});
+}
+
+void
+TraceSink::ioctlSpan(Tick start, Tick end, Tick queuedNs)
+{
+    span(TraceEventKind::IoctlSpan, "ioctl", tracePidHost,
+         traceTidIoctl, start, end,
+         {TraceArg::u64("queued_ns", queuedNs)});
+}
+
+void
+TraceSink::rightSize(const std::string &kernel, unsigned requestedCus,
+                     const char *mode)
+{
+    instant(TraceEventKind::RightSize, "right-size", tracePidHost,
+            traceTidRuntime,
+            {TraceArg::str("kernel", kernel),
+             TraceArg::u64("requested_cus", requestedCus),
+             TraceArg::str("mode", mode)});
+}
+
+void
+TraceSink::requestEnqueue(WorkerId worker, const std::string &model,
+                          std::uint64_t request)
+{
+    instant(TraceEventKind::RequestEnqueue, "enqueue", tracePidServer,
+            worker,
+            {TraceArg::str("model", model),
+             TraceArg::u64("request", request)});
+}
+
+void
+TraceSink::requestSpan(WorkerId worker, const std::string &model,
+                       std::uint64_t request, Tick start, Tick end)
+{
+    span(TraceEventKind::RequestSpan, model, tracePidServer, worker,
+         start, end,
+         {TraceArg::u64("request", request),
+          TraceArg::u64("worker", worker),
+          TraceArg::str("model", model)});
+}
+
+void
+TraceSink::clear()
+{
+    records_.clear();
+    next_seq_ = 0;
+    limit_warned_ = false;
+}
+
+void
+TraceSink::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+
+    // Process / thread name metadata for every track in use, emitted
+    // in (pid, tid) order for determinism.
+    std::set<std::uint32_t> pids;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;
+    for (const auto &rec : records_) {
+        pids.insert(rec.pid);
+        tracks.insert({rec.pid, rec.tid});
+    }
+    for (const std::uint32_t pid : pids) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+           << json::number(std::uint64_t(pid))
+           << ",\"args\":{\"name\":" << json::quote(processName(pid))
+           << "}}";
+    }
+    for (const auto &[pid, tid] : tracks) {
+        os << ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+           << json::number(std::uint64_t(pid))
+           << ",\"tid\":" << json::number(std::uint64_t(tid))
+           << ",\"args\":{\"name\":"
+           << json::quote(threadName(pid, tid)) << "}}";
+    }
+
+    for (const auto &rec : records_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":" << json::quote(rec.name)
+           << ",\"cat\":" << json::quote(kindCategory(rec.kind))
+           << ",\"ph\":\"" << rec.phase << "\""
+           << ",\"ts\":" << ticksToUsJson(rec.ts);
+        if (rec.phase == 'X')
+            os << ",\"dur\":" << ticksToUsJson(rec.dur);
+        if (rec.phase == 'i')
+            os << ",\"s\":\"t\"";
+        os << ",\"pid\":" << json::number(std::uint64_t(rec.pid))
+           << ",\"tid\":" << json::number(std::uint64_t(rec.tid))
+           << ",\"args\":{\"kind\":"
+           << json::quote(traceEventKindName(rec.kind));
+        for (const auto &arg : rec.args)
+            os << "," << json::quote(arg.key) << ":" << arg.json;
+        os << "}}";
+    }
+    os << "]}\n";
+}
+
+std::string
+TraceSink::toChromeJson() const
+{
+    std::ostringstream oss;
+    writeChromeJson(oss);
+    return oss.str();
+}
+
+bool
+TraceSink::writeChromeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("cannot open trace file ", path);
+        return false;
+    }
+    writeChromeJson(out);
+    return out.good();
+}
+
+void
+TraceSink::writeCsv(std::ostream &os) const
+{
+    os << "seq,ts_ns,dur_ns,kind,phase,pid,tid,name,args\n";
+    for (const auto &rec : records_) {
+        os << rec.seq << ',' << rec.ts << ',' << rec.dur << ','
+           << traceEventKindName(rec.kind) << ',' << rec.phase << ','
+           << rec.pid << ',' << rec.tid << ',' << rec.name << ',';
+        bool first = true;
+        for (const auto &arg : rec.args) {
+            if (!first)
+                os << '|';
+            first = false;
+            os << arg.key << '=' << arg.json;
+        }
+        os << '\n';
+    }
+}
+
+bool
+TraceSink::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("cannot open trace CSV file ", path);
+        return false;
+    }
+    writeCsv(out);
+    return out.good();
+}
+
+} // namespace krisp

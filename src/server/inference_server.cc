@@ -27,7 +27,12 @@ struct Worker
     std::uint64_t measuredCompleted = 0;
     PercentileTracker latencyMs;
     Tick requestStart = 0;
+    std::uint64_t requestId = 0;
     bool idle = false;
+
+    /** Registry instruments (null when no ObsContext is attached). */
+    Counter *requestsMetric = nullptr;
+    PercentileTracker *latencyMetric = nullptr;
 };
 
 /** Whole-run mutable state threaded through the event callbacks. */
@@ -43,6 +48,9 @@ struct RunState
     std::unique_ptr<KernelSizer> sizer;
     std::unique_ptr<KrispRuntime> krisp;
     std::vector<Worker> workers;
+
+    ObsContext *obs = nullptr;
+    std::uint64_t nextRequestId = 0;
 
     bool measuring = false;
     bool done = false;
@@ -96,6 +104,13 @@ completeRequest(RunState &st, Worker &w)
         ++w.measuredCompleted;
         w.latencyMs.add(latency_ms);
     }
+    if (st.obs != nullptr) {
+        KRISP_TRACE_EVENT(&st.obs->trace,
+                          requestSpan(w.id, w.model, w.requestId,
+                                      w.requestStart, st.eq.now()));
+        w.requestsMetric->inc();
+        w.latencyMetric->add(latency_ms);
+    }
     maybeTransition(st);
     startRequest(st, w);
 }
@@ -126,6 +141,11 @@ startRequest(RunState &st, Worker &w)
         return;
     }
     w.requestStart = st.eq.now();
+    w.requestId = ++st.nextRequestId;
+    if (st.obs != nullptr) {
+        KRISP_TRACE_EVENT(&st.obs->trace,
+                          requestEnqueue(w.id, w.model, w.requestId));
+    }
     st.eq.scheduleIn(st.cfg.preprocessNs,
                      [&st, &w] { launchInference(st, w); });
 }
@@ -161,9 +181,14 @@ InferenceServer::run()
 {
     RunState st;
     st.cfg = config_;
+    st.obs = config_.obs;
     st.device = std::make_unique<GpuDevice>(st.eq, config_.gpu);
     st.hip = std::make_unique<HipRuntime>(st.eq, *st.device,
                                           config_.host);
+    if (st.obs != nullptr) {
+        st.obs->trace.setClock(&st.eq);
+        st.hip->attachObs(st.obs);
+    }
     st.zoo = std::make_unique<ModelZoo>(config_.gpu.arch);
 
     const unsigned num_workers =
@@ -177,6 +202,15 @@ InferenceServer::run()
         w.model = config_.workerModels[i];
         w.stream = &st.hip->createStream();
         w.seq = &st.zoo->kernels(w.model, config_.batch);
+        if (st.obs != nullptr) {
+            const std::string prefix =
+                "server.worker" + std::to_string(i) + ".";
+            st.obs->metrics.label(prefix + "model").set(w.model);
+            w.requestsMetric =
+                &st.obs->metrics.counter(prefix + "requests");
+            w.latencyMetric =
+                &st.obs->metrics.percentiles(prefix + "latency_ms");
+        }
     }
 
     // Policy setup.
@@ -225,7 +259,8 @@ InferenceServer::run()
         st.sizer = std::make_unique<ProfiledSizer>(
             *st.db, config_.gpu.arch.totalCus());
         st.krisp = std::make_unique<KrispRuntime>(
-            *st.hip, *st.sizer, *st.allocator, config_.enforcement);
+            *st.hip, *st.sizer, *st.allocator, config_.enforcement,
+            st.obs);
         break;
       }
     }
@@ -274,6 +309,36 @@ InferenceServer::run()
             ? energy / static_cast<double>(result.completed)
             : 0.0;
     result.avgPowerW = seconds > 0 ? energy / seconds : 0.0;
+
+    if (st.obs != nullptr) {
+        // One metrics snapshot per run: component stats join the live
+        // "server.*" / "krisp.*" instruments filled during the run.
+        MetricsRegistry &m = st.obs->metrics;
+        st.device->publishMetrics(m);
+        snapshotEventQueue(st.eq, m);
+        const IoctlService &ioctl = st.hip->ioctlService();
+        m.gauge("host.ioctls_completed")
+            .set(static_cast<double>(ioctl.completed()));
+        m.gauge("host.ioctl_max_backlog")
+            .set(static_cast<double>(ioctl.maxBacklog()));
+        m.gauge("host.ioctl_queue_delay_ns.mean")
+            .set(ioctl.queueDelayNs().mean());
+        m.label("server.policy")
+            .set(partitionPolicyName(st.cfg.policy));
+        m.gauge("server.workers")
+            .set(static_cast<double>(num_workers));
+        m.gauge("server.batch").set(static_cast<double>(st.cfg.batch));
+        m.gauge("server.total_rps").set(result.totalRps);
+        m.gauge("server.max_p95_ms").set(result.maxP95Ms);
+        m.gauge("server.measure_seconds").set(result.measureSeconds);
+        m.gauge("server.requests_completed")
+            .set(static_cast<double>(result.completed));
+        m.gauge("server.energy_per_inference_j")
+            .set(result.energyPerInferenceJ);
+        m.gauge("server.avg_power_w").set(result.avgPowerW);
+        m.gauge("server.truncated")
+            .set(result.truncated ? 1.0 : 0.0);
+    }
     return result;
 }
 

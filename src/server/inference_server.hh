@@ -24,6 +24,7 @@
 #include "core/krisp_runtime.hh"
 #include "gpu/gpu_config.hh"
 #include "hip/hip_runtime.hh"
+#include "obs/obs.hh"
 #include "profile/kernel_profiler.hh"
 #include "server/policies.hh"
 
@@ -56,6 +57,17 @@ struct ServerConfig
     unsigned measuredRequests = 40;
     /** Hard stop for pathological configurations. */
     Tick maxSimNs = ticksFromSec(600);
+
+    /**
+     * Optional observability context (owned by the caller, must
+     * outlive run()). When set, the run emits kernel / mask /
+     * barrier / ioctl events and per-request spans with worker and
+     * model attribution into its trace sink, and fills its metrics
+     * registry with "server.*", "krisp.*", "gpu.*" and "sim.*"
+     * instruments. Purely observational: simulated-time results are
+     * identical with or without it.
+     */
+    ObsContext *obs = nullptr;
 };
 
 /** Per-worker measurement output. */

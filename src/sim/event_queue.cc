@@ -17,6 +17,7 @@ EventQueue::schedule(Tick when, Callback cb)
     heap_.push(Entry{when, next_seq_++, id});
     callbacks_.emplace(id, std::move(cb));
     ++live_;
+    ++scheduled_;
     return id;
 }
 
@@ -35,6 +36,7 @@ EventQueue::deschedule(EventId id)
         return false;
     callbacks_.erase(it);
     --live_;
+    ++cancelled_;
     // The heap entry stays behind and is skipped lazily when popped.
     return true;
 }
@@ -59,6 +61,7 @@ EventQueue::step()
         --live_;
         panic_if(top.when < now_, "event queue went backwards");
         now_ = top.when;
+        ++fired_;
         cb();
         return true;
     }

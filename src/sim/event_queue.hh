@@ -72,6 +72,11 @@ class EventQueue
     /** Number of pending (non-cancelled) events. */
     std::size_t pendingCount() const { return live_; }
 
+    /** Lifetime counters for the observability layer. */
+    std::uint64_t scheduledCount() const { return scheduled_; }
+    std::uint64_t firedCount() const { return fired_; }
+    std::uint64_t cancelledCount() const { return cancelled_; }
+
     /**
      * Run events until the queue drains or @p limit ticks is reached
      * (events at exactly @p limit still run).
@@ -104,6 +109,9 @@ class EventQueue
     std::uint64_t next_seq_ = 1;
     EventId next_id_ = 1;
     std::size_t live_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t fired_ = 0;
+    std::uint64_t cancelled_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
     /** id -> callback for live events; erased on fire/cancel. */
     std::map<EventId, Callback> callbacks_;

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -247,6 +248,93 @@ TEST(FormatFixed, Precision)
 {
     EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
     EXPECT_EQ(formatFixed(1.0, 0), "1");
+}
+
+TEST(PercentileTracker, EmptyAndResetLifecycle)
+{
+    PercentileTracker t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.count(), 0u);
+    t.add(1.0);
+    EXPECT_FALSE(t.empty());
+    t.reset();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(PercentileTracker, SingleSampleAllQuantiles)
+{
+    PercentileTracker t;
+    t.add(7.25);
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 7.25);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 7.25);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 7.25);
+    EXPECT_DOUBLE_EQ(t.mean(), 7.25);
+    EXPECT_DOUBLE_EQ(t.min(), 7.25);
+    EXPECT_DOUBLE_EQ(t.max(), 7.25);
+}
+
+TEST(Histogram, EmptyHistogramHasZeroEverywhere)
+{
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_EQ(h.total(), 0u);
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        EXPECT_EQ(h.binCount(i), 0u);
+}
+
+TEST(Histogram, SingleSampleAndReset)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(2.5);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.binCount(2), 0u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(10.0, 20.0, 5);
+    h.add(-1e9); // far below lo
+    h.add(1e9);  // far above hi
+    h.add(10.0); // exactly lo
+    h.add(20.0); // exactly hi clamps into the last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+}
+
+TEST(Logging, ThresholdFiltersLevels)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_FALSE(logLevelEnabled(LogLevel::Debug));
+    EXPECT_FALSE(logLevelEnabled(LogLevel::Inform));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Warn));
+    // panic/fatal are never filtered.
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Panic));
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Fatal));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Debug));
+    setLogLevel(saved);
+}
+
+TEST(Logging, DebugMacroHonoursThreshold)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    int evals = 0;
+    auto expensive = [&] {
+        ++evals;
+        return "detail";
+    };
+    debug("never formatted: ", expensive());
+    EXPECT_EQ(evals, 0); // argument evaluation skipped when filtered
+    setLogLevel(LogLevel::Debug);
+    debug("formatted: ", expensive());
+    EXPECT_EQ(evals, 1);
+    setLogLevel(saved);
 }
 
 TEST(CommonDeath, PanicAborts)
