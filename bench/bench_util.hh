@@ -110,7 +110,7 @@ class BenchReport
         set(prefix + ".completed",
             static_cast<double>(r.completed));
         set(prefix + ".measure_seconds", r.measureSeconds);
-        set(prefix + ".truncated", r.truncated ? 1.0 : 0.0);
+        set(prefix + ".timed_out", r.timedOut ? 1.0 : 0.0);
     }
 
     /** Where this bench's summary JSON goes. */

@@ -30,11 +30,24 @@ KrispRuntime::KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
     launches_ = &reg.counter("krisp.launches");
     emulated_reconfigs_ = &reg.counter("krisp.emulated_reconfigs");
     requested_cus_total_ = &reg.counter("krisp.requested_cus_total");
+    reconfig_retries_ = &reg.counter("krisp.reconfig_retries");
+    reconfig_fallbacks_ = &reg.counter("krisp.reconfig_fallbacks");
     requested_cus_ = &reg.accumulator("krisp.requested_cus");
     if (obs != nullptr) {
         trace_ = &obs->trace;
         reg.label("krisp.enforcement").set(enforcementModeName(mode_));
     }
+}
+
+void
+KrispRuntime::setIoctlRetryPolicy(IoctlRetryPolicy policy)
+{
+    fatal_if(policy.maxAttempts == 0,
+             "ioctl retry policy needs at least one attempt");
+    fatal_if(policy.backoffMultiplier < 1.0,
+             "ioctl retry backoff multiplier must be >= 1: ",
+             policy.backoffMultiplier);
+    retry_ = policy;
 }
 
 KrispRuntimeStats
@@ -44,6 +57,8 @@ KrispRuntime::stats() const
     s.launches = launches_->value();
     s.emulatedReconfigs = emulated_reconfigs_->value();
     s.requestedCusTotal = requested_cus_total_->value();
+    s.reconfigRetries = reconfig_retries_->value();
+    s.reconfigFallbacks = reconfig_fallbacks_->value();
     return s;
 }
 
@@ -110,12 +125,54 @@ KrispRuntime::launchEmulated(Stream &stream, KernelDescPtr kernel,
         hip_.deferCallback([this, stream_ptr, mask_ready, cus] {
             const CuMask mask = allocator_.allocate(
                 cus, hip_.device().monitor());
-            hip_.streamSetCuMask(*stream_ptr, mask, [this, mask_ready] {
-                emulated_reconfigs_->inc();
-                mask_ready->subtract(1);
-            });
+            tryReconfig(*stream_ptr, mask, mask_ready, 1);
         });
     });
+}
+
+void
+KrispRuntime::tryReconfig(Stream &stream, CuMask mask,
+                          HsaSignalPtr mask_ready, unsigned attempt)
+{
+    Stream *stream_ptr = &stream;
+    hip_.streamSetCuMask(
+        stream, mask,
+        [this, mask_ready] {
+            emulated_reconfigs_->inc();
+            mask_ready->subtract(1);
+        },
+        [this, stream_ptr, mask, mask_ready, attempt] {
+            if (attempt < retry_.maxAttempts) {
+                reconfig_retries_->inc();
+                // Exponential backoff: 1x, mult x, mult^2 x, ...
+                double scale = 1.0;
+                for (unsigned i = 1; i < attempt; ++i)
+                    scale *= retry_.backoffMultiplier;
+                const Tick delay = static_cast<Tick>(
+                    static_cast<double>(retry_.backoffNs) * scale);
+                KRISP_TRACE_EVENT(
+                    trace_, recovery("ioctl-retry", "", attempt));
+                debug("reconfig ioctl failed (attempt ", attempt,
+                      "); retrying in ", delay, " ns");
+                hip_.eventQueue().scheduleIn(
+                    delay,
+                    [this, stream_ptr, mask, mask_ready, attempt] {
+                        tryReconfig(*stream_ptr, mask, mask_ready,
+                                    attempt + 1);
+                    });
+                return;
+            }
+            // Retry budget exhausted: release the held kernel under
+            // the queue's current stream-scoped mask. Right-sizing is
+            // lost for this launch (MPS-style static partition) but
+            // the request still completes.
+            reconfig_fallbacks_->inc();
+            KRISP_TRACE_EVENT(trace_,
+                              recovery("mask-fallback", "", attempt));
+            warn("reconfig ioctl failed ", attempt,
+                 " times; falling back to the static queue mask");
+            mask_ready->subtract(1);
+        });
 }
 
 } // namespace krisp

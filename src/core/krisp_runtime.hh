@@ -46,6 +46,21 @@ enum class EnforcementMode
 const char *enforcementModeName(EnforcementMode mode);
 
 /**
+ * Bounded retry-with-exponential-backoff for failed CU-mask
+ * reconfiguration ioctls (emulated enforcement). Attempt n waits
+ * backoffNs * backoffMultiplier^(n-1) before resubmitting; after
+ * maxAttempts total attempts the launch falls back to the queue's
+ * current stream-scoped mask (MPS-style static partition), trading
+ * right-sizing for availability.
+ */
+struct IoctlRetryPolicy
+{
+    unsigned maxAttempts = 4;
+    Tick backoffNs = 20'000;
+    double backoffMultiplier = 2.0;
+};
+
+/**
  * Snapshot of the interception-layer counters. The live values are
  * metrics-registry instruments ("krisp.*"); this struct is the
  * caller-friendly view stats() assembles from them.
@@ -57,6 +72,10 @@ struct KrispRuntimeStats
     std::uint64_t emulatedReconfigs = 0;
     /** Sum of requested partition sizes (for averaging). */
     std::uint64_t requestedCusTotal = 0;
+    /** Reconfiguration ioctls resubmitted after a failure. */
+    std::uint64_t reconfigRetries = 0;
+    /** Launches degraded to the static queue mask after retries. */
+    std::uint64_t reconfigFallbacks = 0;
 };
 
 /** The programmer-transparent launch interceptor. */
@@ -87,6 +106,10 @@ class KrispRuntime
 
     EnforcementMode mode() const { return mode_; }
 
+    /** Failure-handling policy for emulated-mode reconfig ioctls. */
+    void setIoctlRetryPolicy(IoctlRetryPolicy policy);
+    const IoctlRetryPolicy &ioctlRetryPolicy() const { return retry_; }
+
     /** Counter snapshot (values live in the metrics registry). */
     KrispRuntimeStats stats() const;
 
@@ -102,11 +125,20 @@ class KrispRuntime
                       HsaSignalPtr completion, unsigned cus);
     void launchEmulated(Stream &stream, KernelDescPtr kernel,
                         HsaSignalPtr completion, unsigned cus);
+    /**
+     * Submit the mask-reconfiguration ioctl for one emulated launch
+     * (attempt counts from 1). On rejection, retries with exponential
+     * backoff up to the policy's attempt budget, then releases the
+     * kernel under the queue's current static mask.
+     */
+    void tryReconfig(Stream &stream, CuMask mask,
+                     HsaSignalPtr mask_ready, unsigned attempt);
 
     HipRuntime &hip_;
     const KernelSizer &sizer_;
     MaskAllocator &allocator_;
     EnforcementMode mode_;
+    IoctlRetryPolicy retry_;
 
     /** Fallback registry when no ObsContext is supplied. */
     MetricsRegistry own_metrics_;
@@ -114,6 +146,8 @@ class KrispRuntime
     Counter *launches_ = nullptr;
     Counter *emulated_reconfigs_ = nullptr;
     Counter *requested_cus_total_ = nullptr;
+    Counter *reconfig_retries_ = nullptr;
+    Counter *reconfig_fallbacks_ = nullptr;
     Accumulator *requested_cus_ = nullptr;
 };
 

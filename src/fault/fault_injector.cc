@@ -1,0 +1,153 @@
+#include "fault/fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+void
+checkProb(double p, const char *name)
+{
+    fatal_if(p < 0.0 || p > 1.0, "fault probability ", name,
+             " out of [0,1]: ", p);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, ObsContext *obs)
+    : plan_(plan), armed_(plan.enabled()),
+      kernel_rng_(0), ioctl_rng_(0), signal_rng_(0), stall_rng_(0)
+{
+    checkProb(plan_.kernelHangProb, "kernelHangProb");
+    checkProb(plan_.kernelSlowProb, "kernelSlowProb");
+    checkProb(plan_.ioctlFailProb, "ioctlFailProb");
+    checkProb(plan_.ioctlDelayProb, "ioctlDelayProb");
+    checkProb(plan_.signalLossProb, "signalLossProb");
+    checkProb(plan_.stallProb, "stallProb");
+    fatal_if(plan_.kernelSlowFactor < 1.0,
+             "kernelSlowFactor must be >= 1: ", plan_.kernelSlowFactor);
+    fatal_if(plan_.ioctlDelayFactor < 1.0,
+             "ioctlDelayFactor must be >= 1: ", plan_.ioctlDelayFactor);
+
+    // One independent stream per site so draws at one site never
+    // shift the sequence seen by another.
+    SplitMix64 sm(plan_.seed);
+    kernel_rng_ = Rng(sm.next());
+    ioctl_rng_ = Rng(sm.next());
+    signal_rng_ = Rng(sm.next());
+    stall_rng_ = Rng(sm.next());
+
+    MetricsRegistry &reg =
+        obs != nullptr ? obs->metrics : own_metrics_;
+    hangs_ = &reg.counter("fault.kernel_hangs");
+    slowdowns_ = &reg.counter("fault.kernel_slowdowns");
+    ioctl_failures_ = &reg.counter("fault.ioctl_failures");
+    ioctl_delays_ = &reg.counter("fault.ioctl_delays");
+    signal_losses_ = &reg.counter("fault.signal_losses");
+    stalls_ = &reg.counter("fault.preprocess_stalls");
+    watchdog_kills_ = &reg.counter("fault.watchdog_kills");
+    if (obs != nullptr)
+        trace_ = &obs->trace;
+}
+
+FaultInjector::KernelFault
+FaultInjector::kernelFault(const std::string &name)
+{
+    KernelFault fault;
+    if (plan_.kernelHangProb > 0 &&
+        kernel_rng_.chance(plan_.kernelHangProb)) {
+        fault.hang = true;
+        hangs_->inc();
+        KRISP_TRACE_EVENT(trace_, faultInject("kernel.hang", name, 0));
+        return fault;
+    }
+    if (plan_.kernelSlowProb > 0 &&
+        kernel_rng_.chance(plan_.kernelSlowProb)) {
+        fault.slowFactor = plan_.kernelSlowFactor;
+        slowdowns_->inc();
+        KRISP_TRACE_EVENT(trace_, faultInject("kernel.slow", name,
+                                              plan_.kernelSlowFactor));
+    }
+    return fault;
+}
+
+bool
+FaultInjector::ioctlFails()
+{
+    ++ioctl_attempts_;
+    const bool burst = ioctl_attempts_ <= plan_.ioctlFailBurst;
+    if (!burst && (plan_.ioctlFailProb <= 0 ||
+                   !ioctl_rng_.chance(plan_.ioctlFailProb))) {
+        return false;
+    }
+    ioctl_failures_->inc();
+    KRISP_TRACE_EVENT(trace_, faultInject("ioctl.fail",
+                                          burst ? "burst" : "random",
+                                          0));
+    return true;
+}
+
+Tick
+FaultInjector::ioctlLatency(Tick base)
+{
+    if (plan_.ioctlDelayProb <= 0 ||
+        !ioctl_rng_.chance(plan_.ioctlDelayProb)) {
+        return base;
+    }
+    ioctl_delays_->inc();
+    KRISP_TRACE_EVENT(trace_, faultInject("ioctl.delay", "",
+                                          plan_.ioctlDelayFactor));
+    return static_cast<Tick>(static_cast<double>(base) *
+                             plan_.ioctlDelayFactor);
+}
+
+bool
+FaultInjector::signalLost()
+{
+    if (plan_.signalLossProb <= 0 ||
+        !signal_rng_.chance(plan_.signalLossProb)) {
+        return false;
+    }
+    signal_losses_->inc();
+    KRISP_TRACE_EVENT(trace_, faultInject("signal.loss", "", 0));
+    return true;
+}
+
+Tick
+FaultInjector::preprocessStall()
+{
+    if (plan_.stallProb <= 0 || !stall_rng_.chance(plan_.stallProb))
+        return 0;
+    stalls_->inc();
+    KRISP_TRACE_EVENT(trace_,
+                      faultInject("preprocess.stall", "",
+                                  static_cast<double>(plan_.stallNs)));
+    return plan_.stallNs;
+}
+
+void
+FaultInjector::noteWatchdogKill(KernelId kernel, const std::string &name)
+{
+    watchdog_kills_->inc();
+    KRISP_TRACE_EVENT(trace_, recovery("watchdog-kill", name, kernel));
+    debug("watchdog killed hung kernel ", kernel, " (", name, ")");
+}
+
+FaultStats
+FaultInjector::stats() const
+{
+    FaultStats s;
+    s.kernelHangs = hangs_->value();
+    s.kernelSlowdowns = slowdowns_->value();
+    s.ioctlFailures = ioctl_failures_->value();
+    s.ioctlDelays = ioctl_delays_->value();
+    s.signalLosses = signal_losses_->value();
+    s.preprocessStalls = stalls_->value();
+    s.watchdogKills = watchdog_kills_->value();
+    return s;
+}
+
+} // namespace krisp

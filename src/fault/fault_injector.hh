@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * One FaultInjector serves a whole run. Components hold a non-owning
+ * pointer (null = no fault layer) and consult it at their injection
+ * site; each site draws from its own seed-derived RNG stream so that
+ * faults at one site never perturb the sequence at another, and a run
+ * is fully determined by (FaultPlan, workload). Every injected fault
+ * increments a "fault.*" counter in the metrics registry and emits a
+ * trace event, mirroring the observability layer's conventions: a
+ * null or disarmed injector costs its callers one branch and changes
+ * nothing.
+ */
+
+#ifndef KRISP_FAULT_FAULT_INJECTOR_HH
+#define KRISP_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "fault/fault_plan.hh"
+#include "obs/obs.hh"
+
+namespace krisp
+{
+
+/** Counter snapshot (live values are "fault.*" registry counters). */
+struct FaultStats
+{
+    std::uint64_t kernelHangs = 0;
+    std::uint64_t kernelSlowdowns = 0;
+    std::uint64_t ioctlFailures = 0;
+    std::uint64_t ioctlDelays = 0;
+    std::uint64_t signalLosses = 0;
+    std::uint64_t preprocessStalls = 0;
+    /** Hung kernels force-retired by the GPU watchdog (recovery). */
+    std::uint64_t watchdogKills = 0;
+};
+
+/** Per-site fault decisions for one run. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan the fault scenario (validated here: probabilities
+     *             must lie in [0, 1], factors must be >= 1)
+     * @param obs  optional observability context: fault counters
+     *             register as "fault.*" instruments and injections
+     *             emit trace events. Without one, counters live in a
+     *             private registry (stats() still works).
+     */
+    explicit FaultInjector(FaultPlan plan, ObsContext *obs = nullptr);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** False when the plan injects nothing; callers skip all draws. */
+    bool armed() const { return armed_; }
+
+    // ---- site (a): gpu_device kernel dispatch --------------------
+    struct KernelFault
+    {
+        bool hang = false;
+        /** Work multiplier for the fluid job (1.0 = no fault). */
+        double slowFactor = 1.0;
+    };
+    KernelFault kernelFault(const std::string &name);
+
+    // ---- site (b): hsa/ioctl_service -----------------------------
+    /** Decide whether the ioctl now entering service fails. */
+    bool ioctlFails();
+    /** Service latency for the ioctl now entering service. */
+    Tick ioctlLatency(Tick base);
+
+    // ---- site (c): hsa/signal ------------------------------------
+    /** Decide whether a completion decrement is lost. */
+    bool signalLost();
+
+    // ---- site (d): server worker preprocess ----------------------
+    /** Extra preprocess latency (0 = no stall injected). */
+    Tick preprocessStall();
+
+    // ---- recovery bookkeeping ------------------------------------
+    /** The GPU watchdog force-retired a hung kernel. */
+    void noteWatchdogKill(KernelId kernel, const std::string &name);
+
+    FaultStats stats() const;
+
+  private:
+    FaultPlan plan_;
+    bool armed_;
+
+    /** Independent per-site streams derived from plan.seed. */
+    Rng kernel_rng_;
+    Rng ioctl_rng_;
+    Rng signal_rng_;
+    Rng stall_rng_;
+
+    std::uint64_t ioctl_attempts_ = 0;
+
+    /** Fallback registry when no ObsContext is supplied. */
+    MetricsRegistry own_metrics_;
+    TraceSink *trace_ = nullptr;
+    Counter *hangs_ = nullptr;
+    Counter *slowdowns_ = nullptr;
+    Counter *ioctl_failures_ = nullptr;
+    Counter *ioctl_delays_ = nullptr;
+    Counter *signal_losses_ = nullptr;
+    Counter *stalls_ = nullptr;
+    Counter *watchdog_kills_ = nullptr;
+};
+
+} // namespace krisp
+
+#endif // KRISP_FAULT_FAULT_INJECTOR_HH

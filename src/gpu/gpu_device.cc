@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "gpu/bandwidth.hh"
 
 namespace krisp
@@ -104,8 +105,18 @@ GpuDevice::attachObs(ObsContext *obs)
 }
 
 void
+GpuDevice::attachFault(FaultInjector *fault)
+{
+    fault_ = fault != nullptr && fault->armed() ? fault : nullptr;
+}
+
+void
 GpuDevice::publishMetrics(MetricsRegistry &metrics) const
 {
+    if (fault_ != nullptr) {
+        metrics.gauge("gpu.watchdog_kills")
+            .set(static_cast<double>(stats_.watchdogKills));
+    }
     metrics.gauge("gpu.kernels_dispatched")
         .set(static_cast<double>(stats_.kernelsDispatched));
     metrics.gauge("gpu.kernels_completed")
@@ -266,6 +277,17 @@ GpuDevice::dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
     rk.onComplete = pkt.onComplete;
     rk.dispatchTick = eq_.now();
 
+    if (fault_ != nullptr) {
+        const auto fault = fault_->kernelFault(rk.desc->name);
+        rk.hung = fault.hang;
+        rk.slowFactor = fault.slowFactor;
+        // Completion decrements of kernel completion signals may be
+        // lost (site c); barrier handshake signals are never wired up
+        // or the emulation protocol itself would wedge.
+        if (rk.completion)
+            rk.completion->setFaultInjector(fault_);
+    }
+
     if (trace_ != nullptr && trace_->enabled()) {
         trace_->kernelDispatch(rk.id, rk.qid, rk.desc->name,
                                pkt.requestedCus);
@@ -289,12 +311,39 @@ GpuDevice::dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
     eq_.scheduleIn(config_.kernelLaunchOverheadNs,
                    [this, rk = std::move(rk)]() mutable {
         rk.startTick = eq_.now();
+        // Work in slowFactor units at unchanged per-unit rates: an
+        // injected slowdown multiplies the kernel's duration.
+        const double work = rk.slowFactor;
         staging_ = std::move(rk);
-        const JobId job = fluid_.add(1.0);
+        const JobId job = fluid_.add(work);
         panic_if(staging_.has_value(),
                  "rate recomputation did not adopt staged kernel ",
                  job);
+        if (fault_ != nullptr &&
+            fault_->plan().watchdogTimeoutNs > 0) {
+            running_.at(job).watchdog =
+                eq_.scheduleIn(fault_->plan().watchdogTimeoutNs,
+                               [this, job] { watchdogFire(job); });
+        }
     });
+}
+
+void
+GpuDevice::watchdogFire(JobId job)
+{
+    const auto it = running_.find(job);
+    panic_if(it == running_.end(),
+             "watchdog fired for unknown job ", job);
+    RunningKernel rk = std::move(it->second);
+    running_.erase(it);
+    ++stats_.watchdogKills;
+    warn("GPU watchdog killed kernel ", rk.id, " (", rk.desc->name,
+         ") after ", eq_.now() - rk.startTick, " ns",
+         rk.hung ? " [injected hang]" : "");
+    if (fault_ != nullptr)
+        fault_->noteWatchdogKill(rk.id, rk.desc->name);
+    fluid_.cancel(job);
+    retireKernel(std::move(rk), true);
 }
 
 void
@@ -304,6 +353,14 @@ GpuDevice::onKernelComplete(JobId job)
     panic_if(it == running_.end(), "completion for unknown job ", job);
     RunningKernel rk = std::move(it->second);
     running_.erase(it);
+    retireKernel(std::move(rk), false);
+}
+
+void
+GpuDevice::retireKernel(RunningKernel rk, bool killed)
+{
+    if (rk.watchdog != invalidEventId && !killed)
+        eq_.deschedule(rk.watchdog);
 
     monitor_.removeKernel(rk.mask);
     ++stats_.kernelsCompleted;
@@ -400,6 +457,14 @@ GpuDevice::recomputeRates(FluidScheduler &fs)
 
     for (const JobId job : jobs) {
         RunningKernel &rk = running_.at(job);
+        if (rk.hung) {
+            // A hung kernel never progresses (rate 0 jobs schedule no
+            // completion) but keeps its CUs resident, contending with
+            // healthy kernels until the watchdog reclaims them.
+            rk.bwAlloc = 0;
+            fs.setRate(job, 0.0);
+            continue;
+        }
         // Per-CU slowdown: a CU whose aggregate occupancy demand
         // exceeds its capacity scales everyone proportionally; a
         // multiplicative interference penalty applies per co-resident

@@ -58,6 +58,8 @@ struct KernelTraceEvent
     Tick endTick = 0;
 };
 
+class FaultInjector;
+
 /** Aggregate device statistics. */
 struct GpuDeviceStats
 {
@@ -66,6 +68,8 @@ struct GpuDeviceStats
     std::uint64_t packetsProcessed = 0;
     std::uint64_t barriersProcessed = 0;
     std::uint64_t krispAllocations = 0;
+    /** Hung kernels force-retired by the GPU watchdog. */
+    std::uint64_t watchdogKills = 0;
     /** Per-kernel wall latency (dispatch to retire), ns. */
     Accumulator kernelLatencyNs;
     /** Observed running-kernel concurrency at each dispatch. */
@@ -127,6 +131,17 @@ class GpuDevice
     void attachObs(ObsContext *obs);
 
     /**
+     * Attach a fault injector (site a): dispatched kernels may hang
+     * or run slower, and their completion signals may lose
+     * decrements. While a fault plan with a nonzero watchdogTimeoutNs
+     * is armed, a per-kernel GPU watchdog force-retires kernels that
+     * overstay it (driver-reset model): the kernel's completion
+     * signal and callback still fire so only its request fails.
+     * Pass nullptr to detach.
+     */
+    void attachFault(FaultInjector *fault);
+
+    /**
      * Snapshot device statistics into @p metrics under "gpu.*"
      * (called once at end of run for the per-run JSON dump).
      */
@@ -168,6 +183,12 @@ class GpuDevice
         Tick startTick = 0;
         /** Bandwidth granted in the last rate evaluation, bytes/ns. */
         double bwAlloc = 0;
+        /** Injected hang: the fluid job runs at rate 0 forever. */
+        bool hung = false;
+        /** Injected duration multiplier (1.0 = none). */
+        double slowFactor = 1.0;
+        /** Pending GPU-watchdog event for this kernel. */
+        EventId watchdog = invalidEventId;
     };
 
     void tryProcess(QueueCtx &ctx);
@@ -177,6 +198,8 @@ class GpuDevice
     void dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
                         CuMask mask);
     void onKernelComplete(JobId job);
+    void watchdogFire(JobId job);
+    void retireKernel(RunningKernel rk, bool killed);
     void recomputeRates(FluidScheduler &fs);
     void updatePower();
 
@@ -188,6 +211,7 @@ class GpuDevice
     MaskAllocatorIface *allocator_ = nullptr;
     std::function<void(const KernelTraceEvent &)> trace_fn_;
     TraceSink *trace_ = nullptr;
+    FaultInjector *fault_ = nullptr;
 
     std::vector<std::unique_ptr<QueueCtx>> queues_;
     std::unordered_map<JobId, RunningKernel> running_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace krisp
 {
@@ -19,6 +20,15 @@ HipRuntime::attachObs(ObsContext *obs)
 {
     device_.attachObs(obs);
     ioctl_.setTraceSink(obs != nullptr ? &obs->trace : nullptr);
+}
+
+void
+HipRuntime::attachFault(FaultInjector *fault)
+{
+    if (fault != nullptr && !fault->armed())
+        fault = nullptr;
+    device_.attachFault(fault);
+    ioctl_.setFaultInjector(fault);
 }
 
 Stream &
@@ -39,7 +49,8 @@ HipRuntime::stream(StreamId id)
 
 void
 HipRuntime::streamSetCuMask(Stream &stream, CuMask mask,
-                            std::function<void()> done)
+                            std::function<void()> done,
+                            std::function<void()> failed)
 {
     fatal_if(mask.empty(), "streamSetCuMask with empty mask");
     const QueueId qid = stream.hsaQueue().id();
@@ -47,7 +58,7 @@ HipRuntime::streamSetCuMask(Stream &stream, CuMask mask,
         device_.setQueueCuMask(qid, mask);
         if (done)
             done();
-    });
+    }, std::move(failed));
 }
 
 void

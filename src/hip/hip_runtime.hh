@@ -55,10 +55,13 @@ class HipRuntime
     /**
      * AMD CU Masking API: set @p stream's CU mask. The change takes
      * effect after the serialised ioctl completes; @p done (optional)
-     * runs at that point.
+     * runs at that point. With a fault layer attached the driver may
+     * reject the ioctl: @p failed (optional) then runs instead of
+     * @p done and the queue mask is left unchanged.
      */
     void streamSetCuMask(Stream &stream, CuMask mask,
-                         std::function<void()> done = {});
+                         std::function<void()> done = {},
+                         std::function<void()> failed = {});
 
     /**
      * Run @p fn after the runtime's callback-dispatch latency; used
@@ -74,6 +77,14 @@ class HipRuntime
      * all land in @p obs. Pass nullptr to detach.
      */
     void attachObs(ObsContext *obs);
+
+    /**
+     * Attach a fault injector to the host runtime and its device:
+     * ioctls may fail or spike in latency, kernels may hang or slow
+     * down. Pass nullptr to detach. A disarmed injector (zero-fault
+     * plan) is treated as absent.
+     */
+    void attachFault(FaultInjector *fault);
 
   private:
     EventQueue &eq_;

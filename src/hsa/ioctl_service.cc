@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace krisp
 {
@@ -14,10 +15,11 @@ IoctlService::IoctlService(EventQueue &eq, Tick latency)
 }
 
 void
-IoctlService::submit(Apply apply)
+IoctlService::submit(Apply apply, Apply on_fail)
 {
     panic_if(!apply, "null ioctl body");
-    backlog_.push_back(Pending{std::move(apply), eq_.now()});
+    backlog_.push_back(
+        Pending{std::move(apply), std::move(on_fail), eq_.now()});
     max_backlog_ = std::max(max_backlog_, backlog_.size());
     KRISP_TRACE_EVENT(trace_, ioctlSubmit(backlog_.size()));
     if (!busy_)
@@ -37,13 +39,31 @@ IoctlService::startNext()
     const Tick queued = eq_.now() - next.submitted;
     queue_delay_ns_.add(static_cast<double>(queued));
     const Tick start = eq_.now();
-    eq_.scheduleIn(latency_, [this, start, queued,
-                              apply = std::move(next.apply)] {
-        apply();
-        ++completed_;
+    // Fault decisions are made as the ioctl enters service: a rejected
+    // or delayed ioctl still occupies the serialised driver queue.
+    Tick latency = latency_;
+    bool fails = false;
+    if (fault_ != nullptr) {
+        latency = fault_->ioctlLatency(latency_);
+        fails = fault_->ioctlFails();
+    }
+    eq_.scheduleIn(latency, [this, start, queued, fails,
+                             apply = std::move(next.apply),
+                             on_fail = std::move(next.onFail)] {
+        if (fails) {
+            ++failed_;
+            if (on_fail)
+                on_fail();
+            else
+                warn("ioctl rejected by fault layer with no failure "
+                     "handler; its effect is silently dropped");
+        } else {
+            apply();
+            ++completed_;
+        }
         KRISP_TRACE_EVENT(trace_, ioctlSpan(start, eq_.now(), queued));
-        debug("ioctl applied after ", queued, " ns queueing; backlog ",
-              backlog_.size());
+        debug("ioctl ", fails ? "rejected" : "applied", " after ",
+              queued, " ns queueing; backlog ", backlog_.size());
         startNext();
     });
 }

@@ -24,6 +24,8 @@
 namespace krisp
 {
 
+class FaultInjector;
+
 /** FIFO, one-at-a-time ioctl execution with fixed service latency. */
 class IoctlService
 {
@@ -39,9 +41,13 @@ class IoctlService
     /**
      * Enqueue an ioctl. @p apply runs when the driver performs the
      * operation (after queueing delay + service latency); use it both
-     * to mutate state and as the completion notification.
+     * to mutate state and as the completion notification. When a
+     * fault injector rejects the ioctl, @p on_fail runs instead of
+     * @p apply (after the same service latency — a rejected ioctl
+     * still occupies the driver). With no @p on_fail the rejection is
+     * only logged and counted.
      */
-    void submit(Apply apply);
+    void submit(Apply apply, Apply on_fail = {});
 
     /** Requests neither applied nor in service yet. */
     std::size_t backlog() const { return backlog_.size(); }
@@ -51,8 +57,14 @@ class IoctlService
     /** Observability hook: serialisation events + queueing delays. */
     void setTraceSink(TraceSink *trace) { trace_ = trace; }
 
-    /** Total ioctls completed (statistics). */
+    /** Fault hook: per-ioctl failure + latency-spike decisions. */
+    void setFaultInjector(FaultInjector *fault) { fault_ = fault; }
+
+    /** Total ioctls applied successfully (statistics). */
     std::uint64_t completed() const { return completed_; }
+
+    /** Total ioctls rejected by the fault layer (statistics). */
+    std::uint64_t failed() const { return failed_; }
 
     /** Deepest backlog observed (statistics). */
     std::size_t maxBacklog() const { return max_backlog_; }
@@ -64,6 +76,7 @@ class IoctlService
     struct Pending
     {
         Apply apply;
+        Apply onFail;
         Tick submitted;
     };
 
@@ -74,7 +87,9 @@ class IoctlService
     std::deque<Pending> backlog_;
     bool busy_ = false;
     TraceSink *trace_ = nullptr;
+    FaultInjector *fault_ = nullptr;
     std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
     std::size_t max_backlog_ = 0;
     Accumulator queue_delay_ns_;
 };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace krisp
 {
@@ -17,6 +18,10 @@ HsaSignal::set(std::int64_t v)
 void
 HsaSignal::subtract(std::int64_t d)
 {
+    if (fault_ != nullptr && fault_->signalLost()) {
+        ++lost_;
+        return;
+    }
     value_ -= d;
     maybeWake();
 }

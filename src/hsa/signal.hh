@@ -20,6 +20,8 @@
 namespace krisp
 {
 
+class FaultInjector;
+
 class HsaSignal;
 using HsaSignalPtr = std::shared_ptr<HsaSignal>;
 
@@ -57,12 +59,25 @@ class HsaSignal
     /** Number of callbacks still waiting. */
     std::size_t waiterCount() const { return waiters_.size(); }
 
+    /**
+     * Attach a fault injector: each subtract() may then lose its
+     * decrement (site c). Only completion signals should be wired up —
+     * losing a barrier handshake decrement would wedge the emulation
+     * protocol itself rather than model a lost interrupt.
+     */
+    void setFaultInjector(FaultInjector *fault) { fault_ = fault; }
+
+    /** Decrements swallowed by the fault layer. */
+    std::uint64_t lostDecrements() const { return lost_; }
+
   private:
     void maybeWake();
 
     std::int64_t value_;
     std::vector<Callback> waiters_;
     bool waking_ = false;
+    FaultInjector *fault_ = nullptr;
+    std::uint64_t lost_ = 0;
 };
 
 } // namespace krisp

@@ -29,6 +29,9 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::RightSize: return "krisp.rightsize";
       case TraceEventKind::RequestEnqueue: return "request.enqueue";
       case TraceEventKind::RequestSpan: return "request.span";
+      case TraceEventKind::FaultInject: return "fault.inject";
+      case TraceEventKind::RequestDrop: return "request.drop";
+      case TraceEventKind::RecoveryAction: return "recovery.action";
     }
     return "?";
 }
@@ -55,7 +58,11 @@ kindCategory(TraceEventKind kind)
       case TraceEventKind::RightSize: return "krisp";
       case TraceEventKind::RequestEnqueue:
       case TraceEventKind::RequestSpan:
+      case TraceEventKind::RequestDrop:
         return "request";
+      case TraceEventKind::FaultInject:
+      case TraceEventKind::RecoveryAction:
+        return "fault";
     }
     return "?";
 }
@@ -77,7 +84,9 @@ threadName(std::uint32_t pid, std::uint32_t tid)
     switch (pid) {
       case tracePidGpu: return "queue " + std::to_string(tid);
       case tracePidHost:
-        return tid == traceTidIoctl ? "ioctl" : "krisp-runtime";
+        if (tid == traceTidIoctl)
+            return "ioctl";
+        return tid == traceTidFault ? "fault" : "krisp-runtime";
       case tracePidServer: return "worker " + std::to_string(tid);
     }
     return "tid" + std::to_string(tid);
@@ -289,6 +298,43 @@ TraceSink::requestSpan(WorkerId worker, const std::string &model,
          {TraceArg::u64("request", request),
           TraceArg::u64("worker", worker),
           TraceArg::str("model", model)});
+}
+
+void
+TraceSink::faultInject(const char *site, const std::string &target,
+                       double magnitude)
+{
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg::str("site", site));
+    if (!target.empty())
+        args.push_back(TraceArg::str("target", target));
+    if (magnitude != 0)
+        args.push_back(TraceArg::f64("magnitude", magnitude));
+    instant(TraceEventKind::FaultInject, site, tracePidHost,
+            traceTidFault, std::move(args));
+}
+
+void
+TraceSink::requestDrop(WorkerId worker, const std::string &model,
+                       std::uint64_t request, const char *reason)
+{
+    instant(TraceEventKind::RequestDrop, "drop", tracePidServer,
+            worker,
+            {TraceArg::str("model", model),
+             TraceArg::u64("request", request),
+             TraceArg::str("reason", reason)});
+}
+
+void
+TraceSink::recovery(const char *action, const std::string &target,
+                    std::uint64_t value)
+{
+    std::vector<TraceArg> args;
+    if (!target.empty())
+        args.push_back(TraceArg::str("target", target));
+    args.push_back(TraceArg::u64("value", value));
+    instant(TraceEventKind::RecoveryAction, action, tracePidHost,
+            traceTidFault, std::move(args));
 }
 
 void

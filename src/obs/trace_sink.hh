@@ -48,6 +48,9 @@ enum class TraceEventKind : std::uint8_t
     RightSize,      ///< KRISP runtime per-launch right-size decision
     RequestEnqueue, ///< inference request admitted
     RequestSpan,    ///< inference request lifetime (start -> complete)
+    FaultInject,    ///< fault layer injected a failure
+    RequestDrop,    ///< request shed (backlog overflow / deadline)
+    RecoveryAction, ///< handling layer recovered from a fault
 };
 
 const char *traceEventKindName(TraceEventKind kind);
@@ -60,6 +63,7 @@ constexpr std::uint32_t tracePidServer = 2;
 /** Track ids within the host process. */
 constexpr std::uint32_t traceTidIoctl = 0;
 constexpr std::uint32_t traceTidRuntime = 1;
+constexpr std::uint32_t traceTidFault = 2;
 
 /** One key plus a pre-encoded JSON value. */
 struct TraceArg
@@ -139,6 +143,12 @@ class TraceSink
                         std::uint64_t request);
     void requestSpan(WorkerId worker, const std::string &model,
                      std::uint64_t request, Tick start, Tick end);
+    void faultInject(const char *site, const std::string &target,
+                     double magnitude);
+    void requestDrop(WorkerId worker, const std::string &model,
+                     std::uint64_t request, const char *reason);
+    void recovery(const char *action, const std::string &target,
+                  std::uint64_t value);
 
     // ---- inspection / export ------------------------------------
     const std::vector<TraceRecord> &records() const { return records_; }

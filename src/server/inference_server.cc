@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "gpu/gpu_device.hh"
 #include "models/model_zoo.hh"
 #include "profile/model_profiler.hh"
@@ -30,6 +31,20 @@ struct Worker
     std::uint64_t requestId = 0;
     bool idle = false;
 
+    /**
+     * Abandonment guard: bumped when a new request starts. Callbacks
+     * of an abandoned request (shed or failed) carry a stale value
+     * and return without touching the worker.
+     */
+    std::uint64_t generation = 0;
+    /** Pending deadline / watchdog events for the current request. */
+    EventId deadlineEv = invalidEventId;
+    EventId timeoutEv = invalidEventId;
+    std::uint64_t deadlineMisses = 0;
+    std::uint64_t measuredDeadlineMisses = 0;
+    std::uint64_t failedRequests = 0;
+    std::uint64_t measuredFailed = 0;
+
     /** Registry instruments (null when no ObsContext is attached). */
     Counter *requestsMetric = nullptr;
     PercentileTracker *latencyMetric = nullptr;
@@ -47,6 +62,7 @@ struct RunState
     std::unique_ptr<MaskAllocator> allocator;
     std::unique_ptr<KernelSizer> sizer;
     std::unique_ptr<KrispRuntime> krisp;
+    std::unique_ptr<FaultInjector> fault;
     std::vector<Worker> workers;
 
     ObsContext *obs = nullptr;
@@ -95,8 +111,43 @@ maybeTransition(RunState &st)
 }
 
 void
+disarmRequestTimers(RunState &st, Worker &w)
+{
+    if (w.deadlineEv != invalidEventId) {
+        st.eq.deschedule(w.deadlineEv);
+        w.deadlineEv = invalidEventId;
+    }
+    if (w.timeoutEv != invalidEventId) {
+        st.eq.deschedule(w.timeoutEv);
+        w.timeoutEv = invalidEventId;
+    }
+}
+
+/**
+ * Abandon the in-flight request (deadline shed or watchdog failure)
+ * and move the worker on. In-flight callbacks of the old request are
+ * neutralised by the generation bump in startRequest; any of its
+ * kernels still queued simply drain (or are reclaimed by the GPU
+ * watchdog if hung) ahead of the next request's.
+ */
+void
+abandonRequest(RunState &st, Worker &w, const char *reason)
+{
+    disarmRequestTimers(st, w);
+    if (st.obs != nullptr) {
+        KRISP_TRACE_EVENT(&st.obs->trace,
+                          requestDrop(w.id, w.model, w.requestId,
+                                      reason));
+    }
+    debug("worker ", w.id, " abandoned request ", w.requestId, " (",
+          reason, ") after ", st.eq.now() - w.requestStart, " ns");
+    startRequest(st, w);
+}
+
+void
 completeRequest(RunState &st, Worker &w)
 {
+    disarmRequestTimers(st, w);
     const double latency_ms =
         ticksToMs(st.eq.now() - w.requestStart);
     ++w.totalCompleted;
@@ -118,6 +169,7 @@ completeRequest(RunState &st, Worker &w)
 void
 launchInference(RunState &st, Worker &w)
 {
+    const std::uint64_t gen = w.generation;
     auto completion = HsaSignal::create(
         static_cast<std::int64_t>(w.seq->size()));
     for (const auto &kernel : *w.seq) {
@@ -127,10 +179,38 @@ launchInference(RunState &st, Worker &w)
             w.stream->launchWithSignal(kernel, completion);
         }
     }
-    completion->waitZero([&st, &w] {
-        st.eq.scheduleIn(st.cfg.postprocessNs,
-                         [&st, &w] { completeRequest(st, w); });
+    completion->waitZero([&st, &w, gen] {
+        if (gen != w.generation)
+            return;
+        st.eq.scheduleIn(st.cfg.postprocessNs, [&st, &w, gen] {
+            if (gen != w.generation)
+                return;
+            completeRequest(st, w);
+        });
     });
+}
+
+void
+deadlineFire(RunState &st, Worker &w)
+{
+    w.deadlineEv = invalidEventId;
+    ++w.deadlineMisses;
+    if (st.measuring && !st.done)
+        ++w.measuredDeadlineMisses;
+    abandonRequest(st, w, "deadline");
+}
+
+void
+timeoutFire(RunState &st, Worker &w)
+{
+    w.timeoutEv = invalidEventId;
+    ++w.failedRequests;
+    if (st.measuring && !st.done)
+        ++w.measuredFailed;
+    warn("worker ", w.id, " request ", w.requestId,
+         " failed by the server watchdog after ",
+         st.eq.now() - w.requestStart, " ns");
+    abandonRequest(st, w, "timeout");
 }
 
 void
@@ -142,12 +222,27 @@ startRequest(RunState &st, Worker &w)
     }
     w.requestStart = st.eq.now();
     w.requestId = ++st.nextRequestId;
+    ++w.generation;
+    const std::uint64_t gen = w.generation;
     if (st.obs != nullptr) {
         KRISP_TRACE_EVENT(&st.obs->trace,
                           requestEnqueue(w.id, w.model, w.requestId));
     }
-    st.eq.scheduleIn(st.cfg.preprocessNs,
-                     [&st, &w] { launchInference(st, w); });
+    Tick preprocess = st.cfg.preprocessNs;
+    if (st.fault)
+        preprocess += st.fault->preprocessStall();
+    st.eq.scheduleIn(preprocess, [&st, &w, gen] {
+        if (gen == w.generation)
+            launchInference(st, w);
+    });
+    if (st.cfg.requestDeadlineNs > 0) {
+        w.deadlineEv = st.eq.scheduleIn(
+            st.cfg.requestDeadlineNs, [&st, &w] { deadlineFire(st, w); });
+    }
+    if (st.cfg.requestTimeoutNs > 0) {
+        w.timeoutEv = st.eq.scheduleIn(
+            st.cfg.requestTimeoutNs, [&st, &w] { timeoutFire(st, w); });
+    }
 }
 
 /** Disjoint equal split: worker w gets CUs [w*T/N, (w+1)*T/N). */
@@ -188,6 +283,13 @@ InferenceServer::run()
     if (st.obs != nullptr) {
         st.obs->trace.setClock(&st.eq);
         st.hip->attachObs(st.obs);
+    }
+    if (config_.faults.enabled()) {
+        // Only instantiated for fault-injecting plans: a zero-fault
+        // run carries no fault layer at all and stays bit-identical.
+        st.fault = std::make_unique<FaultInjector>(config_.faults,
+                                                   st.obs);
+        st.hip->attachFault(st.fault.get());
     }
     st.zoo = std::make_unique<ModelZoo>(config_.gpu.arch);
 
@@ -261,6 +363,7 @@ InferenceServer::run()
         st.krisp = std::make_unique<KrispRuntime>(
             *st.hip, *st.sizer, *st.allocator, config_.enforcement,
             st.obs);
+        st.krisp->setIoctlRetryPolicy(config_.ioctlRetry);
         break;
       }
     }
@@ -272,9 +375,11 @@ InferenceServer::run()
     ServerResult result;
     while (st.eq.step()) {
         if (st.eq.now() > config_.maxSimNs) {
-            warn("experiment hit the simulation cap; results cover ",
-                 "a truncated window");
-            result.truncated = true;
+            warn("experiment hit the maxSimNs cap (",
+                 ticksToSec(config_.maxSimNs),
+                 " s) before completing; results cover a truncated "
+                 "window");
+            result.timedOut = true;
             if (!st.done) {
                 st.done = true;
                 st.doneTick = st.eq.now();
@@ -284,16 +389,24 @@ InferenceServer::run()
         }
     }
 
-    fatal_if(!st.measuring || st.doneTick <= st.measureStart,
+    // A run that drains its events without measuring is a config bug;
+    // a run cut short by the maxSimNs cap reports timedOut instead
+    // (faults can legitimately starve the warmup phase).
+    const bool measured =
+        st.measuring && st.doneTick > st.measureStart;
+    fatal_if(!result.timedOut && !measured,
              "experiment ended before producing a measurement window");
 
-    const double seconds = ticksToSec(st.doneTick - st.measureStart);
+    const double seconds =
+        measured ? ticksToSec(st.doneTick - st.measureStart) : 0.0;
     result.measureSeconds = seconds;
     for (auto &w : st.workers) {
         WorkerResult wr;
         wr.model = w.model;
         wr.completed = w.measuredCompleted;
-        wr.rps = static_cast<double>(w.measuredCompleted) / seconds;
+        wr.rps = seconds > 0
+                     ? static_cast<double>(w.measuredCompleted) / seconds
+                     : 0.0;
         if (!w.latencyMs.empty()) {
             wr.meanLatencyMs = w.latencyMs.mean();
             wr.p95LatencyMs = w.latencyMs.percentile(0.95);
@@ -301,6 +414,8 @@ InferenceServer::run()
         result.maxP95Ms = std::max(result.maxP95Ms, wr.p95LatencyMs);
         result.totalRps += wr.rps;
         result.completed += wr.completed;
+        result.deadlineMisses += w.measuredDeadlineMisses;
+        result.failedRequests += w.measuredFailed;
         result.workers.push_back(std::move(wr));
     }
     const double energy = st.energyAtDone - st.energyAtStart;
@@ -336,8 +451,15 @@ InferenceServer::run()
         m.gauge("server.energy_per_inference_j")
             .set(result.energyPerInferenceJ);
         m.gauge("server.avg_power_w").set(result.avgPowerW);
-        m.gauge("server.truncated")
-            .set(result.truncated ? 1.0 : 0.0);
+        m.gauge("sim.timed_out").set(result.timedOut ? 1.0 : 0.0);
+        if (st.cfg.requestDeadlineNs > 0) {
+            m.gauge("server.deadline_misses")
+                .set(static_cast<double>(result.deadlineMisses));
+        }
+        if (st.cfg.requestTimeoutNs > 0) {
+            m.gauge("server.failed_requests")
+                .set(static_cast<double>(result.failedRequests));
+        }
     }
     return result;
 }

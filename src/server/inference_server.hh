@@ -22,6 +22,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/krisp_runtime.hh"
+#include "fault/fault_plan.hh"
 #include "gpu/gpu_config.hh"
 #include "hip/hip_runtime.hh"
 #include "obs/obs.hh"
@@ -59,6 +60,29 @@ struct ServerConfig
     Tick maxSimNs = ticksFromSec(600);
 
     /**
+     * Fault scenario for this run (default: inject nothing; the fault
+     * layer is then never instantiated and results are bit-identical
+     * to a build without it). Fault draws use faults.seed — runs with
+     * equal configs produce identical traces.
+     */
+    FaultPlan faults;
+    /**
+     * Per-request deadline: a request still incomplete this long
+     * after admission is shed — abandoned, counted as a deadline
+     * miss, and its worker moves on. 0 disables deadlines.
+     */
+    Tick requestDeadlineNs = 0;
+    /**
+     * Per-request watchdog: a request still incomplete this long
+     * after admission is declared failed (lost signal, hung kernel)
+     * and abandoned so the experiment finishes without it.
+     * 0 disables the watchdog.
+     */
+    Tick requestTimeoutNs = 0;
+    /** Retry/backoff budget for failed reconfig ioctls (emulated). */
+    IoctlRetryPolicy ioctlRetry;
+
+    /**
      * Optional observability context (owned by the caller, must
      * outlive run()). When set, the run emits kernel / mask /
      * barrier / ioctl events and per-request spans with worker and
@@ -91,8 +115,12 @@ struct ServerResult
     double avgPowerW = 0;
     double measureSeconds = 0;
     std::uint64_t completed = 0;
-    /** True if the hard simulation cap cut the run short. */
-    bool truncated = false;
+    /** Requests shed on deadline during the measurement window. */
+    std::uint64_t deadlineMisses = 0;
+    /** Requests failed by the watchdog during the measurement window. */
+    std::uint64_t failedRequests = 0;
+    /** True if the maxSimNs hard stop cut the run short. */
+    bool timedOut = false;
 };
 
 /** Runs one closed-loop experiment; a fresh instance per run. */

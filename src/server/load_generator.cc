@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "fault/fault_injector.hh"
 #include "gpu/gpu_device.hh"
 #include "models/model_zoo.hh"
 #include "profile/model_profiler.hh"
@@ -20,14 +21,20 @@ namespace
 
 struct Request
 {
-    Tick arrival;
+    std::uint64_t id = 0;
+    Tick arrival = 0;
     Tick dequeued = 0;
 };
 
 struct OpenWorker
 {
+    WorkerId id = 0;
     Stream *stream = nullptr;
     bool busy = false;
+    /** Abandonment guard: bumped when the watchdog fails a batch. */
+    std::uint64_t generation = 0;
+    /** Pending per-batch watchdog event. */
+    EventId watchdogEv = invalidEventId;
 };
 
 struct OpenState
@@ -41,11 +48,18 @@ struct OpenState
     std::unique_ptr<MaskAllocator> allocator;
     std::unique_ptr<KernelSizer> sizer;
     std::unique_ptr<KrispRuntime> krisp;
+    std::unique_ptr<FaultInjector> fault;
     Rng rng{1};
 
     std::deque<Request> pending;
     std::vector<OpenWorker> workers;
     EventId batch_timer = invalidEventId;
+    std::uint64_t nextRequestId = 0;
+
+    ObsContext *obs = nullptr;
+    /** Registry instruments (null when no ObsContext is attached). */
+    Counter *droppedMetric = nullptr;
+    Counter *shedMetric = nullptr;
 
     bool measuring = false;
     bool stopped = false;
@@ -57,9 +71,18 @@ struct OpenState
     std::uint64_t arrivals = 0;
     std::uint64_t served = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t failedBatches = 0;
     Accumulator batchSizes;
     Accumulator queueDelayMs;
     PercentileTracker latencyMs;
+
+    /** Trace track for frontend-side drops (no worker owns them). */
+    WorkerId
+    frontendTid() const
+    {
+        return static_cast<WorkerId>(workers.size());
+    }
 
     void
     arrive()
@@ -78,13 +101,26 @@ struct OpenState
             energyEnd = device->power().energyJoules();
             return; // stop injecting; in-flight work drains
         }
+        const std::uint64_t rid = ++nextRequestId;
         if (pending.size() >= cfg.queueCapacity) {
             if (measuring)
                 ++dropped;
+            if (droppedMetric != nullptr)
+                droppedMetric->inc();
+            if (obs != nullptr) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestDrop(frontendTid(), cfg.model,
+                                              rid, "backlog"));
+            }
         } else {
-            pending.push_back(Request{t});
+            pending.push_back(Request{rid, t});
             if (measuring)
                 ++arrivals;
+            if (obs != nullptr) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestEnqueue(frontendTid(),
+                                                 cfg.model, rid));
+            }
             maybeDispatch();
         }
         // Next Poisson arrival.
@@ -103,9 +139,37 @@ struct OpenState
         return nullptr;
     }
 
+    /**
+     * Deadline shedding (lazy, at dispatch opportunities): requests
+     * that aged past the deadline while queued are dropped from the
+     * head instead of being served uselessly late.
+     */
+    void
+    shedExpired()
+    {
+        if (cfg.requestDeadlineNs == 0)
+            return;
+        while (!pending.empty() &&
+               pending.front().arrival + cfg.requestDeadlineNs <=
+                   eq.now()) {
+            const Request r = pending.front();
+            pending.pop_front();
+            if (measuring && r.arrival >= measureStart)
+                ++shedDeadline;
+            if (shedMetric != nullptr)
+                shedMetric->inc();
+            if (obs != nullptr) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestDrop(frontendTid(), cfg.model,
+                                              r.id, "deadline"));
+            }
+        }
+    }
+
     void
     maybeDispatch()
     {
+        shedExpired();
         OpenWorker *w = idleWorker();
         if (!w || pending.empty())
             return;
@@ -138,6 +202,7 @@ struct OpenState
             size, static_cast<unsigned>(pending.size()));
         panic_if(size == 0, "dispatching an empty batch");
         w.busy = true;
+        const std::uint64_t gen = w.generation;
         auto batch = std::make_shared<std::vector<Request>>();
         for (unsigned i = 0; i < size; ++i) {
             Request r = pending.front();
@@ -148,13 +213,23 @@ struct OpenState
         if (measuring)
             batchSizes.add(static_cast<double>(size));
 
+        Tick preprocess = cfg.preprocessNs;
+        if (fault)
+            preprocess += fault->preprocessStall();
         const auto *seq_ptr = &zoo->kernels(cfg.model, size);
-        eq.scheduleIn(cfg.preprocessNs, [this, &w, batch, seq_ptr] {
+        eq.scheduleIn(preprocess, [this, &w, gen, batch, seq_ptr] {
+            if (gen != w.generation)
+                return;
             const auto &seq = *seq_ptr;
             auto sig = HsaSignal::create(
                 static_cast<std::int64_t>(seq.size()));
-            sig->waitZero([this, &w, batch] {
-                eq.scheduleIn(cfg.postprocessNs, [this, &w, batch] {
+            sig->waitZero([this, &w, gen, batch] {
+                if (gen != w.generation)
+                    return;
+                eq.scheduleIn(cfg.postprocessNs,
+                              [this, &w, gen, batch] {
+                    if (gen != w.generation)
+                        return;
                     finishBatch(w, *batch);
                 });
             });
@@ -166,11 +241,53 @@ struct OpenState
                 }
             }
         });
+        if (cfg.batchWatchdogNs > 0) {
+            w.watchdogEv = eq.scheduleIn(
+                cfg.batchWatchdogNs,
+                [this, &w, batch] { watchdogFire(w, *batch); });
+        }
+    }
+
+    void
+    disarmWatchdog(OpenWorker &w)
+    {
+        if (w.watchdogEv != invalidEventId) {
+            eq.deschedule(w.watchdogEv);
+            w.watchdogEv = invalidEventId;
+        }
+    }
+
+    /**
+     * The batch overstayed its watchdog budget (hung kernel, lost
+     * completion): fail it, neutralise its in-flight callbacks via
+     * the generation bump, and free the worker. Its kernels still
+     * queued on the stream drain — or are reclaimed by the GPU
+     * watchdog — ahead of the next batch's.
+     */
+    void
+    watchdogFire(OpenWorker &w, const std::vector<Request> &batch)
+    {
+        w.watchdogEv = invalidEventId;
+        ++w.generation;
+        ++failedBatches;
+        warn("open-loop watchdog failed a batch of ", batch.size(),
+             " on worker ", w.id, " after ", cfg.batchWatchdogNs,
+             " ns");
+        if (obs != nullptr) {
+            for (const Request &r : batch) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestDrop(w.id, cfg.model, r.id,
+                                              "timeout"));
+            }
+        }
+        w.busy = false;
+        maybeDispatch();
     }
 
     void
     finishBatch(OpenWorker &w, const std::vector<Request> &batch)
     {
+        disarmWatchdog(w);
         const Tick t = eq.now();
         for (const Request &r : batch) {
             if (measuring && r.arrival >= measureStart) {
@@ -203,14 +320,29 @@ OpenLoopServer::run()
     OpenState st;
     st.cfg = config_;
     st.rng = Rng(config_.seed);
+    st.obs = config_.obs;
     st.device = std::make_unique<GpuDevice>(st.eq, config_.gpu);
     st.hip = std::make_unique<HipRuntime>(st.eq, *st.device,
                                           config_.host);
+    if (st.obs != nullptr) {
+        st.obs->trace.setClock(&st.eq);
+        st.hip->attachObs(st.obs);
+        st.droppedMetric = &st.obs->metrics.counter("server.dropped");
+        st.shedMetric =
+            &st.obs->metrics.counter("server.deadline_misses");
+    }
+    if (config_.faults.enabled()) {
+        st.fault = std::make_unique<FaultInjector>(config_.faults,
+                                                   st.obs);
+        st.hip->attachFault(st.fault.get());
+    }
     st.zoo = std::make_unique<ModelZoo>(config_.gpu.arch);
 
     st.workers.resize(config_.numWorkers);
-    for (auto &w : st.workers)
-        w.stream = &st.hip->createStream();
+    for (unsigned i = 0; i < config_.numWorkers; ++i) {
+        st.workers[i].id = i;
+        st.workers[i].stream = &st.hip->createStream();
+    }
 
     // Policy setup mirrors the closed-loop server.
     KernelProfiler kprof(config_.gpu, config_.profiler);
@@ -259,14 +391,24 @@ OpenLoopServer::run()
         st.sizer = std::make_unique<ProfiledSizer>(
             *st.db, config_.gpu.arch.totalCus());
         st.krisp = std::make_unique<KrispRuntime>(
-            *st.hip, *st.sizer, *st.allocator,
-            EnforcementMode::Native);
+            *st.hip, *st.sizer, *st.allocator, config_.enforcement,
+            st.obs);
+        st.krisp->setIoctlRetryPolicy(config_.ioctlRetry);
         break;
       }
     }
 
     st.arrive();
-    st.eq.run();
+    st.eq.run(config_.maxSimNs);
+
+    OpenLoopResult result;
+    if (st.eq.pendingCount() > 0) {
+        warn("open-loop run hit the maxSimNs cap (",
+             ticksToSec(config_.maxSimNs),
+             " s) with work still in flight; results cover a "
+             "truncated window");
+        result.timedOut = true;
+    }
 
     fatal_if(!st.measuring, "no measurement window reached");
     if (st.measureEnd == 0) {
@@ -274,12 +416,14 @@ OpenLoopServer::run()
         st.energyEnd = st.device->power().energyJoules();
     }
 
-    OpenLoopResult result;
     const double seconds =
         ticksToSec(st.measureEnd - st.measureStart);
     result.offeredRps = config_.arrivalRatePerSec;
+    result.arrivals = st.arrivals;
     result.served = st.served;
     result.dropped = st.dropped;
+    result.shedDeadline = st.shedDeadline;
+    result.failedBatches = st.failedBatches;
     result.achievedRps =
         seconds > 0 ? static_cast<double>(st.served) / seconds : 0;
     result.dropRate =
@@ -294,11 +438,31 @@ OpenLoopServer::run()
         result.p99Ms = st.latencyMs.percentile(0.99);
     }
     result.meanQueueDelayMs = st.queueDelayMs.mean();
+    if (st.queueDelayMs.count() > 0)
+        result.maxQueueDelayMs = st.queueDelayMs.max();
     result.energyPerRequestJ =
         st.served > 0
             ? (st.energyEnd - st.energyStart) /
                   static_cast<double>(st.served)
             : 0;
+
+    if (st.obs != nullptr) {
+        MetricsRegistry &m = st.obs->metrics;
+        st.device->publishMetrics(m);
+        snapshotEventQueue(st.eq, m);
+        m.label("server.policy")
+            .set(partitionPolicyName(config_.policy));
+        m.gauge("server.workers")
+            .set(static_cast<double>(config_.numWorkers));
+        m.gauge("server.offered_rps").set(result.offeredRps);
+        m.gauge("server.achieved_rps").set(result.achievedRps);
+        m.gauge("server.drop_rate").set(result.dropRate);
+        m.gauge("server.requests_served")
+            .set(static_cast<double>(result.served));
+        m.gauge("server.failed_batches")
+            .set(static_cast<double>(result.failedBatches));
+        m.gauge("sim.timed_out").set(result.timedOut ? 1.0 : 0.0);
+    }
     return result;
 }
 

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Tests of the fault-injection and failure-handling subsystem:
+ * deterministic per-site fault streams, ioctl retry/backoff with the
+ * static-mask fallback, the GPU hang watchdog, lost completion
+ * signals, server-side deadlines and request watchdogs, and the
+ * bit-identity of zero-fault runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/krisp_runtime.hh"
+#include "fault/fault_injector.hh"
+#include "gpu/gpu_device.hh"
+#include "kern/kernel_builder.hh"
+#include "server/inference_server.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+namespace
+{
+
+const ArchParams arch = ArchParams::mi50();
+
+struct Fixture
+{
+    EventQueue eq;
+    GpuConfig cfg = GpuConfig::mi50();
+    GpuDevice device{eq, cfg};
+    HipRuntime hip{eq, device};
+    PerfDatabase db;
+    MaskAllocator alloc{DistributionPolicy::Conserved, 0};
+
+    KernelDescPtr
+    kernel(unsigned wgs = 600, double wg_ns = 50.0)
+    {
+        auto d = std::make_shared<KernelDescriptor>();
+        d->name = "k";
+        d->numWorkgroups = wgs;
+        d->wgDurationNs = wg_ns;
+        d->saturationWgsPerCu = 2;
+        return d;
+    }
+
+    /** Run a sequence through a KrispRuntime; return wall ticks. */
+    Tick
+    runSequence(KrispRuntime &krisp, Stream &stream,
+                const std::vector<KernelDescPtr> &seq)
+    {
+        const Tick start = eq.now();
+        auto sig =
+            HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+        Tick end = start;
+        sig->waitZero([&] { end = eq.now(); });
+        for (const auto &k : seq)
+            krisp.launch(stream, k, sig);
+        eq.run();
+        return end - start;
+    }
+};
+
+// ---- FaultPlan / FaultInjector units ----------------------------
+
+TEST(FaultPlan, EnabledSemantics)
+{
+    EXPECT_FALSE(FaultPlan::none().enabled());
+    EXPECT_FALSE(FaultPlan{}.enabled());
+    EXPECT_TRUE(FaultPlan::uniform(0.1).enabled());
+
+    FaultPlan burst_only;
+    burst_only.ioctlFailBurst = 1;
+    EXPECT_TRUE(burst_only.enabled());
+
+    // A zero-probability uniform plan is the do-nothing plan.
+    EXPECT_FALSE(FaultPlan::uniform(0.0).enabled());
+}
+
+TEST(FaultInjector, DisarmedInjectorInjectsNothing)
+{
+    FaultInjector inj(FaultPlan::none());
+    EXPECT_FALSE(inj.armed());
+    for (int i = 0; i < 32; ++i) {
+        const auto f = inj.kernelFault("k");
+        EXPECT_FALSE(f.hang);
+        EXPECT_DOUBLE_EQ(f.slowFactor, 1.0);
+        EXPECT_FALSE(inj.ioctlFails());
+        EXPECT_EQ(inj.ioctlLatency(12345), 12345u);
+        EXPECT_FALSE(inj.signalLost());
+        EXPECT_EQ(inj.preprocessStall(), 0u);
+    }
+    const FaultStats s = inj.stats();
+    EXPECT_EQ(s.kernelHangs, 0u);
+    EXPECT_EQ(s.ioctlFailures, 0u);
+    EXPECT_EQ(s.signalLosses, 0u);
+    EXPECT_EQ(s.preprocessStalls, 0u);
+}
+
+TEST(FaultInjector, IdenticalPlansDrawIdenticalSequences)
+{
+    const FaultPlan plan = FaultPlan::uniform(0.35, 7);
+    FaultInjector a(plan);
+    FaultInjector b(plan);
+    for (int i = 0; i < 200; ++i) {
+        const auto fa = a.kernelFault("k");
+        const auto fb = b.kernelFault("k");
+        EXPECT_EQ(fa.hang, fb.hang);
+        EXPECT_DOUBLE_EQ(fa.slowFactor, fb.slowFactor);
+        EXPECT_EQ(a.ioctlFails(), b.ioctlFails());
+        EXPECT_EQ(a.ioctlLatency(1000), b.ioctlLatency(1000));
+        EXPECT_EQ(a.signalLost(), b.signalLost());
+        EXPECT_EQ(a.preprocessStall(), b.preprocessStall());
+    }
+    const FaultStats sa = a.stats();
+    const FaultStats sb = b.stats();
+    EXPECT_EQ(sa.kernelHangs, sb.kernelHangs);
+    EXPECT_EQ(sa.ioctlFailures, sb.ioctlFailures);
+    EXPECT_EQ(sa.signalLosses, sb.signalLosses);
+
+    // A different seed produces a different fault sequence.
+    FaultInjector c(FaultPlan::uniform(0.35, 8));
+    std::uint64_t diff = 0;
+    FaultInjector a2(plan);
+    for (int i = 0; i < 200; ++i)
+        diff += a2.signalLost() != c.signalLost() ? 1 : 0;
+    EXPECT_GT(diff, 0u);
+}
+
+TEST(FaultInjector, SitesDrawFromIndependentStreams)
+{
+    // Interleaving draws at other sites must not shift the ioctl
+    // stream: site independence is what keeps fault sequences stable
+    // when unrelated components are added to a run.
+    const FaultPlan plan = FaultPlan::uniform(0.35, 21);
+    FaultInjector interleaved(plan);
+    FaultInjector ioctl_only(plan);
+    for (int i = 0; i < 100; ++i) {
+        interleaved.kernelFault("k");
+        interleaved.signalLost();
+        interleaved.preprocessStall();
+        EXPECT_EQ(interleaved.ioctlFails(), ioctl_only.ioctlFails());
+    }
+}
+
+TEST(FaultInjector, BurstFailsFirstAttemptsDeterministically)
+{
+    FaultPlan plan;
+    plan.ioctlFailBurst = 3;
+    FaultInjector inj(plan);
+    EXPECT_TRUE(inj.armed());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(inj.ioctlFails());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(inj.ioctlFails());
+    EXPECT_EQ(inj.stats().ioctlFailures, 3u);
+}
+
+TEST(FaultInjector, CountersAndTracesLandInObsContext)
+{
+    ObsContext obs;
+    FaultInjector inj(FaultPlan::uniform(1.0), &obs);
+    inj.kernelFault("conv1");
+    inj.ioctlFails();
+    inj.signalLost();
+    inj.preprocessStall();
+    inj.noteWatchdogKill(4, "conv1");
+
+    EXPECT_EQ(obs.metrics.counter("fault.kernel_hangs").value(), 1u);
+    EXPECT_EQ(obs.metrics.counter("fault.ioctl_failures").value(), 1u);
+    EXPECT_EQ(obs.metrics.counter("fault.signal_losses").value(), 1u);
+    EXPECT_EQ(obs.metrics.counter("fault.preprocess_stalls").value(),
+              1u);
+    EXPECT_EQ(obs.metrics.counter("fault.watchdog_kills").value(), 1u);
+
+    std::size_t injects = 0, recoveries = 0;
+    for (const auto &rec : obs.trace.records()) {
+        injects += rec.kind == TraceEventKind::FaultInject ? 1 : 0;
+        recoveries +=
+            rec.kind == TraceEventKind::RecoveryAction ? 1 : 0;
+    }
+    EXPECT_EQ(injects, 4u);
+    EXPECT_EQ(recoveries, 1u);
+}
+
+TEST(FaultInjectorDeath, InvalidPlansRejected)
+{
+    FaultPlan bad = FaultPlan::none();
+    bad.kernelHangProb = 1.5;
+    EXPECT_EXIT({ FaultInjector inj(bad); },
+                ::testing::ExitedWithCode(1), "out of");
+    bad = FaultPlan::none();
+    bad.kernelSlowProb = 0.1;
+    bad.kernelSlowFactor = 0.5;
+    EXPECT_EXIT({ FaultInjector inj(bad); },
+                ::testing::ExitedWithCode(1), "kernelSlowFactor");
+}
+
+// ---- ioctl failure handling: retry, backoff, fallback -----------
+
+TEST(FaultHandling, IoctlFailureRetriesAndSucceeds)
+{
+    Fixture fx;
+    FaultPlan plan;
+    plan.ioctlFailBurst = 2; // < default maxAttempts of 4
+    FaultInjector inj(plan);
+    fx.hip.attachFault(&inj);
+
+    FixedSizer sizer(15);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Emulated);
+    Stream &s = fx.hip.createStream();
+    const Tick wall = fx.runSequence(krisp, s, {fx.kernel()});
+    EXPECT_GT(wall, 0u); // the request completed
+
+    EXPECT_EQ(krisp.stats().reconfigRetries, 2u);
+    EXPECT_EQ(krisp.stats().reconfigFallbacks, 0u);
+    EXPECT_EQ(krisp.stats().emulatedReconfigs, 1u);
+    EXPECT_EQ(inj.stats().ioctlFailures, 2u);
+    EXPECT_EQ(fx.hip.ioctlService().failed(), 2u);
+    EXPECT_EQ(fx.hip.ioctlService().completed(), 1u);
+    // The retried reconfiguration eventually landed.
+    EXPECT_EQ(s.hsaQueue().cuMask().count(), 15u);
+    EXPECT_EQ(fx.device.stats().kernelsCompleted, 1u);
+
+    // Retries pay backoff: the faulty run is strictly slower than a
+    // clean one.
+    Fixture clean;
+    KrispRuntime krisp2(clean.hip, sizer, clean.alloc,
+                        EnforcementMode::Emulated);
+    Stream &s2 = clean.hip.createStream();
+    const Tick clean_wall =
+        clean.runSequence(krisp2, s2, {clean.kernel()});
+    EXPECT_GT(wall, clean_wall);
+}
+
+TEST(FaultHandling, ExhaustedRetriesFallBackToStaticMask)
+{
+    Fixture fx;
+    FaultPlan plan;
+    plan.ioctlFailBurst = 100; // every attempt fails
+    FaultInjector inj(plan);
+    fx.hip.attachFault(&inj);
+
+    FixedSizer sizer(15);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Emulated);
+    Stream &s = fx.hip.createStream();
+    const unsigned mask_before = s.hsaQueue().cuMask().count();
+    const Tick wall = fx.runSequence(krisp, s, {fx.kernel()});
+
+    // The request still completes — degraded to the queue's static
+    // mask instead of the per-kernel right-size.
+    EXPECT_GT(wall, 0u);
+    EXPECT_EQ(fx.device.stats().kernelsCompleted, 1u);
+    EXPECT_EQ(krisp.stats().reconfigFallbacks, 1u);
+    EXPECT_EQ(krisp.stats().reconfigRetries, 3u); // 4 attempts total
+    EXPECT_EQ(krisp.stats().emulatedReconfigs, 0u);
+    EXPECT_EQ(s.hsaQueue().cuMask().count(), mask_before);
+}
+
+TEST(FaultHandling, RetryPolicyBoundsAttempts)
+{
+    Fixture fx;
+    FaultPlan plan;
+    plan.ioctlFailBurst = 100;
+    FaultInjector inj(plan);
+    fx.hip.attachFault(&inj);
+
+    FixedSizer sizer(15);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Emulated);
+    krisp.setIoctlRetryPolicy({2, 10'000, 2.0});
+    Stream &s = fx.hip.createStream();
+    fx.runSequence(krisp, s, {fx.kernel()});
+    EXPECT_EQ(krisp.stats().reconfigRetries, 1u);
+    EXPECT_EQ(krisp.stats().reconfigFallbacks, 1u);
+    EXPECT_EQ(inj.stats().ioctlFailures, 2u);
+}
+
+TEST(FaultHandlingDeath, InvalidRetryPolicyRejected)
+{
+    Fixture fx;
+    FixedSizer sizer(15);
+    KrispRuntime krisp(fx.hip, sizer, fx.alloc,
+                       EnforcementMode::Emulated);
+    EXPECT_EXIT(krisp.setIoctlRetryPolicy({0, 10'000, 2.0}),
+                ::testing::ExitedWithCode(1), "maxAttempts");
+}
+
+// ---- hung kernels and the GPU watchdog --------------------------
+
+TEST(FaultHandling, HungKernelReclaimedByWatchdog)
+{
+    Fixture fx;
+    FaultPlan plan;
+    plan.kernelHangProb = 1.0;
+    plan.watchdogTimeoutNs = ticksFromMs(2.0);
+    FaultInjector inj(plan);
+    fx.hip.attachFault(&inj);
+
+    Stream &s = fx.hip.createStream();
+    auto sig = HsaSignal::create(1);
+    bool done = false;
+    Tick done_at = 0;
+    sig->waitZero([&] {
+        done = true;
+        done_at = fx.eq.now();
+    });
+    s.launchWithSignal(fx.kernel(), sig);
+    fx.eq.run();
+
+    // The hang costs the watchdog budget, not the experiment.
+    EXPECT_TRUE(done);
+    EXPECT_GE(done_at, plan.watchdogTimeoutNs);
+    EXPECT_EQ(fx.device.stats().watchdogKills, 1u);
+    EXPECT_EQ(inj.stats().kernelHangs, 1u);
+    EXPECT_EQ(inj.stats().watchdogKills, 1u);
+}
+
+TEST(FaultHandling, WatchdogDisabledLeavesHangPending)
+{
+    Fixture fx;
+    FaultPlan plan;
+    plan.kernelHangProb = 1.0;
+    plan.watchdogTimeoutNs = 0;
+    FaultInjector inj(plan);
+    fx.hip.attachFault(&inj);
+
+    Stream &s = fx.hip.createStream();
+    auto sig = HsaSignal::create(1);
+    bool done = false;
+    sig->waitZero([&] { done = true; });
+    s.launchWithSignal(fx.kernel(), sig);
+    fx.eq.run();
+
+    // Without the watchdog the hung kernel never retires: the event
+    // queue simply drains with the completion still outstanding.
+    EXPECT_FALSE(done);
+    EXPECT_EQ(fx.device.stats().watchdogKills, 0u);
+}
+
+TEST(FaultHandling, LostCompletionSignalDetected)
+{
+    Fixture fx;
+    FaultPlan plan;
+    plan.signalLossProb = 1.0;
+    FaultInjector inj(plan);
+    fx.hip.attachFault(&inj);
+
+    Stream &s = fx.hip.createStream();
+    auto sig = HsaSignal::create(1);
+    bool done = false;
+    sig->waitZero([&] { done = true; });
+    s.launchWithSignal(fx.kernel(), sig);
+    fx.eq.run();
+
+    // The kernel retired but its completion decrement was swallowed;
+    // recovery from this is the server watchdog's job.
+    EXPECT_FALSE(done);
+    EXPECT_EQ(fx.device.stats().kernelsCompleted, 1u);
+    EXPECT_EQ(inj.stats().signalLosses, 1u);
+    EXPECT_EQ(sig->lostDecrements(), 1u);
+    EXPECT_EQ(sig->value(), 1);
+}
+
+// ---- server-level handling: deadlines, watchdog, determinism ----
+
+TEST(FaultServer, DeadlineShedsStalledRequests)
+{
+    ObsContext obs;
+    ServerConfig cfg;
+    cfg.workerModels = {"squeezenet"};
+    cfg.batch = 4;
+    cfg.warmupRequests = 1;
+    cfg.measuredRequests = 8;
+    cfg.requestDeadlineNs = ticksFromMs(30.0);
+    cfg.faults.stallProb = 0.4;
+    cfg.faults.stallNs = ticksFromMs(50.0);
+    cfg.obs = &obs;
+
+    const ServerResult r = InferenceServer(cfg).run();
+
+    // Stalled requests blow the deadline and are shed; the rest
+    // complete and the experiment finishes.
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.completed, 8u);
+    EXPECT_GE(r.deadlineMisses, 1u);
+    EXPECT_DOUBLE_EQ(
+        obs.metrics.gauge("server.deadline_misses").value(),
+        static_cast<double>(r.deadlineMisses));
+    EXPECT_GE(obs.metrics.counter("fault.preprocess_stalls").value(),
+              r.deadlineMisses);
+
+    std::size_t drops = 0;
+    for (const auto &rec : obs.trace.records())
+        drops += rec.kind == TraceEventKind::RequestDrop ? 1 : 0;
+    EXPECT_GE(drops, r.deadlineMisses);
+}
+
+TEST(FaultServer, WatchdogFailsHungRequestsExperimentFinishes)
+{
+    ObsContext obs;
+    ServerConfig cfg;
+    cfg.workerModels = {"squeezenet"};
+    cfg.batch = 4;
+    cfg.warmupRequests = 1;
+    cfg.measuredRequests = 10;
+    // squeezenet runs ~90 kernels per request, so a per-kernel hang
+    // probability of 0.002 wedges roughly one request in six — any
+    // hang (cleared by the 20 ms GPU watchdog) blows the 15 ms
+    // request budget, while fault-free requests finish well inside
+    // it.
+    cfg.requestTimeoutNs = ticksFromMs(15.0);
+    cfg.faults.kernelHangProb = 0.002;
+    cfg.faults.watchdogTimeoutNs = ticksFromMs(20.0);
+    cfg.obs = &obs;
+
+    const ServerResult r = InferenceServer(cfg).run();
+
+    // A hang wedges only its own request: the server watchdog fails
+    // it, the GPU watchdog reclaims the CUs, and the closed loop
+    // still reaches its measured-request quota.
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.completed, 10u);
+    EXPECT_GE(r.failedRequests, 1u);
+    EXPECT_GT(obs.metrics.counter("fault.kernel_hangs").value(), 0u);
+    EXPECT_GT(obs.metrics.gauge("gpu.watchdog_kills").value(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        obs.metrics.gauge("server.failed_requests").value(),
+        static_cast<double>(r.failedRequests));
+}
+
+TEST(FaultServer, FaultRunsAreDeterministic)
+{
+    ServerConfig cfg;
+    cfg.workerModels = {"squeezenet", "squeezenet"};
+    cfg.batch = 4;
+    cfg.policy = PartitionPolicy::KrispOversubscribed;
+    cfg.enforcement = EnforcementMode::Emulated;
+    cfg.warmupRequests = 1;
+    cfg.measuredRequests = 3;
+    cfg.requestDeadlineNs = ticksFromMs(60.0);
+    cfg.requestTimeoutNs = ticksFromMs(80.0);
+    cfg.faults = FaultPlan::uniform(0.02);
+    cfg.faults.kernelHangProb = 0.002;
+    cfg.faults.watchdogTimeoutNs = ticksFromMs(20.0);
+
+    ObsContext oa, ob;
+    ServerConfig ca = cfg, cb = cfg;
+    ca.obs = &oa;
+    cb.obs = &ob;
+    const ServerResult ra = InferenceServer(ca).run();
+    const ServerResult rb = InferenceServer(cb).run();
+
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.deadlineMisses, rb.deadlineMisses);
+    EXPECT_EQ(ra.failedRequests, rb.failedRequests);
+    EXPECT_DOUBLE_EQ(ra.totalRps, rb.totalRps);
+    // Byte-identical metrics and traces: faults draw only from their
+    // seeded streams in simulated time.
+    EXPECT_EQ(oa.metrics.toJson(), ob.metrics.toJson());
+    EXPECT_EQ(oa.trace.toChromeJson(), ob.trace.toChromeJson());
+}
+
+TEST(FaultServer, ZeroFaultPlanIsBitIdentical)
+{
+    ServerConfig cfg;
+    cfg.workerModels = {"squeezenet", "squeezenet"};
+    cfg.batch = 4;
+    cfg.policy = PartitionPolicy::KrispOversubscribed;
+    cfg.enforcement = EnforcementMode::Emulated;
+    cfg.warmupRequests = 1;
+    cfg.measuredRequests = 5;
+
+    // One run with the default config, one with an explicit zero-
+    // fault plan under a different fault seed: a disabled plan never
+    // instantiates the fault layer, so both runs must be identical.
+    ObsContext oa, ob;
+    ServerConfig ca = cfg, cb = cfg;
+    ca.obs = &oa;
+    cb.obs = &ob;
+    cb.faults = FaultPlan::none();
+    cb.faults.seed = 0xdeadbeefULL;
+    const ServerResult ra = InferenceServer(ca).run();
+    const ServerResult rb = InferenceServer(cb).run();
+
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_DOUBLE_EQ(ra.totalRps, rb.totalRps);
+    EXPECT_DOUBLE_EQ(ra.maxP95Ms, rb.maxP95Ms);
+    EXPECT_EQ(oa.metrics.toJson(), ob.metrics.toJson());
+    EXPECT_EQ(oa.trace.toChromeJson(), ob.trace.toChromeJson());
+}
+
+} // namespace
+} // namespace krisp

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.hh"
 #include "server/load_generator.hh"
 
 namespace krisp
@@ -80,6 +81,82 @@ TEST(OpenLoop, OverloadDropsInsteadOfDiverging)
     const OpenLoopResult r = OpenLoopServer(cfg).run();
     EXPECT_GT(r.dropRate, 0.0);
     EXPECT_LE(r.dropRate, 1.0);
+}
+
+TEST(OpenLoop, BacklogDropThresholdRespected)
+{
+    // Arrivals beyond queueCapacity are dropped at admission; the
+    // drop rate is exactly dropped / (admitted + dropped) over the
+    // measurement window.
+    OpenLoopConfig cfg = quickConfig(20000.0);
+    cfg.queueCapacity = 64;
+    const OpenLoopResult r = OpenLoopServer(cfg).run();
+    EXPECT_GT(r.dropped, 0u);
+    EXPECT_GT(r.arrivals, 0u);
+    EXPECT_DOUBLE_EQ(r.dropRate,
+                     static_cast<double>(r.dropped) /
+                         static_cast<double>(r.arrivals + r.dropped));
+    // Served requests can lag admissions (in-flight work at the end
+    // of the window) but can never exceed them.
+    EXPECT_LE(r.served, r.arrivals);
+
+    // A capacity the offered load never reaches drops nothing.
+    cfg = quickConfig(100.0);
+    cfg.queueCapacity = 100000;
+    const OpenLoopResult calm = OpenLoopServer(cfg).run();
+    EXPECT_EQ(calm.dropped, 0u);
+    EXPECT_DOUBLE_EQ(calm.dropRate, 0.0);
+}
+
+TEST(OpenLoop, DropsCountedInMetricsAndTrace)
+{
+    ObsContext obs;
+    OpenLoopConfig cfg = quickConfig(20000.0);
+    cfg.queueCapacity = 64;
+    cfg.obs = &obs;
+    const OpenLoopResult r = OpenLoopServer(cfg).run();
+    EXPECT_GT(r.dropped, 0u);
+    // The counter covers the whole run (warmup included), the result
+    // only the measurement window.
+    EXPECT_GE(obs.metrics.counter("server.dropped").value(),
+              r.dropped);
+    EXPECT_DOUBLE_EQ(obs.metrics.gauge("server.drop_rate").value(),
+                     r.dropRate);
+    std::size_t drop_events = 0;
+    for (const auto &rec : obs.trace.records())
+        drop_events +=
+            rec.kind == TraceEventKind::RequestDrop ? 1 : 0;
+    EXPECT_GE(drop_events,
+              obs.metrics.counter("server.dropped").value());
+}
+
+TEST(OpenLoop, PartialBatchTimeoutFiresAtOldestPlusTimeout)
+{
+    // At a trickle with idle workers, every batch is dispatched by
+    // the batching timer, which fires exactly batchTimeoutNs after
+    // the oldest queued request arrived — so the worst queueing
+    // delay equals the timeout exactly.
+    OpenLoopConfig cfg = quickConfig(20.0);
+    cfg.batchTimeoutNs = ticksFromMs(1.0);
+    const OpenLoopResult r = OpenLoopServer(cfg).run();
+    EXPECT_GT(r.served, 0u);
+    EXPECT_DOUBLE_EQ(r.maxQueueDelayMs,
+                     ticksToMs(cfg.batchTimeoutNs));
+}
+
+TEST(OpenLoop, DeadlineSheddingBoundsQueueingDelay)
+{
+    // Saturating load without shedding: queueing delay diverges.
+    OpenLoopConfig cfg = quickConfig(15000.0);
+    const OpenLoopResult unbounded = OpenLoopServer(cfg).run();
+    // With deadline shedding, requests that aged out are dropped at
+    // dispatch and no served request waited past its deadline.
+    cfg.requestDeadlineNs = ticksFromMs(20.0);
+    const OpenLoopResult shed = OpenLoopServer(cfg).run();
+    EXPECT_GT(shed.shedDeadline, 0u);
+    EXPECT_LE(shed.maxQueueDelayMs,
+              ticksToMs(cfg.requestDeadlineNs));
+    EXPECT_LT(shed.maxQueueDelayMs, unbounded.maxQueueDelayMs);
 }
 
 TEST(OpenLoop, BatchTimeoutBoundsQueueDelay)

@@ -48,7 +48,7 @@ TEST(InferenceServer, SingleWorkerProducesSaneResults)
     EXPECT_GT(r.energyPerInferenceJ, 0.0);
     EXPECT_GT(r.avgPowerW, 0.0);
     EXPECT_GT(r.measureSeconds, 0.0);
-    EXPECT_FALSE(r.truncated);
+    EXPECT_FALSE(r.timedOut);
     // Latency at least the isolated model latency + pre/post.
     EXPECT_GT(r.workers[0].meanLatencyMs,
               ticksToMs(cfg.preprocessNs + cfg.postprocessNs));
