@@ -17,6 +17,8 @@
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/worker_pool.hh"
 #include "obs/obs.hh"
 #include "server/inference_server.hh"
 
@@ -37,7 +39,7 @@ envFaultRate(double fallback)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::BenchReport report(
         "ext_fault_resilience",
@@ -64,21 +66,31 @@ main()
     if (override_rate >= 0)
         rates = {override_rate};
 
-    TextTable table({"fault_rate", "completed", "ddl_miss", "failed",
-                     "availability", "p95_ms", "rps", "wd_kills",
-                     "fallbacks", "timed_out"});
+    // One island per fault rate; runAll returns outcomes in spec
+    // order, so the table below is identical for any job count.
+    std::vector<harness::RunSpec> sweep;
     for (const double rate : rates) {
-        ObsContext obs;
         ServerConfig cfg = base;
-        cfg.obs = &obs;
         cfg.faults = FaultPlan::uniform(rate);
         // Hangs at the sweep rate stall entire workers for the full
         // watchdog budget; keep them an order rarer so the sweep
         // shows degradation rather than a cliff.
         cfg.faults.kernelHangProb = rate / 10.0;
         cfg.faults.watchdogTimeoutNs = ticksFromMs(40.0);
+        sweep.push_back(harness::RunSpec{
+            std::to_string(rate), std::move(cfg),
+            /*collectMetrics=*/true, /*collectTrace=*/false, {}});
+    }
+    std::vector<harness::RunOutcome> outcomes = harness::runAll(
+        std::move(sweep), harness::jobsFromCommandLine(argc, argv));
 
-        const ServerResult r = InferenceServer(cfg).run();
+    TextTable table({"fault_rate", "completed", "ddl_miss", "failed",
+                     "availability", "p95_ms", "rps", "wd_kills",
+                     "fallbacks", "timed_out"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const double rate = rates[i];
+        const ServerResult &r = outcomes[i].result;
+        ObsContext &obs = *outcomes[i].obs;
 
         const double attempts = static_cast<double>(
             r.completed + r.deadlineMisses + r.failedRequests);

@@ -19,12 +19,13 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "harness/worker_pool.hh"
 #include "models/model_zoo.hh"
 
 using namespace krisp;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::BenchReport report(
         "fig13_main_eval",
@@ -32,6 +33,16 @@ main()
 
     ExperimentContext ctx(bench::paperConfig(32));
     const std::vector<unsigned> worker_counts = {1, 2, 4};
+
+    // Run the whole matrix (plus isolated baselines) up front on the
+    // parallel harness; the table loops below replay cached results,
+    // so the output is identical for any --jobs / KRISP_JOBS value.
+    std::vector<EvalSpec> specs;
+    for (const auto &info : ModelZoo::workloads())
+        for (const PartitionPolicy policy : allPartitionPolicies())
+            for (const unsigned w : worker_counts)
+                specs.push_back({info.name, policy, w, std::nullopt});
+    ctx.prefetch(specs, harness::jobsFromCommandLine(argc, argv));
 
     // policy -> worker count -> normalized RPS / energy ratios.
     std::map<PartitionPolicy, std::map<unsigned, std::vector<double>>>

@@ -14,19 +14,28 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "harness/worker_pool.hh"
 #include "models/model_zoo.hh"
 
 using namespace krisp;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::BenchReport report(
         "fig14_batch_sensitivity",
         "Fig. 14 (geomean normalized RPS, batch 16 and 8)");
 
+    const unsigned jobs = harness::jobsFromCommandLine(argc, argv);
     for (const unsigned batch : {16u, 8u}) {
         ExperimentContext ctx(bench::paperConfig(batch));
+        std::vector<EvalSpec> specs;
+        for (const auto &info : ModelZoo::workloads())
+            for (const PartitionPolicy policy : allPartitionPolicies())
+                for (const unsigned w : {1u, 2u, 4u})
+                    specs.push_back(
+                        {info.name, policy, w, std::nullopt});
+        ctx.prefetch(specs, jobs);
         std::map<PartitionPolicy, std::map<unsigned,
                                            std::vector<double>>>
             acc;

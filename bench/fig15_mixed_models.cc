@@ -10,9 +10,11 @@
  */
 
 #include <algorithm>
+#include <utility>
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "harness/worker_pool.hh"
 #include "models/model_zoo.hh"
 
 using namespace krisp;
@@ -46,7 +48,7 @@ box(std::vector<double> v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::BenchReport report(
         "fig15_mixed_models",
@@ -61,6 +63,13 @@ main()
     };
 
     const auto &workloads = ModelZoo::workloads();
+    std::vector<std::pair<std::string, std::string>> model_pairs;
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        for (std::size_t j = i + 1; j < workloads.size(); ++j)
+            model_pairs.emplace_back(workloads[i].name,
+                                     workloads[j].name);
+    ctx.prefetchMixedPairs(model_pairs, policies,
+                           harness::jobsFromCommandLine(argc, argv));
     TextTable pairs({"pair", "mps-default", "model-right-size",
                      "krisp-o", "krisp-i"});
     std::map<PartitionPolicy, std::vector<double>> dist;

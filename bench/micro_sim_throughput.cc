@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Event-core throughput microbench (events/sec): how fast the
+ * discrete-event kernel itself retires events, plus the end-to-end
+ * event rate of a real server simulation. Tracks the hot-path work on
+ * EventQueue (flat slots, lazy cancellation + compaction) and
+ * FluidScheduler/GpuDevice (scratch reuse, incremental residency) —
+ * diff BENCH_micro_sim_throughput.json across revisions.
+ *
+ * Wall-clock numbers are host-dependent; unlike the figure benches
+ * this summary is NOT expected to be byte-stable.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "obs/obs.hh"
+#include "server/inference_server.hh"
+#include "sim/event_queue.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Ring of self-rescheduling events: the pure schedule+fire path. */
+double
+chainEventsPerSec(std::uint64_t total_events, unsigned ring)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void()> hop = [&] {
+        if (++fired < total_events)
+            eq.scheduleIn(1 + fired % 7, hop);
+    };
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < ring; ++i)
+        eq.scheduleIn(1 + i, hop);
+    eq.run();
+    return static_cast<double>(eq.firedCount()) / secondsSince(start);
+}
+
+/**
+ * Deadline pattern: every fired event schedules a companion that is
+ * immediately cancelled, exercising lazy deletion + compaction.
+ */
+double
+cancelHeavyEventsPerSec(std::uint64_t total_events)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void()> hop = [&] {
+        const EventId doomed =
+            eq.scheduleIn(1'000'000, [] {});
+        eq.deschedule(doomed);
+        if (++fired < total_events)
+            eq.scheduleIn(1 + fired % 5, hop);
+    };
+    const auto start = std::chrono::steady_clock::now();
+    eq.scheduleIn(1, hop);
+    eq.run();
+    const double handled = static_cast<double>(eq.firedCount()) +
+                           static_cast<double>(eq.cancelledCount());
+    return handled / secondsSince(start);
+}
+
+/** Whole-stack rate: one closed-loop server run, events from obs. */
+double
+serverEventsPerSec(double &out_events)
+{
+    ObsContext obs;
+    obs.trace.setEnabled(false);
+    ServerConfig cfg;
+    cfg.workerModels = {"squeezenet", "squeezenet"};
+    cfg.batch = 16;
+    cfg.policy = PartitionPolicy::KrispIsolated;
+    cfg.warmupRequests = 2;
+    cfg.measuredRequests = bench::quickMode() ? 8 : 20;
+    cfg.obs = &obs;
+    const auto start = std::chrono::steady_clock::now();
+    InferenceServer(cfg).run();
+    const double secs = secondsSince(start);
+    out_events = obs.metrics.gauge("sim.events_fired").value();
+    return out_events / secs;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchReport report(
+        "micro_sim_throughput",
+        "infrastructure: event-core events/sec (not a paper figure)");
+
+    const std::uint64_t n =
+        bench::quickMode() ? 200'000 : 2'000'000;
+
+    const double chain = chainEventsPerSec(n, /*ring=*/16);
+    const double cancel = cancelHeavyEventsPerSec(n);
+    double server_events = 0;
+    const double server = serverEventsPerSec(server_events);
+
+    TextTable table({"workload", "events/sec"});
+    table.row().cell("chain x16").cell(chain, 0);
+    table.row().cell("cancel-heavy").cell(cancel, 0);
+    table.row().cell("server squeezenet x2").cell(server, 0);
+    table.print("event core throughput");
+
+    report.set("chain_events_per_sec", chain);
+    report.set("cancel_heavy_events_per_sec", cancel);
+    report.set("server_events_per_sec", server);
+    report.set("server_events_fired", server_events);
+    report.write();
+    return 0;
+}

@@ -12,12 +12,13 @@
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "harness/worker_pool.hh"
 #include "models/model_zoo.hh"
 
 using namespace krisp;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::BenchReport report(
         "table4_max_concurrency",
@@ -25,6 +26,13 @@ main()
 
     ExperimentContext ctx(bench::paperConfig(32));
     const std::vector<unsigned> worker_counts = {1, 2, 4};
+
+    std::vector<EvalSpec> specs;
+    for (const auto &info : ModelZoo::workloads())
+        for (const PartitionPolicy policy : allPartitionPolicies())
+            for (const unsigned w : worker_counts)
+                specs.push_back({info.name, policy, w, std::nullopt});
+    ctx.prefetch(specs, harness::jobsFromCommandLine(argc, argv));
 
     TextTable table({"model", "mps-default", "static-equal",
                      "model-right-size", "krisp-o", "krisp-i",

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,10 +42,15 @@ levelFromEnv()
     return LogLevel::Inform;
 }
 
-LogLevel &
+/**
+ * Atomic so the parallel experiment harness can log from worker
+ * threads while the threshold is read concurrently (writes still only
+ * happen from test/tool setup code).
+ */
+std::atomic<LogLevel> &
 threshold()
 {
-    static LogLevel level = levelFromEnv();
+    static std::atomic<LogLevel> level{levelFromEnv()};
     return level;
 }
 
@@ -53,20 +59,20 @@ threshold()
 void
 setLogLevel(LogLevel level)
 {
-    threshold() = level;
+    threshold().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return threshold();
+    return threshold().load(std::memory_order_relaxed);
 }
 
 bool
 logLevelEnabled(LogLevel level)
 {
     // panic/fatal are never filtered.
-    return level >= LogLevel::Panic || level >= threshold();
+    return level >= LogLevel::Panic || level >= logLevel();
 }
 
 void

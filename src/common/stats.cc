@@ -68,6 +68,7 @@ PercentileTracker::add(double x)
 {
     samples_.push_back(x);
     sorted_ = false;
+    sum_ += x;
 }
 
 void
@@ -75,6 +76,7 @@ PercentileTracker::reset()
 {
     samples_.clear();
     sorted_ = true;
+    sum_ = 0;
 }
 
 void
@@ -106,10 +108,7 @@ PercentileTracker::mean() const
 {
     if (samples_.empty())
         return 0.0;
-    double sum = 0;
-    for (double s : samples_)
-        sum += s;
-    return sum / static_cast<double>(samples_.size());
+    return sum_ / static_cast<double>(samples_.size());
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -122,12 +121,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
-    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-    idx = std::clamp<std::ptrdiff_t>(
-        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
     ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::size_t>((x - lo_) / width);
+    // Floating-point division can land exactly on bins() for x just
+    // below hi; keep such samples in the last bin.
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
 }
 
 void
@@ -135,6 +143,8 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
 }
 
 double

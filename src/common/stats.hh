@@ -58,6 +58,13 @@ class PercentileTracker
      */
     double percentile(double q) const;
 
+    /**
+     * Mean over the running sum accumulated in insertion order, so
+     * the value cannot change when a percentile query lazily sorts
+     * the sample buffer (summing in sorted order rounds differently;
+     * snapshots must serialise identically no matter how often they
+     * were queried before).
+     */
     double mean() const;
     double min() const { return percentile(0.0); }
     double max() const { return percentile(1.0); }
@@ -68,9 +75,15 @@ class PercentileTracker
 
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
+    double sum_ = 0;
 };
 
-/** Fixed-width-bin histogram over [lo, hi); out-of-range clamps. */
+/**
+ * Fixed-width-bin histogram over [lo, hi). Out-of-range samples are
+ * counted separately as underflow (x < lo) / overflow (x >= hi)
+ * rather than silently clamped into the edge bins, so the edge bins
+ * describe only genuinely in-range samples.
+ */
 class Histogram
 {
   public:
@@ -83,13 +96,20 @@ class Histogram
     std::size_t binCount(std::size_t i) const { return counts_.at(i); }
     double binLow(std::size_t i) const;
     double binHigh(std::size_t i) const;
+    /** All samples seen, including out-of-range ones. */
     std::size_t total() const { return total_; }
+    /** Samples below the range (x < lo). */
+    std::size_t underflow() const { return underflow_; }
+    /** Samples at or above the range end (x >= hi). */
+    std::size_t overflow() const { return overflow_; }
 
   private:
     double lo_;
     double hi_;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
 };
 
 /** Geometric mean of strictly positive values (0 if any non-positive). */

@@ -25,6 +25,15 @@ namespace krisp
 std::vector<double> maxMinFairShare(const std::vector<double> &demands,
                                     double capacity);
 
+/**
+ * As maxMinFairShare(), writing into caller-owned buffers so the
+ * per-event hot path allocates nothing: @p grants is resized to match
+ * @p demands and @p order is scratch for the ascending-demand pass.
+ */
+void maxMinFairShareInto(const std::vector<double> &demands,
+                         double capacity, std::vector<double> &grants,
+                         std::vector<std::size_t> &order);
+
 } // namespace krisp
 
 #endif // KRISP_GPU_BANDWIDTH_HH

@@ -1,6 +1,7 @@
 #include "gpu/gpu_device.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <memory>
 #include <numeric>
@@ -14,16 +15,18 @@
 namespace krisp
 {
 
-std::vector<double>
-maxMinFairShare(const std::vector<double> &demands, double capacity)
+void
+maxMinFairShareInto(const std::vector<double> &demands, double capacity,
+                    std::vector<double> &grants,
+                    std::vector<std::size_t> &order)
 {
-    std::vector<double> grants(demands.size(), 0.0);
+    grants.assign(demands.size(), 0.0);
     if (demands.empty() || capacity <= 0)
-        return grants;
+        return;
 
     // Process demands in ascending order; each unsatisfied claimant
     // gets an equal share of what remains.
-    std::vector<std::size_t> order(demands.size());
+    order.resize(demands.size());
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](auto a, auto b) {
         return demands[a] < demands[b];
@@ -38,6 +41,14 @@ maxMinFairShare(const std::vector<double> &demands, double capacity)
         remaining -= grant;
         --left;
     }
+}
+
+std::vector<double>
+maxMinFairShare(const std::vector<double> &demands, double capacity)
+{
+    std::vector<double> grants;
+    std::vector<std::size_t> order;
+    maxMinFairShareInto(demands, capacity, grants, order);
     return grants;
 }
 
@@ -54,8 +65,45 @@ GpuDevice::GpuDevice(EventQueue &eq, GpuConfig config)
       power_(eq, config.power),
       fluid_(
           eq, [this](FluidScheduler &fs) { recomputeRates(fs); },
-          [this](JobId job) { onKernelComplete(job); })
+          [this](JobId job) { onKernelComplete(job); }),
+      resident_(config_.arch.totalCus(), 0),
+      scratch_cu_demand_(config_.arch.totalCus(), 0.0)
 {
+}
+
+void
+GpuDevice::adoptRunning(JobId job, RunningKernel rk)
+{
+    // Cache the kernel's occupancy demand: a kernel that cannot fill
+    // its CUs (few workgroups relative to the saturation occupancy)
+    // leaves slack that co-resident kernels use for free — this is why
+    // unrestricted MPS sharing works well for under-utilising models
+    // (Sec. VI-B).
+    const double sat = std::max(1u, rk.desc->saturationWgsPerCu);
+    rk.demand = std::min(1.0, double(rk.desc->numWorkgroups) /
+                                  (double(rk.mask.count()) * sat));
+    for (std::uint64_t bits = rk.mask.bits(); bits != 0;
+         bits &= bits - 1) {
+        ++resident_[static_cast<unsigned>(std::countr_zero(bits))];
+    }
+    running_.emplace(job, std::move(rk));
+}
+
+GpuDevice::RunningKernel
+GpuDevice::removeRunning(JobId job)
+{
+    const auto it = running_.find(job);
+    panic_if(it == running_.end(), "no running-kernel record for job ",
+             job);
+    RunningKernel rk = std::move(it->second);
+    running_.erase(it);
+    for (std::uint64_t bits = rk.mask.bits(); bits != 0;
+         bits &= bits - 1) {
+        const auto cu = static_cast<unsigned>(std::countr_zero(bits));
+        panic_if(resident_[cu] == 0, "CU residency underflow");
+        --resident_[cu];
+    }
+    return rk;
 }
 
 HsaQueue &
@@ -331,11 +379,7 @@ GpuDevice::dispatchKernel(QueueCtx &ctx, const AqlPacket &pkt,
 void
 GpuDevice::watchdogFire(JobId job)
 {
-    const auto it = running_.find(job);
-    panic_if(it == running_.end(),
-             "watchdog fired for unknown job ", job);
-    RunningKernel rk = std::move(it->second);
-    running_.erase(it);
+    RunningKernel rk = removeRunning(job);
     ++stats_.watchdogKills;
     warn("GPU watchdog killed kernel ", rk.id, " (", rk.desc->name,
          ") after ", eq_.now() - rk.startTick, " ns",
@@ -349,11 +393,7 @@ GpuDevice::watchdogFire(JobId job)
 void
 GpuDevice::onKernelComplete(JobId job)
 {
-    const auto it = running_.find(job);
-    panic_if(it == running_.end(), "completion for unknown job ", job);
-    RunningKernel rk = std::move(it->second);
-    running_.erase(it);
-    retireKernel(std::move(rk), false);
+    retireKernel(removeRunning(job), false);
 }
 
 void
@@ -406,54 +446,41 @@ GpuDevice::recomputeRates(FluidScheduler &fs)
     const ArchParams &arch = config_.arch;
     const unsigned total_cus = arch.totalCus();
 
-    const std::vector<JobId> jobs = fs.activeJobs();
+    scratch_jobs_.clear();
+    fs.appendActiveJobs(scratch_jobs_);
+    const std::vector<JobId> &jobs = scratch_jobs_;
 
     // Adopt a kernel staged by dispatchKernel (fluid_.add triggers
-    // this callback before add() returns the new job id).
+    // this callback before add() returns the new job id). Adoption
+    // updates the incremental residency map; retirement and watchdog
+    // kills decrement it, so it never needs rebuilding here.
     if (staging_.has_value()) {
         for (const JobId job : jobs) {
             if (!running_.count(job)) {
-                running_.emplace(job, std::move(*staging_));
+                adoptRunning(job, std::move(*staging_));
                 staging_.reset();
                 break;
             }
         }
     }
 
-    // Residency and occupancy demand per CU from running kernels. A
-    // kernel that cannot fill its CUs (few workgroups relative to the
-    // saturation occupancy) leaves slack that co-resident kernels use
-    // for free — this is why unrestricted MPS sharing works well for
-    // under-utilising models (Sec. VI-B).
-    std::vector<unsigned> resident(total_cus, 0);
-    std::vector<double> cu_demand(total_cus, 0.0);
+    // Aggregate occupancy demand per CU from the running kernels'
+    // cached per-kernel demands (job order fixes the summation order).
+    std::fill(scratch_cu_demand_.begin(), scratch_cu_demand_.end(),
+              0.0);
     for (const JobId job : jobs) {
         const auto it = running_.find(job);
         panic_if(it == running_.end(), "active job ", job,
                  " has no running-kernel record");
         const RunningKernel &rk = it->second;
-        const double sat =
-            std::max(1u, rk.desc->saturationWgsPerCu);
-        const double demand = std::min(
-            1.0, double(rk.desc->numWorkgroups) /
-                     (double(rk.mask.count()) * sat));
-        for (unsigned cu = 0; cu < total_cus; ++cu) {
-            if (rk.mask.test(cu)) {
-                ++resident[cu];
-                cu_demand[cu] += demand;
-            }
+        for (std::uint64_t bits = rk.mask.bits(); bits != 0;
+             bits &= bits - 1) {
+            scratch_cu_demand_[static_cast<unsigned>(
+                std::countr_zero(bits))] += rk.demand;
         }
     }
 
-    struct Eval
-    {
-        JobId job;
-        RunningKernel *rk;
-        double computeRate; // progress per ns, compute-limited
-        double demandBw;    // bytes per ns the kernel asks for
-    };
-    std::vector<Eval> evals;
-    evals.reserve(jobs.size());
+    scratch_evals_.clear();
 
     for (const JobId job : jobs) {
         RunningKernel &rk = running_.at(job);
@@ -470,16 +497,17 @@ GpuDevice::recomputeRates(FluidScheduler &fs)
         // multiplicative interference penalty applies per co-resident
         // kernel regardless.
         double share_sum = 0;
-        for (unsigned cu = 0; cu < total_cus; ++cu) {
-            if (rk.mask.test(cu)) {
-                const unsigned n = resident[cu];
-                panic_if(n == 0, "running kernel on idle CU");
-                const double scale =
-                    std::min(1.0, 1.0 / cu_demand[cu]);
-                share_sum +=
-                    scale * std::pow(config_.contentionPenalty,
-                                     static_cast<double>(n - 1));
-            }
+        for (std::uint64_t bits = rk.mask.bits(); bits != 0;
+             bits &= bits - 1) {
+            const auto cu =
+                static_cast<unsigned>(std::countr_zero(bits));
+            const unsigned n = resident_[cu];
+            panic_if(n == 0, "running kernel on idle CU");
+            const double scale =
+                std::min(1.0, 1.0 / scratch_cu_demand_[cu]);
+            share_sum +=
+                scale * std::pow(config_.contentionPenalty,
+                                 static_cast<double>(n - 1));
         }
         const double avg_share = share_sum / rk.mask.count();
         const double t_compute = std::max(
@@ -497,36 +525,36 @@ GpuDevice::recomputeRates(FluidScheduler &fs)
                 arch.memBwBytesPerNs);
             demand = std::min(compute_rate * rk.desc->bytes, issue_cap);
         }
-        evals.push_back(Eval{job, &rk, compute_rate, demand});
+        scratch_evals_.push_back(RateEval{job, &rk, compute_rate,
+                                          demand});
     }
 
-    std::vector<double> demands;
-    demands.reserve(evals.size());
-    for (const auto &e : evals)
-        demands.push_back(e.demandBw);
-    const std::vector<double> grants =
-        maxMinFairShare(demands, arch.memBwBytesPerNs);
+    scratch_demands_.clear();
+    for (const auto &e : scratch_evals_)
+        scratch_demands_.push_back(e.demandBw);
+    maxMinFairShareInto(scratch_demands_, arch.memBwBytesPerNs,
+                        scratch_grants_, scratch_order_);
 
     double bw_used = 0;
-    for (std::size_t i = 0; i < evals.size(); ++i) {
-        const Eval &e = evals[i];
+    for (std::size_t i = 0; i < scratch_evals_.size(); ++i) {
+        const RateEval &e = scratch_evals_[i];
         double rate = e.computeRate;
         if (e.rk->desc->bytes > 0)
-            rate = std::min(rate, grants[i] / e.rk->desc->bytes);
-        e.rk->bwAlloc = grants[i];
-        bw_used += grants[i];
+            rate = std::min(rate, scratch_grants_[i] / e.rk->desc->bytes);
+        e.rk->bwAlloc = scratch_grants_[i];
+        bw_used += scratch_grants_[i];
         fs.setRate(e.job, rate);
     }
 
     // Power state follows the running set.
     unsigned busy_cus = 0;
     for (unsigned cu = 0; cu < total_cus; ++cu)
-        if (resident[cu] > 0)
+        if (resident_[cu] > 0)
             ++busy_cus;
     unsigned active_ses = 0;
     for (unsigned se = 0; se < arch.numSe; ++se) {
         for (unsigned cu = 0; cu < arch.cusPerSe; ++cu) {
-            if (resident[CuMask::cuIndex(arch, se, cu)] > 0) {
+            if (resident_[CuMask::cuIndex(arch, se, cu)] > 0) {
                 ++active_ses;
                 break;
             }

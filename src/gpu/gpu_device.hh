@@ -183,12 +183,27 @@ class GpuDevice
         Tick startTick = 0;
         /** Bandwidth granted in the last rate evaluation, bytes/ns. */
         double bwAlloc = 0;
+        /**
+         * Per-CU occupancy demand, fixed for the kernel's lifetime
+         * (workgroups vs. saturation occupancy of its mask); cached at
+         * adoption so rate recomputation does not re-derive it.
+         */
+        double demand = 0;
         /** Injected hang: the fluid job runs at rate 0 forever. */
         bool hung = false;
         /** Injected duration multiplier (1.0 = none). */
         double slowFactor = 1.0;
         /** Pending GPU-watchdog event for this kernel. */
         EventId watchdog = invalidEventId;
+    };
+
+    /** One kernel's inputs to the roofline rate evaluation. */
+    struct RateEval
+    {
+        JobId job;
+        RunningKernel *rk;
+        double computeRate; // progress per ns, compute-limited
+        double demandBw;    // bytes per ns the kernel asks for
     };
 
     void tryProcess(QueueCtx &ctx);
@@ -202,6 +217,10 @@ class GpuDevice
     void retireKernel(RunningKernel rk, bool killed);
     void recomputeRates(FluidScheduler &fs);
     void updatePower();
+    /** Adopt @p rk as running job @p job (residency map updated). */
+    void adoptRunning(JobId job, RunningKernel rk);
+    /** Remove job @p job from the running set (residency updated). */
+    RunningKernel removeRunning(JobId job);
 
     EventQueue &eq_;
     GpuConfig config_;
@@ -219,6 +238,23 @@ class GpuDevice
     std::optional<RunningKernel> staging_;
     KernelId next_kernel_id_ = 1;
     GpuDeviceStats stats_;
+
+    /**
+     * Incremental per-CU residency: how many *started* kernels (fluid
+     * jobs) occupy each CU. Updated when kernels join or leave the
+     * running set, so rate recomputation reads it instead of
+     * rebuilding it from scratch on every event.
+     */
+    std::vector<unsigned> resident_;
+
+    // Scratch buffers reused across recomputeRates() calls: the
+    // dispatch/retire hot path runs allocation-free in steady state.
+    std::vector<JobId> scratch_jobs_;
+    std::vector<double> scratch_cu_demand_;
+    std::vector<RateEval> scratch_evals_;
+    std::vector<double> scratch_demands_;
+    std::vector<double> scratch_grants_;
+    std::vector<std::size_t> scratch_order_;
 };
 
 } // namespace krisp

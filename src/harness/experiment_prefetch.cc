@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ExperimentContext::prefetch*, defined here (krisp_harness) rather
+ * than in experiment.cc so krisp_server does not depend back on the
+ * harness library. Benches that prefetch link krisp_harness; plain
+ * server users never reference these symbols.
+ */
+
+#include <set>
+#include <utility>
+
+#include "common/logging.hh"
+#include "harness/parallel_runner.hh"
+#include "server/experiment.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+/** Tag prefix distinguishing baseline runs in the merged batch. */
+const char *const isolatedPrefix = "isolated|";
+
+} // namespace
+
+void
+ExperimentContext::prefetch(const std::vector<EvalSpec> &specs,
+                            unsigned jobs)
+{
+    std::vector<harness::RunSpec> batch;
+    std::set<std::string> queued;
+
+    for (const EvalSpec &spec : specs) {
+        fatal_if(spec.workers == 0, "need at least one worker");
+        // Baseline for normalisation / SLO bound of this model.
+        const std::string baseTag = isolatedPrefix + spec.model;
+        if (isolated_.count(spec.model) == 0 &&
+            queued.insert(baseTag).second) {
+            batch.push_back(harness::RunSpec{
+                baseTag,
+                makeConfig({spec.model}, PartitionPolicy::MpsDefault),
+                false, false, {}});
+        }
+        const std::string key = evalKey(spec);
+        if (runs_.count(key) == 0 && queued.insert(key).second) {
+            batch.push_back(
+                harness::RunSpec{key, configFor(spec), false, false,
+                                 {}});
+        }
+    }
+
+    for (harness::RunOutcome &out : harness::runAll(std::move(batch),
+                                                    jobs)) {
+        if (out.tag.rfind(isolatedPrefix, 0) == 0) {
+            isolated_.emplace(
+                out.tag.substr(std::string(isolatedPrefix).size()),
+                std::move(out.result));
+        } else {
+            runs_.emplace(std::move(out.tag), std::move(out.result));
+        }
+    }
+}
+
+void
+ExperimentContext::prefetchMixedPairs(
+    const std::vector<std::pair<std::string, std::string>> &pairs,
+    const std::vector<PartitionPolicy> &policies, unsigned jobs)
+{
+    std::vector<harness::RunSpec> batch;
+    std::set<std::string> queued;
+
+    for (const auto &[a, b] : pairs) {
+        for (const std::string &model : {a, b}) {
+            const std::string baseTag = isolatedPrefix + model;
+            if (isolated_.count(model) == 0 &&
+                queued.insert(baseTag).second) {
+                batch.push_back(harness::RunSpec{
+                    baseTag,
+                    makeConfig({model}, PartitionPolicy::MpsDefault),
+                    false, false, {}});
+            }
+        }
+        for (const PartitionPolicy policy : policies) {
+            const std::string key = pairKey(a, b, policy);
+            if (runs_.count(key) == 0 && queued.insert(key).second) {
+                batch.push_back(harness::RunSpec{
+                    key, makeConfig({a, b}, policy), false, false,
+                    {}});
+            }
+        }
+    }
+
+    for (harness::RunOutcome &out : harness::runAll(std::move(batch),
+                                                    jobs)) {
+        if (out.tag.rfind(isolatedPrefix, 0) == 0) {
+            isolated_.emplace(
+                out.tag.substr(std::string(isolatedPrefix).size()),
+                std::move(out.result));
+        } else {
+            runs_.emplace(std::move(out.tag), std::move(out.result));
+        }
+    }
+}
+
+} // namespace krisp

@@ -1,0 +1,46 @@
+#include "harness/parallel_runner.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "harness/worker_pool.hh"
+
+namespace krisp
+{
+namespace harness
+{
+
+std::vector<RunOutcome>
+runAll(std::vector<RunSpec> specs, unsigned jobs)
+{
+    std::vector<RunOutcome> outcomes(specs.size());
+    WorkerPool pool(jobs);
+    pool.forEachIndex(specs.size(), [&](std::size_t i) {
+        RunSpec &spec = specs[i];
+        panic_if(spec.config.obs != nullptr,
+                 "RunSpec '", spec.tag,
+                 "' carries an external ObsContext; the runner owns "
+                 "the per-run island");
+
+        RunOutcome &out = outcomes[i];
+        out.tag = spec.tag;
+
+        const bool wantTrace =
+            spec.collectTrace || !spec.traceFile.empty();
+        if (spec.collectMetrics || wantTrace) {
+            out.obs = std::make_unique<ObsContext>();
+            out.obs->trace.setEnabled(wantTrace);
+            spec.config.obs = out.obs.get();
+        }
+
+        InferenceServer server(spec.config);
+        out.result = server.run();
+
+        if (!spec.traceFile.empty())
+            out.obs->trace.writeChromeJsonFile(spec.traceFile);
+    });
+    return outcomes;
+}
+
+} // namespace harness
+} // namespace krisp

@@ -1,0 +1,106 @@
+#include "harness/worker_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+namespace harness
+{
+
+namespace
+{
+
+unsigned
+parseJobs(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    fatal_if(end == text || *end != '\0' || value < 1 ||
+                 value > 4096,
+             "invalid ", origin, " value '", text,
+             "' (expected an integer in [1, 4096])");
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    const char *env = std::getenv("KRISP_JOBS");
+    if (env != nullptr && env[0] != '\0')
+        return parseJobs(env, "KRISP_JOBS");
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+unsigned
+jobsFromCommandLine(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            fatal_if(i + 1 >= argc, "--jobs needs a value");
+            return parseJobs(argv[i + 1], "--jobs");
+        }
+        if (std::strncmp(arg, "--jobs=", 7) == 0)
+            return parseJobs(arg + 7, "--jobs");
+    }
+    return defaultJobs();
+}
+
+WorkerPool::WorkerPool(unsigned jobs) : jobs_(jobs > 0 ? jobs : 1)
+{
+}
+
+void
+WorkerPool::forEachIndex(std::size_t count,
+                         const std::function<void(std::size_t)> &task)
+{
+    panic_if(!task, "WorkerPool needs a task");
+    if (count == 0)
+        return;
+
+    std::vector<std::exception_ptr> errors(count);
+    auto worker = [&](std::atomic<std::size_t> &next) {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+            try {
+                task(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const auto threads = static_cast<std::size_t>(jobs_) < count
+                             ? static_cast<std::size_t>(jobs_)
+                             : count;
+    std::atomic<std::size_t> next{0};
+    if (threads <= 1) {
+        worker(next);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back([&] { worker(next); });
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+}
+
+} // namespace harness
+} // namespace krisp

@@ -198,6 +198,10 @@ MetricsRegistry::writeJson(std::ostream &os) const
                    << ",\"hi\":" << json::number(h.binHigh(h.bins() - 1))
                    << ",\"total\":" << json::number(
                        static_cast<std::uint64_t>(h.total()))
+                   << ",\"underflow\":" << json::number(
+                       static_cast<std::uint64_t>(h.underflow()))
+                   << ",\"overflow\":" << json::number(
+                       static_cast<std::uint64_t>(h.overflow()))
                    << ",\"bins\":[";
                 for (std::size_t i = 0; i < h.bins(); ++i) {
                     if (i > 0)

@@ -23,6 +23,56 @@ ExperimentContext::makeConfig(std::vector<std::string> models,
     return cfg;
 }
 
+ServerConfig
+ExperimentContext::configFor(const EvalSpec &spec) const
+{
+    ServerConfig cfg = makeConfig(
+        std::vector<std::string>(spec.workers, spec.model),
+        spec.policy);
+    cfg.overlapLimitOverride = spec.overlapLimit;
+    return cfg;
+}
+
+std::string
+ExperimentContext::evalKey(const EvalSpec &spec)
+{
+    std::string key = spec.model;
+    key += '|';
+    key += std::to_string(static_cast<int>(spec.policy));
+    key += '|';
+    key += std::to_string(spec.workers);
+    if (spec.overlapLimit) {
+        key += "|ov";
+        key += std::to_string(*spec.overlapLimit);
+    }
+    return key;
+}
+
+std::string
+ExperimentContext::pairKey(const std::string &model_a,
+                           const std::string &model_b,
+                           PartitionPolicy policy)
+{
+    std::string key = "pair|";
+    key += model_a;
+    key += '+';
+    key += model_b;
+    key += '|';
+    key += std::to_string(static_cast<int>(policy));
+    return key;
+}
+
+const ServerResult &
+ExperimentContext::runCached(const std::string &key,
+                             const ServerConfig &cfg)
+{
+    const auto it = runs_.find(key);
+    if (it != runs_.end())
+        return it->second;
+    InferenceServer server(cfg);
+    return runs_.emplace(key, server.run()).first->second;
+}
+
 const ServerResult &
 ExperimentContext::isolated(const std::string &model)
 {
@@ -64,9 +114,9 @@ ExperimentContext::evaluate(const std::string &model,
                             PartitionPolicy policy, unsigned workers)
 {
     fatal_if(workers == 0, "need at least one worker");
-    InferenceServer server(makeConfig(
-        std::vector<std::string>(workers, model), policy));
-    const ServerResult result = server.run();
+    const EvalSpec spec{model, policy, workers, std::nullopt};
+    const ServerResult &result =
+        runCached(evalKey(spec), configFor(spec));
     return toPoint(model, policy, workers, result);
 }
 
@@ -78,11 +128,9 @@ ExperimentContext::evaluateWithOverlap(const std::string &model,
 {
     fatal_if(!isKrispPolicy(policy),
              "overlap limit only applies to KRISP policies");
-    ServerConfig cfg = makeConfig(
-        std::vector<std::string>(workers, model), policy);
-    cfg.overlapLimitOverride = overlap_limit;
-    InferenceServer server(cfg);
-    const ServerResult result = server.run();
+    const EvalSpec spec{model, policy, workers, overlap_limit};
+    const ServerResult &result =
+        runCached(evalKey(spec), configFor(spec));
     return toPoint(model, policy, workers, result);
 }
 
@@ -91,8 +139,9 @@ ExperimentContext::evaluateMixedPair(const std::string &model_a,
                                      const std::string &model_b,
                                      PartitionPolicy policy)
 {
-    InferenceServer server(makeConfig({model_a, model_b}, policy));
-    const ServerResult result = server.run();
+    const ServerResult &result =
+        runCached(pairKey(model_a, model_b, policy),
+                  makeConfig({model_a, model_b}, policy));
     panic_if(result.workers.size() != 2, "expected two workers");
     double aggregate = 0;
     for (const auto &w : result.workers) {

@@ -4,13 +4,21 @@
  * configurations, caches the isolated (1-worker, unrestricted)
  * baselines, normalises throughput against them and applies the
  * paper's SLO rule (2x the isolated tail latency).
+ *
+ * Every raw ServerResult — baseline or matrix cell — is cached by a
+ * config signature, so a bench can prefetch() its whole matrix
+ * through the parallel harness and keep its table-emission loops
+ * unchanged: evaluate() then just replays cached results in the
+ * sequential order, making the report byte-identical for any --jobs.
  */
 
 #ifndef KRISP_SERVER_EXPERIMENT_HH
 #define KRISP_SERVER_EXPERIMENT_HH
 
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "server/inference_server.hh"
@@ -36,6 +44,16 @@ struct EvalPoint
     /** Energy per inference relative to the isolated baseline. */
     double energyRatio = 0;
     double avgPowerW = 0;
+};
+
+/** One homogeneous co-location run of an evaluation matrix. */
+struct EvalSpec
+{
+    std::string model;
+    PartitionPolicy policy{};
+    unsigned workers = 1;
+    /** Fig. 16 sensitivity: explicit KRISP overlap limit. */
+    std::optional<unsigned> overlapLimit;
 };
 
 /** Runs and caches experiments for one batch size / configuration. */
@@ -71,15 +89,45 @@ class ExperimentContext
                              const std::string &model_b,
                              PartitionPolicy policy);
 
+    /**
+     * Run every spec (plus any missing isolated baselines) through
+     * the parallel harness with @p jobs workers and fill the result
+     * caches, so subsequent evaluate()/evaluateWithOverlap() calls
+     * replay cached results instead of simulating. Results are
+     * independent islands, so the cached values — and therefore every
+     * downstream report — are identical for any job count.
+     *
+     * Defined in src/harness (krisp_harness); benches link it, plain
+     * server users don't need it.
+     */
+    void prefetch(const std::vector<EvalSpec> &specs, unsigned jobs);
+
+    /** prefetch() for evaluateMixedPair(): pairs x policies. */
+    void prefetchMixedPairs(
+        const std::vector<std::pair<std::string, std::string>> &pairs,
+        const std::vector<PartitionPolicy> &policies, unsigned jobs);
+
   private:
     ServerConfig makeConfig(std::vector<std::string> models,
                             PartitionPolicy policy) const;
+    ServerConfig configFor(const EvalSpec &spec) const;
+    /** Cache signature for one homogeneous run. */
+    static std::string evalKey(const EvalSpec &spec);
+    /** Cache signature for one mixed-pair run. */
+    static std::string pairKey(const std::string &model_a,
+                               const std::string &model_b,
+                               PartitionPolicy policy);
+    /** Cached run: returns the stored result or simulates and stores. */
+    const ServerResult &runCached(const std::string &key,
+                                  const ServerConfig &cfg);
     EvalPoint toPoint(const std::string &model,
                       PartitionPolicy policy, unsigned workers,
                       const ServerResult &result);
 
     ServerConfig base_;
     std::map<std::string, ServerResult> isolated_;
+    /** Matrix results keyed by evalKey()/pairKey() signatures. */
+    std::map<std::string, ServerResult> runs_;
 };
 
 } // namespace krisp

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -7,15 +8,66 @@
 namespace krisp
 {
 
+namespace
+{
+
+/** Below this heap size compaction is not worth the pass. */
+constexpr std::size_t compactMinHeap = 64;
+
+} // namespace
+
+const EventQueue::Slot *
+EventQueue::find(EventId id) const
+{
+    if (id == invalidEventId)
+        return nullptr;
+    const auto slot =
+        static_cast<std::uint32_t>((id & 0xffffffffu) - 1);
+    if (slot >= slots_.size())
+        return nullptr;
+    const Slot &s = slots_[slot];
+    if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32))
+        return nullptr;
+    return &s;
+}
+
+EventQueue::Slot *
+EventQueue::find(EventId id)
+{
+    return const_cast<Slot *>(
+        static_cast<const EventQueue *>(this)->find(id));
+}
+
+void
+EventQueue::release(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.live = false;
+    s.cb = nullptr;
+    free_.push_back(slot);
+}
+
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
     panic_if(when < now_, "scheduling event in the past: ", when,
              " < now ", now_);
     panic_if(!cb, "scheduling a null callback");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id});
-    callbacks_.emplace(id, std::move(cb));
+    std::uint32_t slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[slot];
+    ++s.gen;
+    s.live = true;
+    s.cb = std::move(cb);
+    const EventId id = makeId(slot, s.gen);
+    heap_.push_back(Entry{when, next_seq_++, id});
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
     ++live_;
     ++scheduled_;
     return id;
@@ -31,33 +83,57 @@ EventQueue::scheduleIn(Tick delta, Callback cb)
 bool
 EventQueue::deschedule(EventId id)
 {
-    const auto it = callbacks_.find(id);
-    if (it == callbacks_.end())
+    Slot *s = find(id);
+    if (s == nullptr)
         return false;
-    callbacks_.erase(it);
+    release(static_cast<std::uint32_t>((id & 0xffffffffu) - 1));
     --live_;
     ++cancelled_;
     // The heap entry stays behind and is skipped lazily when popped.
+    ++stale_;
+    maybeCompact();
     return true;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Compact once cancelled entries outnumber live ones, so the heap
+    // stays within a constant factor of the pending count even under
+    // cancel-per-request workloads (deadlines, watchdogs).
+    if (heap_.size() < compactMinHeap || stale_ <= live_)
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &e) {
+                                   return find(e.id) == nullptr;
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    stale_ = 0;
 }
 
 bool
 EventQueue::pending(EventId id) const
 {
-    return callbacks_.count(id) != 0;
+    return find(id) != nullptr;
 }
 
 bool
 EventQueue::step()
 {
     while (!heap_.empty()) {
-        const Entry top = heap_.top();
-        heap_.pop();
-        const auto it = callbacks_.find(top.id);
-        if (it == callbacks_.end())
-            continue; // cancelled
-        Callback cb = std::move(it->second);
-        callbacks_.erase(it);
+        const Entry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+        heap_.pop_back();
+        Slot *s = find(top.id);
+        if (s == nullptr) {
+            // cancelled
+            if (stale_ > 0)
+                --stale_;
+            continue;
+        }
+        Callback cb = std::move(s->cb);
+        release(static_cast<std::uint32_t>((top.id & 0xffffffffu) - 1));
         --live_;
         panic_if(top.when < now_, "event queue went backwards");
         now_ = top.when;
@@ -73,11 +149,15 @@ EventQueue::run(Tick limit)
 {
     while (!heap_.empty()) {
         // Peek past cancelled entries to find the next live event time.
-        while (!heap_.empty() && !callbacks_.count(heap_.top().id))
-            heap_.pop();
+        while (!heap_.empty() && find(heap_.front().id) == nullptr) {
+            std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+            heap_.pop_back();
+            if (stale_ > 0)
+                --stale_;
+        }
         if (heap_.empty())
             break;
-        if (heap_.top().when > limit) {
+        if (heap_.front().when > limit) {
             now_ = limit;
             return now_;
         }
@@ -89,9 +169,17 @@ EventQueue::run(Tick limit)
 void
 EventQueue::clear()
 {
-    heap_ = {};
-    callbacks_.clear();
+    // Dropped events are cancellations: keep the
+    // scheduled == fired + cancelled + pending invariant intact for
+    // the sim.* counters the obs layer exports.
+    cancelled_ += live_;
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+        if (slots_[slot].live)
+            release(slot);
+    }
     live_ = 0;
+    stale_ = 0;
+    heap_.clear();
 }
 
 } // namespace krisp

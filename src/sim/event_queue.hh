@@ -6,6 +6,15 @@
  * scheduled at absolute ticks; ties are broken by insertion order so
  * runs are deterministic. Events can be cancelled through the handle
  * returned by schedule().
+ *
+ * Storage: callbacks live in a flat slot array recycled through a
+ * free list; handles encode (slot, generation) so stale handles are
+ * rejected without a lookup table. Cancelled heap entries are dropped
+ * lazily on pop and compacted wholesale when they outnumber the live
+ * events, so cancel-heavy workloads (deadlines, watchdogs) keep the
+ * heap bounded. The whole hot path is allocation-free in steady state
+ * apart from closure captures too large for std::function's inline
+ * buffer.
  */
 
 #ifndef KRISP_SIM_EVENT_QUEUE_HH
@@ -13,8 +22,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -78,6 +85,12 @@ class EventQueue
     std::uint64_t cancelledCount() const { return cancelled_; }
 
     /**
+     * Heap entries currently held, including cancelled entries that
+     * have not been compacted yet (diagnostics / boundedness tests).
+     */
+    std::size_t heapSize() const { return heap_.size(); }
+
+    /**
      * Run events until the queue drains or @p limit ticks is reached
      * (events at exactly @p limit still run).
      * @return the final simulated time.
@@ -87,7 +100,11 @@ class EventQueue
     /** Run at most one event. @return false if the queue was empty. */
     bool step();
 
-    /** Drop all pending events (time is preserved). */
+    /**
+     * Drop all pending events (time is preserved). The dropped events
+     * count as cancelled, so scheduled == fired + cancelled + pending
+     * holds across a clear.
+     */
     void clear();
 
   private:
@@ -105,16 +122,54 @@ class EventQueue
         }
     };
 
+    /** Min-heap order for std::push_heap / pop_heap / make_heap. */
+    struct EntryAfter
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a > b;
+        }
+    };
+
+    /** One callback slot; reused through the free list. */
+    struct Slot
+    {
+        Callback cb;
+        /** Bumped on every (re)allocation; stale handles mismatch. */
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    /** Handle layout: high word generation, low word slot index + 1. */
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+               (static_cast<EventId>(slot) + 1);
+    }
+
+    /** @return the slot for a live handle, or nullptr. */
+    const Slot *find(EventId id) const;
+    Slot *find(EventId id);
+
+    /** Release a slot back to the free list (callback destroyed). */
+    void release(std::uint32_t slot);
+
+    /** Drop cancelled heap entries once they dominate the heap. */
+    void maybeCompact();
+
     Tick now_ = 0;
     std::uint64_t next_seq_ = 1;
-    EventId next_id_ = 1;
     std::size_t live_ = 0;
+    /** Cancelled entries still sitting in the heap. */
+    std::size_t stale_ = 0;
     std::uint64_t scheduled_ = 0;
     std::uint64_t fired_ = 0;
     std::uint64_t cancelled_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    /** id -> callback for live events; erased on fire/cancel. */
-    std::map<EventId, Callback> callbacks_;
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;
 };
 
 } // namespace krisp

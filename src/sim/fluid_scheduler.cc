@@ -90,9 +90,15 @@ FluidScheduler::activeJobs() const
 {
     std::vector<JobId> ids;
     ids.reserve(jobs_.size());
-    for (const auto &[id, job] : jobs_)
-        ids.push_back(id);
+    appendActiveJobs(ids);
     return ids;
+}
+
+void
+FluidScheduler::appendActiveJobs(std::vector<JobId> &out) const
+{
+    for (const auto &[id, job] : jobs_)
+        out.push_back(id);
 }
 
 void
@@ -164,8 +170,16 @@ FluidScheduler::resettle()
     }
     if (std::isfinite(soonest)) {
         // Round up so the job has fully drained when the event fires.
+        // A vanishing rate (heavy contention, injected slowdown) can
+        // push soonest past what Tick holds; casting such a double is
+        // UB, so clamp to the remaining tick range first and let a
+        // later refresh() reschedule if the rate recovers.
+        const double want = std::ceil(std::max(soonest, 0.0));
+        const Tick headroom = maxTick - eq_.now();
         const Tick delta =
-            static_cast<Tick>(std::ceil(std::max(soonest, 0.0)));
+            want >= static_cast<double>(headroom)
+                ? headroom
+                : static_cast<Tick>(want);
         pending_event_ = eq_.scheduleIn(std::max<Tick>(delta, 1),
                                         [this] { onCompletionEvent(); });
     }

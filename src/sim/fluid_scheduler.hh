@@ -76,6 +76,13 @@ class FluidScheduler
     std::vector<JobId> activeJobs() const;
 
     /**
+     * Append the ids of all active jobs to @p out (same order as
+     * activeJobs()). Lets rate functions reuse a scratch vector
+     * instead of allocating a copy on every resettle.
+     */
+    void appendActiveJobs(std::vector<JobId> &out) const;
+
+    /**
      * Force progress advancement + rate recomputation now. Call when
      * rates must change for a reason other than a job set change
      * (e.g. a CU mask was reconfigured on a live queue).

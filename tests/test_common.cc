@@ -116,16 +116,32 @@ TEST(PercentileTracker, AddAfterQueryKeepsCorrectness)
     EXPECT_DOUBLE_EQ(t.max(), 10.0);
 }
 
-TEST(Histogram, BinningAndClamping)
+TEST(PercentileTracker, MeanIsUnaffectedByPercentileQueries)
+{
+    // mean() must be bitwise-stable across percentile queries: the
+    // lazy sort reorders the sample buffer, and fp summation in a
+    // different order can round differently. Snapshot serialisation
+    // relies on query history not changing any value.
+    PercentileTracker t;
+    for (double x : {5.583349, 4.3259, 5.583349, 5.583349})
+        t.add(x);
+    const double before = t.mean();
+    (void)t.percentile(0.5); // forces the sort
+    EXPECT_EQ(t.mean(), before);
+}
+
+TEST(Histogram, BinningAndOutOfRangeCounters)
 {
     Histogram h(0.0, 10.0, 10);
     h.add(0.5);
     h.add(9.99);
-    h.add(-5.0); // clamps to first bin
-    h.add(50.0); // clamps to last bin
+    h.add(-5.0); // counted as underflow, not binned
+    h.add(50.0); // counted as overflow, not binned
     EXPECT_EQ(h.total(), 4u);
-    EXPECT_EQ(h.binCount(0), 2u);
-    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
     EXPECT_DOUBLE_EQ(h.binLow(3), 3.0);
     EXPECT_DOUBLE_EQ(h.binHigh(3), 4.0);
 }
@@ -286,23 +302,29 @@ TEST(Histogram, SingleSampleAndReset)
 {
     Histogram h(0.0, 4.0, 4);
     h.add(2.5);
-    EXPECT_EQ(h.total(), 1u);
+    h.add(9.0);
+    EXPECT_EQ(h.total(), 2u);
     EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
     h.reset();
     EXPECT_EQ(h.total(), 0u);
     EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
 }
 
-TEST(Histogram, OutOfRangeClampsToEdgeBins)
+TEST(Histogram, OutOfRangeCountedNotClamped)
 {
     Histogram h(10.0, 20.0, 5);
-    h.add(-1e9); // far below lo
-    h.add(1e9);  // far above hi
-    h.add(10.0); // exactly lo
-    h.add(20.0); // exactly hi clamps into the last bin
+    h.add(-1e9); // far below lo -> underflow
+    h.add(1e9);  // far above hi -> overflow
+    h.add(10.0); // exactly lo belongs to the first bin
+    h.add(20.0); // exactly hi is outside the half-open range
     EXPECT_EQ(h.total(), 4u);
-    EXPECT_EQ(h.binCount(0), 2u);
-    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 0u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
 }
 
 TEST(Logging, ThresholdFiltersLevels)

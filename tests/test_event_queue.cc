@@ -156,6 +156,89 @@ TEST(EventQueue, CancelInsideEarlierEvent)
     EXPECT_FALSE(fired);
 }
 
+TEST(EventQueue, CounterInvariantHoldsAcrossClear)
+{
+    // scheduled == fired + cancelled + pending at every point,
+    // including across clear(): dropped events count as cancelled.
+    EventQueue eq;
+    auto check = [&] {
+        EXPECT_EQ(eq.scheduledCount(),
+                  eq.firedCount() + eq.cancelledCount() +
+                      eq.pendingCount());
+    };
+    eq.schedule(1, [] {});
+    const EventId doomed = eq.schedule(2, [] {});
+    eq.schedule(3, [] {});
+    check();
+    eq.deschedule(doomed);
+    check();
+    eq.run(1);
+    check();
+    EXPECT_EQ(eq.firedCount(), 1u);
+    eq.clear();
+    check();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+    EXPECT_EQ(eq.scheduledCount(), 3u);
+    EXPECT_EQ(eq.cancelledCount(), 2u);
+    // The queue stays usable and the invariant keeps holding.
+    eq.scheduleIn(1, [] {});
+    check();
+    eq.run();
+    check();
+    EXPECT_EQ(eq.firedCount(), 2u);
+}
+
+TEST(EventQueue, StaleHandlesStayInvalidAfterClear)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId old = eq.schedule(5, [&] { fired = true; });
+    eq.clear();
+    // The slot may be recycled; the old handle must not match it.
+    const EventId fresh = eq.schedule(6, [] {});
+    EXPECT_NE(old, fresh);
+    EXPECT_FALSE(eq.pending(old));
+    EXPECT_FALSE(eq.deschedule(old));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelHeavyHeapStaysBounded)
+{
+    // Deadline pattern: every iteration schedules a far-future event
+    // and immediately cancels it. Lazy deletion alone would grow the
+    // heap by one entry per iteration; compaction must keep it within
+    // a constant factor of the live count.
+    EventQueue eq;
+    const EventId keeper = eq.schedule(1'000'000'000, [] {});
+    for (int i = 0; i < 100'000; ++i)
+        eq.deschedule(eq.scheduleIn(1'000'000, [] {}));
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    EXPECT_LE(eq.heapSize(), 128u);
+    EXPECT_TRUE(eq.pending(keeper));
+    eq.run();
+    EXPECT_EQ(eq.firedCount(), 1u);
+    EXPECT_EQ(eq.cancelledCount(), 100'000u);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Interleave survivors with a cancel storm that forces at least
+    // one compaction, then check FIFO-within-tick survives it.
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(500, [&, i] { order.push_back(i); });
+    for (int i = 0; i < 5'000; ++i)
+        eq.deschedule(eq.schedule(100 + i % 7, [] {}));
+    for (int i = 8; i < 16; ++i)
+        eq.schedule(500, [&, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

@@ -211,6 +211,39 @@ TEST(FluidScheduler, ManyJobsAllComplete)
     EXPECT_EQ(fx.completions.back().second, 250u);
 }
 
+TEST(FluidScheduler, TinyRateDoesNotOverflowTick)
+{
+    // A huge backlog draining at a tiny rate makes the projected
+    // completion delay overflow Tick if cast unchecked; the scheduler
+    // must clamp to the representable horizon instead of UB. The job
+    // is still live and cancellable afterwards.
+    Fixture fx;
+    // soonest = 1e19 / 1e-6 = 1e25 ticks: finite, far beyond the
+    // ~1.8e19 maxTick horizon.
+    fx.rate = 1e-6;
+    const JobId id = fx.fs.add(1e19);
+    EXPECT_TRUE(fx.fs.active(id));
+    // A completion event exists, scheduled at a valid (clamped) tick.
+    EXPECT_GE(fx.eq.pendingCount(), 1u);
+    fx.fs.cancel(id);
+    fx.eq.run(1000);
+    EXPECT_TRUE(fx.completions.empty());
+}
+
+TEST(FluidScheduler, ActiveJobsAppendMatchesCopy)
+{
+    Fixture fx;
+    fx.fs.add(100.0);
+    fx.fs.add(200.0);
+    fx.fs.add(300.0);
+    std::vector<JobId> appended{999}; // pre-existing content survives
+    fx.fs.appendActiveJobs(appended);
+    const std::vector<JobId> copied = fx.fs.activeJobs();
+    ASSERT_EQ(appended.size(), copied.size() + 1);
+    for (std::size_t i = 0; i < copied.size(); ++i)
+        EXPECT_EQ(appended[i + 1], copied[i]);
+}
+
 TEST(FluidSchedulerDeath, NegativeWorkPanics)
 {
     Fixture fx;
