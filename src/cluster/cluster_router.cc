@@ -1,0 +1,161 @@
+#include "cluster/cluster_router.hh"
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+const std::vector<unsigned> kNoHomes;
+
+std::uint64_t
+fnv1aStep(std::uint64_t hash, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xffULL;
+        hash *= 0x100000001b3ULL; // FNV prime
+    }
+    return hash;
+}
+
+} // namespace
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin:
+        return "round-robin";
+      case RoutingPolicy::LeastOutstanding:
+        return "least-outstanding";
+      case RoutingPolicy::ModelAffinity:
+        return "model-affinity";
+    }
+    return "unknown";
+}
+
+ClusterRouter::ClusterRouter(RoutingPolicy policy,
+                             unsigned num_shards)
+    : policy_(policy), num_shards_(num_shards),
+      healthy_(num_shards, true), outstanding_(num_shards, 0)
+{
+    fatal_if(num_shards == 0, "router needs at least one shard");
+}
+
+void
+ClusterRouter::addHomeShard(const std::string &model, unsigned shard)
+{
+    fatal_if(shard >= num_shards_, "home shard out of range");
+    homes_[model].push_back(shard);
+}
+
+const std::vector<unsigned> &
+ClusterRouter::homeShards(const std::string &model) const
+{
+    const auto it = homes_.find(model);
+    return it != homes_.end() ? it->second : kNoHomes;
+}
+
+void
+ClusterRouter::setHealthy(unsigned shard, bool healthy)
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    healthy_[shard] = healthy;
+}
+
+bool
+ClusterRouter::healthy(unsigned shard) const
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    return healthy_[shard];
+}
+
+void
+ClusterRouter::addOutstanding(unsigned shard, std::int64_t delta)
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    outstanding_[shard] += delta;
+    fatal_if(outstanding_[shard] < 0,
+             "negative outstanding count on shard ", shard);
+}
+
+std::int64_t
+ClusterRouter::outstanding(unsigned shard) const
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    return outstanding_[shard];
+}
+
+int
+ClusterRouter::pickRoundRobin()
+{
+    for (unsigned probe = 0; probe < num_shards_; ++probe) {
+        const unsigned shard = (rr_next_ + probe) % num_shards_;
+        if (healthy_[shard]) {
+            rr_next_ = (shard + 1) % num_shards_;
+            return static_cast<int>(shard);
+        }
+    }
+    return -1;
+}
+
+int
+ClusterRouter::pickLeastOutstanding(
+    const std::vector<unsigned> *candidates)
+{
+    int best = -1;
+    std::int64_t best_load = 0;
+    auto consider = [&](unsigned shard) {
+        if (!healthy_[shard])
+            return;
+        // Ties break toward the lowest shard index: deterministic
+        // and stable under permutation of the candidate list.
+        if (best < 0 || outstanding_[shard] < best_load ||
+            (outstanding_[shard] == best_load &&
+             static_cast<int>(shard) < best)) {
+            best = static_cast<int>(shard);
+            best_load = outstanding_[shard];
+        }
+    };
+    if (candidates != nullptr) {
+        for (unsigned shard : *candidates)
+            consider(shard);
+    } else {
+        for (unsigned shard = 0; shard < num_shards_; ++shard)
+            consider(shard);
+    }
+    return best;
+}
+
+int
+ClusterRouter::route(const std::string &model,
+                     std::uint64_t request_id)
+{
+    int shard = -1;
+    switch (policy_) {
+      case RoutingPolicy::RoundRobin:
+        shard = pickRoundRobin();
+        break;
+      case RoutingPolicy::LeastOutstanding:
+        shard = pickLeastOutstanding(nullptr);
+        break;
+      case RoutingPolicy::ModelAffinity: {
+        const auto &homes = homeShards(model);
+        if (!homes.empty())
+            shard = pickLeastOutstanding(&homes);
+        if (shard < 0) // no healthy home: serve anywhere rather
+            shard = pickLeastOutstanding(nullptr); // than drop
+        break;
+      }
+    }
+    ++decisions_;
+    hash_ = fnv1aStep(hash_, request_id);
+    hash_ = fnv1aStep(hash_,
+                      static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(shard)));
+    return shard;
+}
+
+} // namespace krisp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Request routing for a multi-GPU cluster.
+ *
+ * The router is pure decision logic: it never touches the event
+ * queue, the devices or the shards themselves. The cluster server
+ * feeds it load and health observations (outstanding requests per
+ * shard, drain / re-admit transitions) and asks it where the next
+ * request should go; everything else — queues, batching, failover
+ * mechanics — stays in ClusterServer.
+ *
+ * Determinism: decisions depend only on the observation sequence, and
+ * every decision folds into a running FNV-1a hash, so two runs that
+ * route identically produce the same (decisions, hash) pair. The
+ * hash is the cheap replay oracle the seed-replay test compares
+ * across --jobs settings.
+ */
+
+#ifndef KRISP_CLUSTER_CLUSTER_ROUTER_HH
+#define KRISP_CLUSTER_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace krisp
+{
+
+/** How the cluster frontend picks a shard for each request. */
+enum class RoutingPolicy
+{
+    /** Cyclic over healthy shards, ignoring load. */
+    RoundRobin,
+    /** Healthy shard with the fewest outstanding requests. */
+    LeastOutstanding,
+    /**
+     * Requests prefer the shards where their model is home (profiled
+     * masks resident); least-outstanding among those, falling back
+     * to any healthy shard when no home shard is healthy.
+     */
+    ModelAffinity,
+};
+
+const char *routingPolicyName(RoutingPolicy policy);
+
+/** Pluggable routing decisions over a fixed set of shards. */
+class ClusterRouter
+{
+  public:
+    ClusterRouter(RoutingPolicy policy, unsigned num_shards);
+
+    RoutingPolicy policy() const { return policy_; }
+    unsigned numShards() const { return num_shards_; }
+
+    /** Declare @p shard a home for @p model (ModelAffinity). */
+    void addHomeShard(const std::string &model, unsigned shard);
+    const std::vector<unsigned> &homeShards(const std::string &model)
+        const;
+
+    /** Drain / re-admit a shard; unhealthy shards receive nothing. */
+    void setHealthy(unsigned shard, bool healthy);
+    bool healthy(unsigned shard) const;
+
+    /** Load feedback: requests queued or in flight on @p shard. */
+    void addOutstanding(unsigned shard, std::int64_t delta);
+    std::int64_t outstanding(unsigned shard) const;
+
+    /**
+     * Pick a shard for request @p request_id of @p model, or -1 when
+     * no healthy shard exists. Every decision (including -1) advances
+     * the decision count and hash.
+     */
+    int route(const std::string &model, std::uint64_t request_id);
+
+    /** Decisions made so far (including unroutable ones). */
+    std::uint64_t decisions() const { return decisions_; }
+    /** Running FNV-1a hash over (request id, chosen shard). */
+    std::uint64_t decisionHash() const { return hash_; }
+
+  private:
+    int pickRoundRobin();
+    int pickLeastOutstanding(const std::vector<unsigned> *candidates);
+
+    RoutingPolicy policy_;
+    unsigned num_shards_;
+    std::vector<bool> healthy_;
+    std::vector<std::int64_t> outstanding_;
+    std::unordered_map<std::string, std::vector<unsigned>> homes_;
+    unsigned rr_next_ = 0;
+    std::uint64_t decisions_ = 0;
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+};
+
+} // namespace krisp
+
+#endif // KRISP_CLUSTER_CLUSTER_ROUTER_HH

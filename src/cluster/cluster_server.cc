@@ -1,0 +1,636 @@
+#include "cluster/cluster_server.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+struct Request
+{
+    std::uint64_t id = 0;
+    Tick arrival = 0;
+    Tick dequeued = 0;
+    unsigned model = 0; ///< index into ClusterConfig::models
+};
+
+struct ClusterWorker
+{
+    WorkerId id = 0;
+    Stream *stream = nullptr;
+    bool busy = false;
+    /** Abandonment guard: bumped when the watchdog fails a batch. */
+    std::uint64_t generation = 0;
+    EventId watchdogEv = invalidEventId;
+};
+
+/** Per-shard serving state (frontend queue + workers + health). */
+struct ShardState
+{
+    std::unique_ptr<GpuShard> shard;
+    std::deque<Request> pending;
+    std::vector<ClusterWorker> workers;
+    EventId batchTimer = invalidEventId;
+
+    // ---- health since the last re-admission ----------------------
+    std::uint64_t hungBatches = 0;
+    std::uint64_t fallbackBaseline = 0;
+    bool draining = false;
+
+    // ---- per-shard tallies (measurement window) ------------------
+    std::uint64_t served = 0;
+};
+
+struct ClusterState
+{
+    ClusterConfig cfg;
+    EventQueue eq;
+    std::vector<std::unique_ptr<ShardState>> shards;
+    std::unique_ptr<ClusterRouter> router;
+    Rng rng{1};
+
+    ObsContext *obs = nullptr;
+    std::uint64_t nextRequestId = 0;
+
+    bool measuring = false;
+    bool stopped = false;
+    Tick measureStart = 0;
+    Tick measureEnd = 0;
+    double energyStart = 0;
+    double energyEnd = 0;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t failedBatches = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t rerouted = 0;
+    std::uint64_t readmits = 0;
+    Accumulator batchSizes;
+    PercentileTracker latencyMs;
+
+    Counter *droppedMetric = nullptr;
+    Counter *shedMetric = nullptr;
+
+    double
+    totalEnergy() const
+    {
+        double joules = 0;
+        for (const auto &ss : shards)
+            joules += ss->shard->device().power().energyJoules();
+        return joules;
+    }
+
+    const std::string &
+    modelName(unsigned idx) const
+    {
+        return cfg.models[idx];
+    }
+
+    /** Trace track id for shard-frontend events. */
+    WorkerId
+    shardTid(const ShardState &ss) const
+    {
+        return static_cast<WorkerId>(ss.shard->index());
+    }
+
+    void
+    dropRequest(const ShardState *ss, const Request &r,
+                const char *reason)
+    {
+        if (measuring && r.arrival >= measureStart)
+            ++dropped;
+        if (droppedMetric != nullptr)
+            droppedMetric->inc();
+        if (obs != nullptr) {
+            const WorkerId tid =
+                ss != nullptr
+                    ? shardTid(*ss)
+                    : static_cast<WorkerId>(cfg.numShards);
+            KRISP_TRACE_EVENT(&obs->trace,
+                              requestDrop(tid, modelName(r.model),
+                                          r.id, reason));
+        }
+    }
+
+    /** Queue @p r on shard @p target; false = dropped (full). */
+    bool
+    enqueueOn(unsigned target, const Request &r)
+    {
+        ShardState &ss = *shards[target];
+        if (ss.pending.size() >= cfg.queueCapacity) {
+            dropRequest(&ss, r, "backlog");
+            return false;
+        }
+        ss.pending.push_back(r);
+        router->addOutstanding(target, +1);
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(&obs->trace,
+                              requestEnqueue(shardTid(ss),
+                                             modelName(r.model),
+                                             r.id));
+        }
+        return true;
+    }
+
+    void
+    arrive()
+    {
+        if (stopped)
+            return;
+        const Tick t = eq.now();
+        if (t >= cfg.warmupNs && !measuring) {
+            measuring = true;
+            measureStart = t;
+            energyStart = totalEnergy();
+        }
+        if (measuring && t >= cfg.warmupNs + cfg.measureNs) {
+            stopped = true;
+            measureEnd = t;
+            energyEnd = totalEnergy();
+            return; // stop injecting; in-flight work drains
+        }
+        Request r;
+        r.id = ++nextRequestId;
+        r.arrival = t;
+        r.model = cfg.models.size() > 1
+                      ? static_cast<unsigned>(
+                            rng.below(cfg.models.size()))
+                      : 0;
+        const int target = router->route(modelName(r.model), r.id);
+        if (target < 0) {
+            dropRequest(nullptr, r, "unrouted");
+        } else if (enqueueOn(static_cast<unsigned>(target), r)) {
+            if (measuring)
+                ++arrivals;
+            maybeDispatch(*shards[static_cast<unsigned>(target)]);
+        }
+        // Next Poisson arrival (cluster-wide process).
+        const double gap_s = -std::log(1.0 - rng.uniform()) /
+                             cfg.arrivalRatePerSec;
+        eq.scheduleIn(std::max<Tick>(ticksFromSec(gap_s), 1),
+                      [this] { arrive(); });
+    }
+
+    ClusterWorker *
+    idleWorker(ShardState &ss)
+    {
+        for (auto &w : ss.workers)
+            if (!w.busy)
+                return &w;
+        return nullptr;
+    }
+
+    void
+    shedExpired(ShardState &ss)
+    {
+        if (cfg.requestDeadlineNs == 0)
+            return;
+        while (!ss.pending.empty() &&
+               ss.pending.front().arrival + cfg.requestDeadlineNs <=
+                   eq.now()) {
+            const Request r = ss.pending.front();
+            ss.pending.pop_front();
+            router->addOutstanding(ss.shard->index(), -1);
+            if (measuring && r.arrival >= measureStart)
+                ++shedDeadline;
+            if (shedMetric != nullptr)
+                shedMetric->inc();
+            if (obs != nullptr) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestDrop(shardTid(ss),
+                                              modelName(r.model),
+                                              r.id, "deadline"));
+            }
+        }
+    }
+
+    /** Requests queued for the same model as the queue head. */
+    unsigned
+    matchingHead(const ShardState &ss) const
+    {
+        if (ss.pending.empty())
+            return 0;
+        const unsigned model = ss.pending.front().model;
+        unsigned n = 0;
+        for (const Request &r : ss.pending)
+            if (r.model == model)
+                ++n;
+        return n;
+    }
+
+    void
+    maybeDispatch(ShardState &ss)
+    {
+        shedExpired(ss);
+        ClusterWorker *w = idleWorker(ss);
+        if (!w || ss.pending.empty())
+            return;
+        const unsigned ready = matchingHead(ss);
+        if (ready >= cfg.maxBatch) {
+            dispatchBatch(ss, *w, cfg.maxBatch);
+            return;
+        }
+        const Tick oldest = ss.pending.front().arrival;
+        const Tick deadline = oldest + cfg.batchTimeoutNs;
+        if (eq.now() >= deadline) {
+            dispatchBatch(ss, *w, ready);
+            return;
+        }
+        if (ss.batchTimer == invalidEventId) {
+            ss.batchTimer = eq.schedule(deadline, [this, &ss] {
+                ss.batchTimer = invalidEventId;
+                maybeDispatch(ss);
+            });
+        }
+    }
+
+    void
+    dispatchBatch(ShardState &ss, ClusterWorker &w, unsigned size)
+    {
+        panic_if(size == 0, "dispatching an empty batch");
+        w.busy = true;
+        const std::uint64_t gen = w.generation;
+        // Single-model batches: collect up to @p size requests for
+        // the head's model, leaving other models queued in order.
+        const unsigned model = ss.pending.front().model;
+        auto batch = std::make_shared<std::vector<Request>>();
+        for (auto it = ss.pending.begin();
+             it != ss.pending.end() && batch->size() < size;) {
+            if (it->model == model) {
+                Request r = *it;
+                r.dequeued = eq.now();
+                batch->push_back(r);
+                it = ss.pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (measuring)
+            batchSizes.add(static_cast<double>(batch->size()));
+
+        Tick preprocess = cfg.preprocessNs;
+        if (ss.shard->fault() != nullptr)
+            preprocess += ss.shard->fault()->preprocessStall();
+        const auto *seq_ptr = &ss.shard->zoo().kernels(
+            modelName(model),
+            static_cast<unsigned>(batch->size()));
+        eq.scheduleIn(preprocess,
+                      [this, &ss, &w, gen, batch, seq_ptr] {
+            if (gen != w.generation)
+                return;
+            const auto &seq = *seq_ptr;
+            auto sig = HsaSignal::create(
+                static_cast<std::int64_t>(seq.size()));
+            sig->waitZero([this, &ss, &w, gen, batch] {
+                if (gen != w.generation)
+                    return;
+                eq.scheduleIn(cfg.postprocessNs,
+                              [this, &ss, &w, gen, batch] {
+                    if (gen != w.generation)
+                        return;
+                    finishBatch(ss, w, *batch);
+                });
+            });
+            for (const auto &k : seq) {
+                if (ss.shard->krisp() != nullptr) {
+                    ss.shard->krisp()->launch(*w.stream, k, sig);
+                } else {
+                    w.stream->launchWithSignal(k, sig);
+                }
+            }
+        });
+        if (cfg.batchWatchdogNs > 0) {
+            w.watchdogEv = eq.scheduleIn(
+                cfg.batchWatchdogNs,
+                [this, &ss, &w, batch] {
+                    watchdogFire(ss, w, *batch);
+                });
+        }
+    }
+
+    void
+    disarmWatchdog(ClusterWorker &w)
+    {
+        if (w.watchdogEv != invalidEventId) {
+            eq.deschedule(w.watchdogEv);
+            w.watchdogEv = invalidEventId;
+        }
+    }
+
+    void
+    watchdogFire(ShardState &ss, ClusterWorker &w,
+                 const std::vector<Request> &batch)
+    {
+        w.watchdogEv = invalidEventId;
+        ++w.generation;
+        ++failedBatches;
+        ++ss.hungBatches;
+        router->addOutstanding(
+            ss.shard->index(),
+            -static_cast<std::int64_t>(batch.size()));
+        warn("cluster watchdog failed a batch of ", batch.size(),
+             " on shard ", ss.shard->index(), " worker ", w.id);
+        if (obs != nullptr) {
+            for (const Request &r : batch) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestDrop(shardTid(ss),
+                                              modelName(r.model),
+                                              r.id, "timeout"));
+            }
+        }
+        w.busy = false;
+        checkHealth(ss);
+        if (!ss.draining)
+            maybeDispatch(ss);
+    }
+
+    void
+    finishBatch(ShardState &ss, ClusterWorker &w,
+                const std::vector<Request> &batch)
+    {
+        disarmWatchdog(w);
+        const Tick t = eq.now();
+        router->addOutstanding(
+            ss.shard->index(),
+            -static_cast<std::int64_t>(batch.size()));
+        for (const Request &r : batch) {
+            if (measuring && r.arrival >= measureStart) {
+                ++served;
+                ++ss.served;
+                latencyMs.add(ticksToMs(t - r.arrival));
+            }
+        }
+        w.busy = false;
+        checkHealth(ss);
+        if (!ss.draining)
+            maybeDispatch(ss);
+    }
+
+    /** Drain the shard when its fault budget is spent. */
+    void
+    checkHealth(ShardState &ss)
+    {
+        if (ss.draining)
+            return;
+        const std::uint64_t fallbacks =
+            ss.shard->reconfigFallbacks() - ss.fallbackBaseline;
+        const bool hang_storm =
+            cfg.failoverHangThreshold > 0 &&
+            ss.hungBatches >= cfg.failoverHangThreshold;
+        const bool fallback_storm =
+            cfg.failoverFallbackThreshold > 0 &&
+            fallbacks >= cfg.failoverFallbackThreshold;
+        if (!hang_storm && !fallback_storm)
+            return;
+        drainShard(ss, hang_storm ? "hang-storm" : "fallback-storm");
+    }
+
+    void
+    drainShard(ShardState &ss, const char *why)
+    {
+        const unsigned idx = ss.shard->index();
+        ss.draining = true;
+        router->setHealthy(idx, false);
+        ++failovers;
+        warn("draining shard ", idx, " (", why, "): ",
+             ss.pending.size(), " queued requests re-routed");
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(&obs->trace,
+                              recovery("shard_drain",
+                                       "shard" + std::to_string(idx),
+                                       ss.pending.size()));
+        }
+        // Move the backlog to healthy shards (or drop it if none
+        // can take it); in-flight batches keep running here.
+        std::deque<Request> backlog;
+        backlog.swap(ss.pending);
+        if (ss.batchTimer != invalidEventId) {
+            eq.deschedule(ss.batchTimer);
+            ss.batchTimer = invalidEventId;
+        }
+        for (const Request &r : backlog) {
+            router->addOutstanding(idx, -1);
+            const int target =
+                router->route(modelName(r.model), r.id);
+            if (target < 0) {
+                dropRequest(&ss, r, "unrouted");
+                continue;
+            }
+            if (enqueueOn(static_cast<unsigned>(target), r)) {
+                ++rerouted;
+                maybeDispatch(*shards[static_cast<unsigned>(target)]);
+            }
+        }
+        if (cfg.drainNs > 0)
+            eq.scheduleIn(cfg.drainNs, [this, &ss] { readmit(ss); });
+    }
+
+    void
+    readmit(ShardState &ss)
+    {
+        ss.hungBatches = 0;
+        ss.fallbackBaseline = ss.shard->reconfigFallbacks();
+        ss.draining = false;
+        router->setHealthy(ss.shard->index(), true);
+        ++readmits;
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(
+                &obs->trace,
+                recovery("shard_readmit",
+                         "shard" + std::to_string(ss.shard->index()),
+                         readmits));
+        }
+        maybeDispatch(ss);
+    }
+};
+
+} // namespace
+
+ClusterServer::ClusterServer(ClusterConfig config)
+    : config_(std::move(config))
+{
+    fatal_if(config_.numShards == 0, "need at least one shard");
+    fatal_if(config_.workersPerShard == 0,
+             "need at least one worker per shard");
+    fatal_if(config_.models.empty(), "need at least one model");
+    fatal_if(config_.arrivalRatePerSec <= 0,
+             "arrival rate must be positive");
+    fatal_if(config_.maxBatch == 0, "max batch must be non-zero");
+    for (const auto &m : config_.models)
+        fatal_if(!ModelZoo::isModel(m), "unknown model: ", m);
+}
+
+ClusterResult
+ClusterServer::run()
+{
+    ClusterState st;
+    st.cfg = config_;
+    st.rng = Rng(config_.seed);
+    st.obs = config_.obs;
+    if (st.obs != nullptr) {
+        st.obs->trace.setClock(&st.eq);
+        st.droppedMetric =
+            &st.obs->metrics.counter("cluster.dropped");
+        st.shedMetric =
+            &st.obs->metrics.counter("cluster.deadline_misses");
+    }
+
+    st.router = std::make_unique<ClusterRouter>(config_.routing,
+                                                config_.numShards);
+    // Model homes: model m lives on every shard s with
+    // s % models == m, so homes stay balanced for any shard count.
+    // Under affinity routing only the home set is profiled/resident;
+    // otherwise every shard profiles every model.
+    const bool affinity =
+        config_.routing == RoutingPolicy::ModelAffinity;
+    for (unsigned s = 0; s < config_.numShards; ++s) {
+        const unsigned home = static_cast<unsigned>(
+            s % config_.models.size());
+        st.router->addHomeShard(config_.models[home], s);
+
+        GpuShardConfig shard_cfg;
+        shard_cfg.index = s;
+        shard_cfg.gpu = config_.gpu;
+        shard_cfg.host = config_.host;
+        shard_cfg.profiler = config_.profiler;
+        shard_cfg.policy = config_.policy;
+        shard_cfg.enforcement = config_.enforcement;
+        shard_cfg.numWorkers = config_.workersPerShard;
+        shard_cfg.maxBatch = config_.maxBatch;
+        shard_cfg.models =
+            affinity ? std::vector<std::string>{
+                           config_.models[home]}
+                     : config_.models;
+        shard_cfg.faults = config_.faults.forShard(s);
+        shard_cfg.ioctlRetry = config_.ioctlRetry;
+        shard_cfg.wantObs = st.obs != nullptr;
+
+        auto ss = std::make_unique<ShardState>();
+        ss->shard = std::make_unique<GpuShard>(st.eq,
+                                               std::move(shard_cfg));
+        ss->workers.resize(config_.workersPerShard);
+        for (unsigned w = 0; w < config_.workersPerShard; ++w) {
+            ss->workers[w].id = w;
+            ss->workers[w].stream = &ss->shard->workerStream(w);
+        }
+        st.shards.push_back(std::move(ss));
+    }
+
+    st.arrive();
+    st.eq.run(config_.maxSimNs);
+
+    ClusterResult result;
+    if (st.eq.pendingCount() > 0) {
+        warn("cluster run hit the maxSimNs cap (",
+             ticksToSec(config_.maxSimNs),
+             " s) with work still in flight; results cover a "
+             "truncated window");
+        result.timedOut = true;
+    }
+    fatal_if(!st.measuring, "no measurement window reached");
+    if (st.measureEnd == 0) {
+        st.measureEnd = st.eq.now();
+        st.energyEnd = st.totalEnergy();
+    }
+
+    const double seconds =
+        ticksToSec(st.measureEnd - st.measureStart);
+    result.offeredRps = config_.arrivalRatePerSec;
+    result.arrivals = st.arrivals;
+    result.served = st.served;
+    result.dropped = st.dropped;
+    result.shedDeadline = st.shedDeadline;
+    result.failedBatches = st.failedBatches;
+    result.failovers = st.failovers;
+    result.rerouted = st.rerouted;
+    result.readmits = st.readmits;
+    result.routingDecisions = st.router->decisions();
+    result.routingHash = st.router->decisionHash();
+    result.achievedRps =
+        seconds > 0 ? static_cast<double>(st.served) / seconds : 0;
+    const std::uint64_t admitted_or_dropped =
+        st.arrivals + st.dropped;
+    result.dropRate =
+        admitted_or_dropped > 0
+            ? static_cast<double>(st.dropped) /
+                  static_cast<double>(admitted_or_dropped)
+            : 0;
+    result.shedRate =
+        st.arrivals > 0 ? static_cast<double>(st.shedDeadline) /
+                              static_cast<double>(st.arrivals)
+                        : 0;
+    result.meanBatchSize = st.batchSizes.mean();
+    if (!st.latencyMs.empty()) {
+        result.p50Ms = st.latencyMs.percentile(0.50);
+        result.p95Ms = st.latencyMs.percentile(0.95);
+        result.p99Ms = st.latencyMs.percentile(0.99);
+    }
+    result.energyPerRequestJ =
+        st.served > 0 ? (st.energyEnd - st.energyStart) /
+                            static_cast<double>(st.served)
+                      : 0;
+    for (const auto &ss : st.shards)
+        result.servedPerShard.push_back(ss->served);
+
+    if (st.obs != nullptr) {
+        MetricsRegistry &m = st.obs->metrics;
+        // Per-shard snapshots merge in under a stable prefix; the
+        // shard registries stay untouched (callers may inspect them).
+        for (auto &ss : st.shards) {
+            ObsContext *sobs = ss->shard->obs();
+            if (sobs == nullptr)
+                continue;
+            ss->shard->device().publishMetrics(sobs->metrics);
+            const std::string prefix =
+                "cluster.shard" +
+                std::to_string(ss->shard->index()) + ".";
+            sobs->metrics.mergeInto(m, prefix);
+            m.gauge(prefix + "served")
+                .set(static_cast<double>(ss->served));
+        }
+        snapshotEventQueue(st.eq, m);
+        m.label("cluster.routing")
+            .set(routingPolicyName(config_.routing));
+        m.label("cluster.policy")
+            .set(partitionPolicyName(config_.policy));
+        m.gauge("cluster.shards")
+            .set(static_cast<double>(config_.numShards));
+        m.gauge("cluster.offered_rps").set(result.offeredRps);
+        m.gauge("cluster.achieved_rps").set(result.achievedRps);
+        m.gauge("cluster.drop_rate").set(result.dropRate);
+        m.gauge("cluster.requests_served")
+            .set(static_cast<double>(result.served));
+        m.gauge("cluster.failed_batches")
+            .set(static_cast<double>(result.failedBatches));
+        m.gauge("cluster.failovers")
+            .set(static_cast<double>(result.failovers));
+        m.gauge("cluster.rerouted")
+            .set(static_cast<double>(result.rerouted));
+        m.gauge("cluster.readmits")
+            .set(static_cast<double>(result.readmits));
+        m.gauge("cluster.routing_decisions")
+            .set(static_cast<double>(result.routingDecisions));
+        // 64-bit hash: a double gauge would round it, so publish the
+        // exact value as a hex label.
+        char hash_hex[19];
+        std::snprintf(hash_hex, sizeof(hash_hex), "0x%016llx",
+                      static_cast<unsigned long long>(
+                          result.routingHash));
+        m.label("cluster.routing_hash").set(hash_hex);
+        m.gauge("sim.timed_out").set(result.timedOut ? 1.0 : 0.0);
+    }
+    return result;
+}
+
+} // namespace krisp

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Multi-GPU open-loop serving: Poisson client arrivals routed across
+ * N simulated GPU shards, with fault-aware failover.
+ *
+ * Scaling model. One EventQueue drives every shard (single simulated
+ * clock); one Poisson process generates cluster-wide arrivals at
+ * arrivalRatePerSec; the ClusterRouter picks a shard per request and
+ * each shard then runs the familiar open-loop pipeline — frontend
+ * queue, dynamic batching, preprocess / launch / postprocess, batch
+ * watchdog — against its own device.
+ *
+ * Failover. A shard that keeps hanging batches (watchdog strikes) or
+ * keeps degrading launches to its static mask (ioctl-fallback storm)
+ * is *drained*: the router stops sending it traffic, its queued
+ * requests are re-routed to healthy shards, and after drainNs it is
+ * re-admitted with a fresh health baseline. In-flight work on a
+ * draining shard still completes; only admission stops.
+ *
+ * Determinism: arrivals, model choice and routing all derive from
+ * config seeds; per-shard faults draw from forShard-derived streams.
+ * Equal configs replay byte-identically — including the routing
+ * decision hash, which tests compare across harness --jobs settings.
+ */
+
+#ifndef KRISP_CLUSTER_CLUSTER_SERVER_HH
+#define KRISP_CLUSTER_CLUSTER_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_router.hh"
+#include "cluster/gpu_shard.hh"
+
+namespace krisp
+{
+
+/** Cluster experiment configuration. */
+struct ClusterConfig
+{
+    unsigned numShards = 2;
+    RoutingPolicy routing = RoutingPolicy::LeastOutstanding;
+    /** Workload mix; each request picks uniformly (seeded). */
+    std::vector<std::string> models = {"resnet152"};
+    unsigned workersPerShard = 2;
+    PartitionPolicy policy = PartitionPolicy::KrispIsolated;
+    EnforcementMode enforcement = EnforcementMode::Native;
+
+    /** Cluster-wide mean arrival rate, requests per second. */
+    double arrivalRatePerSec = 200.0;
+    unsigned maxBatch = 8;
+    Tick batchTimeoutNs = ticksFromMs(2.0);
+    /** Per-shard frontend backlog bound. */
+    std::size_t queueCapacity = 1024;
+
+    Tick warmupNs = ticksFromMs(500);
+    Tick measureNs = ticksFromSec(2.0);
+    Tick maxSimNs = ticksFromSec(600);
+
+    std::uint64_t seed = 1;
+    GpuConfig gpu = GpuConfig::mi50();
+    HostRuntimeParams host;
+    ProfilerConfig profiler;
+    Tick preprocessNs = 1'500'000;
+    Tick postprocessNs = 500'000;
+
+    /** Cluster fault scenario; shard i draws from faults.forShard(i). */
+    FaultPlan faults;
+    Tick requestDeadlineNs = 0;
+    Tick batchWatchdogNs = 0;
+    IoctlRetryPolicy ioctlRetry;
+
+    // ---- failover policy -----------------------------------------
+    /** Drain a shard after this many watchdog-failed batches. */
+    unsigned failoverHangThreshold = 3;
+    /** ... or this many launches degraded by ioctl fallbacks. */
+    unsigned failoverFallbackThreshold = 16;
+    /** Re-admit a drained shard after this long (0 = never). */
+    Tick drainNs = ticksFromMs(100.0);
+
+    /**
+     * Optional cluster-level observability (routing, drops,
+     * failover). With one attached, every shard also builds its own
+     * context and its metrics merge in under "cluster.shard<i>.".
+     */
+    ObsContext *obs = nullptr;
+};
+
+/** Cluster measurement output. */
+struct ClusterResult
+{
+    double offeredRps = 0;
+    double achievedRps = 0;
+    double dropRate = 0;
+    double shedRate = 0;
+    double meanBatchSize = 0;
+    double p50Ms = 0;
+    double p95Ms = 0;
+    double p99Ms = 0;
+    double energyPerRequestJ = 0;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t failedBatches = 0;
+
+    /** Shards drained by the failover monitor (whole run). */
+    std::uint64_t failovers = 0;
+    /** Queued requests moved off a draining shard. */
+    std::uint64_t rerouted = 0;
+    /** Drained shards re-admitted after their drain window. */
+    std::uint64_t readmits = 0;
+
+    std::uint64_t routingDecisions = 0;
+    /** FNV-1a hash over all routing decisions (replay oracle). */
+    std::uint64_t routingHash = 0;
+
+    /** Requests served per shard (measurement window). */
+    std::vector<std::uint64_t> servedPerShard;
+    bool timedOut = false;
+};
+
+/** Runs one cluster experiment; a fresh instance per run. */
+class ClusterServer
+{
+  public:
+    explicit ClusterServer(ClusterConfig config);
+
+    ClusterResult run();
+
+  private:
+    ClusterConfig config_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_CLUSTER_CLUSTER_SERVER_HH

@@ -1,0 +1,90 @@
+#include "cluster/gpu_shard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+GpuShard::GpuShard(EventQueue &eq, GpuShardConfig config)
+    : config_(std::move(config))
+{
+    fatal_if(config_.numWorkers == 0,
+             "shard needs at least one worker");
+    fatal_if(config_.models.empty(),
+             "shard needs at least one resident model");
+    fatal_if(config_.maxBatch == 0, "max batch must be non-zero");
+
+    if (config_.wantObs) {
+        obs_ = std::make_unique<ObsContext>();
+        obs_->trace.setClock(&eq);
+    }
+
+    device_ = std::make_unique<GpuDevice>(eq, config_.gpu);
+    device_->setName("shard" + std::to_string(config_.index));
+    hip_ = std::make_unique<HipRuntime>(eq, *device_, config_.host);
+    if (obs_)
+        hip_->attachObs(obs_.get());
+    if (config_.faults.enabled()) {
+        fault_ = std::make_unique<FaultInjector>(config_.faults,
+                                                 obs_.get());
+        hip_->attachFault(fault_.get());
+    }
+    zoo_ = std::make_unique<ModelZoo>(config_.gpu.arch);
+
+    streams_.reserve(config_.numWorkers);
+    for (unsigned i = 0; i < config_.numWorkers; ++i)
+        streams_.push_back(&hip_->createStream());
+
+    // Right-size basis per worker: workers cycle over the resident
+    // models, each sized for the largest batch it can be handed.
+    KernelProfiler kprof(config_.gpu, config_.profiler);
+    std::vector<PartitionWorker> workers;
+    for (unsigned i = 0; i < config_.numWorkers; ++i) {
+        const std::string &model =
+            config_.models[i % config_.models.size()];
+        workers.push_back(PartitionWorker{
+            streams_[i], &zoo_->kernels(model, config_.maxBatch)});
+    }
+    // KRISP perf database: every (resident model, batch size) pair
+    // the frontend can assemble — this is what "masks resident on
+    // the shard" means for affinity routing.
+    std::vector<const std::vector<KernelDescPtr> *> profile_seqs;
+    for (const std::string &model : config_.models)
+        for (unsigned b = 1; b <= config_.maxBatch; ++b)
+            profile_seqs.push_back(&zoo_->kernels(model, b));
+
+    setup_ = setupPartitionPolicy(
+        *hip_, config_.policy, config_.enforcement, kprof, workers,
+        profile_seqs, std::nullopt, config_.ioctlRetry, obs_.get());
+}
+
+Stream &
+GpuShard::workerStream(unsigned worker)
+{
+    fatal_if(worker >= streams_.size(), "worker out of range");
+    return *streams_[worker];
+}
+
+bool
+GpuShard::isResident(const std::string &model) const
+{
+    return std::find(config_.models.begin(), config_.models.end(),
+                     model) != config_.models.end();
+}
+
+std::uint64_t
+GpuShard::reconfigFallbacks() const
+{
+    return setup_.krisp ? setup_.krisp->stats().reconfigFallbacks
+                        : 0;
+}
+
+std::uint64_t
+GpuShard::watchdogKills() const
+{
+    return device_->stats().watchdogKills;
+}
+
+} // namespace krisp

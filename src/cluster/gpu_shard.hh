@@ -1,0 +1,116 @@
+/**
+ * @file
+ * One GPU's worth of serving stack inside a cluster.
+ *
+ * A shard bundles what a single-GPU run builds by hand: the simulated
+ * device (with its HSA queues), the host runtime and worker streams,
+ * the partition-policy machinery (shared setupPartitionPolicy), a
+ * per-shard fault injector drawing from a shard-derived seed stream,
+ * and a private observability context.
+ *
+ * All shards share ONE EventQueue — the cluster has a single
+ * simulated clock, so routed arrivals, cross-shard failover and
+ * per-shard progress interleave coherently and the whole cluster
+ * stays deterministic from one config seed.
+ *
+ * Per-shard ObsContext: KrispRuntime, FaultInjector and the device
+ * publish under fixed metric names ("krisp.*", "fault.*", "gpu.*"),
+ * which would collide if every shard wrote into one registry. Each
+ * shard therefore owns its own registry; at end of run the cluster
+ * merges the snapshots under "cluster.shard<i>." prefixes.
+ */
+
+#ifndef KRISP_CLUSTER_GPU_SHARD_HH
+#define KRISP_CLUSTER_GPU_SHARD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "gpu/gpu_device.hh"
+#include "hip/hip_runtime.hh"
+#include "models/model_zoo.hh"
+#include "obs/obs.hh"
+#include "server/partition_setup.hh"
+
+namespace krisp
+{
+
+/** Everything one shard needs to come up. */
+struct GpuShardConfig
+{
+    unsigned index = 0;
+    GpuConfig gpu = GpuConfig::mi50();
+    HostRuntimeParams host;
+    ProfilerConfig profiler;
+    PartitionPolicy policy = PartitionPolicy::KrispIsolated;
+    EnforcementMode enforcement = EnforcementMode::Native;
+    unsigned numWorkers = 2;
+    unsigned maxBatch = 8;
+    /**
+     * Models this shard profiles and right-sizes for (its "resident"
+     * models). Under affinity routing this is the shard's home set;
+     * other routing policies make every model resident everywhere.
+     * Non-resident models can still be served — the sizer falls back
+     * to its default partition size for unknown kernels.
+     */
+    std::vector<std::string> models;
+    /** Shard-local fault scenario (already re-seeded via forShard). */
+    FaultPlan faults;
+    IoctlRetryPolicy ioctlRetry;
+    /** Build a per-shard ObsContext (see file comment). */
+    bool wantObs = false;
+};
+
+/** One simulated GPU plus its serving runtime. */
+class GpuShard
+{
+  public:
+    /** @param eq the cluster-wide event queue (shared clock). */
+    GpuShard(EventQueue &eq, GpuShardConfig config);
+
+    GpuShard(const GpuShard &) = delete;
+    GpuShard &operator=(const GpuShard &) = delete;
+
+    unsigned index() const { return config_.index; }
+    const GpuShardConfig &config() const { return config_; }
+
+    GpuDevice &device() { return *device_; }
+    HipRuntime &hip() { return *hip_; }
+    ModelZoo &zoo() { return *zoo_; }
+    /** Null for the static partition policies. */
+    KrispRuntime *krisp() { return setup_.krisp.get(); }
+    FaultInjector *fault() { return fault_.get(); }
+    /** Per-shard observability (null unless wantObs). */
+    ObsContext *obs() { return obs_.get(); }
+
+    unsigned numWorkers() const { return config_.numWorkers; }
+    Stream &workerStream(unsigned worker);
+
+    bool isResident(const std::string &model) const;
+
+    /**
+     * Health signal for the failover monitor: launches degraded to
+     * the static queue mask after ioctl retries ran out (0 when no
+     * KRISP runtime is active).
+     */
+    std::uint64_t reconfigFallbacks() const;
+
+    /** Hung kernels force-retired by this shard's GPU watchdog. */
+    std::uint64_t watchdogKills() const;
+
+  private:
+    GpuShardConfig config_;
+    std::unique_ptr<ObsContext> obs_;
+    std::unique_ptr<GpuDevice> device_;
+    std::unique_ptr<HipRuntime> hip_;
+    std::unique_ptr<ModelZoo> zoo_;
+    std::unique_ptr<FaultInjector> fault_;
+    std::vector<Stream *> streams_;
+    PartitionSetup setup_;
+};
+
+} // namespace krisp
+
+#endif // KRISP_CLUSTER_GPU_SHARD_HH

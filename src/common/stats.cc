@@ -31,6 +31,27 @@ Accumulator::reset()
     *this = Accumulator();
 }
 
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 Accumulator::min() const
 {
@@ -77,6 +98,17 @@ PercentileTracker::reset()
     samples_.clear();
     sorted_ = true;
     sum_ = 0;
+}
+
+void
+PercentileTracker::merge(const PercentileTracker &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    sum_ += other.sum_;
 }
 
 void
@@ -136,6 +168,19 @@ Histogram::add(double x)
     // below hi; keep such samples in the last bin.
     idx = std::min(idx, counts_.size() - 1);
     ++counts_[idx];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    fatal_if(lo_ != other.lo_ || hi_ != other.hi_ ||
+                 counts_.size() != other.counts_.size(),
+             "Histogram::merge: shape mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
 }
 
 void

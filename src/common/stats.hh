@@ -21,6 +21,13 @@ class Accumulator
     void add(double x);
     void reset();
 
+    /**
+     * Fold @p other into this accumulator (parallel Welford merge).
+     * Deterministic for a fixed merge order; the cluster layer uses it
+     * to roll per-shard statistics up into cluster-wide ones.
+     */
+    void merge(const Accumulator &other);
+
     std::size_t count() const { return count_; }
     double sum() const { return sum_; }
     double min() const;
@@ -48,6 +55,9 @@ class PercentileTracker
   public:
     void add(double x);
     void reset();
+
+    /** Append every sample of @p other (cluster roll-up). */
+    void merge(const PercentileTracker &other);
 
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
@@ -91,6 +101,9 @@ class Histogram
 
     void add(double x);
     void reset();
+
+    /** Add @p other's bin counts; ranges must match exactly. */
+    void merge(const Histogram &other);
 
     std::size_t bins() const { return counts_.size(); }
     std::size_t binCount(std::size_t i) const { return counts_.at(i); }

@@ -83,6 +83,26 @@ struct FaultPlan
         return FaultPlan{};
     }
 
+    /**
+     * This plan re-seeded for shard @p shard of a cluster: the same
+     * fault scenario with a SplitMix64-derived independent stream per
+     * shard, so shard i's faults never depend on how many other
+     * shards exist or what they drew.
+     */
+    FaultPlan
+    forShard(unsigned shard) const
+    {
+        FaultPlan plan = *this;
+        // Inline SplitMix64 step (common/random.hh depends on
+        // logging; keep this header leaf-level).
+        std::uint64_t z =
+            seed + 0x9e3779b97f4a7c15ULL * (1 + shard);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        plan.seed = z ^ (z >> 31);
+        return plan;
+    }
+
     /** Same probability @p p at every probabilistic site. */
     static FaultPlan
     uniform(double p, std::uint64_t seed = 0x5eedfa17ULL)

@@ -381,8 +381,8 @@ GpuDevice::watchdogFire(JobId job)
 {
     RunningKernel rk = removeRunning(job);
     ++stats_.watchdogKills;
-    warn("GPU watchdog killed kernel ", rk.id, " (", rk.desc->name,
-         ") after ", eq_.now() - rk.startTick, " ns",
+    warn("GPU watchdog on ", name_, " killed kernel ", rk.id, " (",
+         rk.desc->name, ") after ", eq_.now() - rk.startTick, " ns",
          rk.hung ? " [injected hang]" : "");
     if (fault_ != nullptr)
         fault_->noteWatchdogKill(rk.id, rk.desc->name);

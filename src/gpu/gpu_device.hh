@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -88,6 +89,14 @@ class GpuDevice
     const GpuConfig &config() const { return config_; }
     const ArchParams &arch() const { return config_.arch; }
     EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * Human-readable device name for log attribution. Defaults to
+     * "gpu"; a multi-device cluster names each shard's device
+     * ("shard3") so watchdog warnings identify the GPU they came from.
+     */
+    void setName(std::string name) { name_ = std::move(name); }
+    const std::string &name() const { return name_; }
 
     /** Create a software HSA queue bound to this device. */
     HsaQueue &createQueue();
@@ -224,6 +233,7 @@ class GpuDevice
 
     EventQueue &eq_;
     GpuConfig config_;
+    std::string name_ = "gpu";
     ResourceMonitor monitor_;
     PowerModel power_;
     FluidScheduler fluid_;

@@ -46,6 +46,7 @@ HsaQueue::pop()
 {
     panic_if(ring_.empty(), "pop() on empty HSA queue ", id_);
     ring_.pop_front();
+    ++popped_;
 }
 
 } // namespace krisp

@@ -78,6 +78,10 @@ class HsaQueue
     /** Statistics: total packets ever pushed. */
     std::uint64_t pushed() const { return pushed_; }
 
+    /** Statistics: total packets ever consumed (read pointer wraps
+     *  the ring once this exceeds capacity()). */
+    std::uint64_t popped() const { return popped_; }
+
     /** Statistics: CU-mask reconfigurations applied to this queue. */
     std::uint64_t reconfigs() const { return reconfigs_; }
 
@@ -89,6 +93,7 @@ class HsaQueue
     Doorbell doorbell_;
     TraceSink *trace_ = nullptr;
     std::uint64_t pushed_ = 0;
+    std::uint64_t popped_ = 0;
     std::uint64_t reconfigs_ = 0;
 };
 

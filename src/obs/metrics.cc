@@ -122,6 +122,39 @@ MetricsRegistry::reset()
 }
 
 void
+MetricsRegistry::mergeInto(MetricsRegistry &dst,
+                           const std::string &prefix) const
+{
+    for (const auto &[name, inst] : instruments_) {
+        const std::string key = prefix + name;
+        switch (inst.kind) {
+          case Kind::Counter:
+            dst.counter(key).inc(inst.counter->value());
+            break;
+          case Kind::Gauge:
+            dst.gauge(key).set(inst.gauge->value());
+            break;
+          case Kind::Label:
+            dst.label(key).set(inst.label->value());
+            break;
+          case Kind::Accumulator:
+            dst.accumulator(key).merge(*inst.accumulator);
+            break;
+          case Kind::Percentiles:
+            dst.percentiles(key).merge(*inst.percentiles);
+            break;
+          case Kind::Histogram: {
+            const Histogram &h = *inst.histogram;
+            dst.histogram(key, h.binLow(0), h.binHigh(h.bins() - 1),
+                          h.bins())
+                .merge(h);
+            break;
+          }
+        }
+    }
+}
+
+void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
     // One section per instrument kind; instruments in name order

@@ -90,6 +90,18 @@ class MetricsRegistry
     void reset();
 
     /**
+     * Fold every instrument of this registry into @p dst under
+     * "<prefix><name>": counters add their value, gauges and labels
+     * overwrite, accumulators / percentiles / histograms merge their
+     * samples. The cluster layer uses this to publish per-shard
+     * islands ("cluster.shard0.gpu.kernels_dispatched", ...) and —
+     * with equal names via an empty prefix collision — cluster-wide
+     * roll-ups into one deterministic snapshot.
+     */
+    void mergeInto(MetricsRegistry &dst,
+                   const std::string &prefix) const;
+
+    /**
      * One JSON object: {"counters":{...},"gauges":{...},...}. Keys
      * appear in name order; numbers are shortest-round-trip, so the
      * snapshot is byte-stable across identical runs.

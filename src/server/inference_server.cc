@@ -7,7 +7,7 @@
 #include "fault/fault_injector.hh"
 #include "gpu/gpu_device.hh"
 #include "models/model_zoo.hh"
-#include "profile/model_profiler.hh"
+#include "server/partition_setup.hh"
 #include "sim/event_queue.hh"
 
 namespace krisp
@@ -245,20 +245,6 @@ startRequest(RunState &st, Worker &w)
     }
 }
 
-/** Disjoint equal split: worker w gets CUs [w*T/N, (w+1)*T/N). */
-CuMask
-staticEqualMask(const ArchParams &arch, unsigned worker,
-                unsigned num_workers)
-{
-    const unsigned total = arch.totalCus();
-    const unsigned lo = worker * total / num_workers;
-    const unsigned hi = (worker + 1) * total / num_workers;
-    CuMask mask;
-    for (unsigned cu = lo; cu < hi; ++cu)
-        mask.set(cu);
-    return mask;
-}
-
 } // namespace
 
 InferenceServer::InferenceServer(ServerConfig config)
@@ -315,58 +301,22 @@ InferenceServer::run()
         }
     }
 
-    // Policy setup.
+    // Policy setup (shared with the open-loop and cluster paths).
     KernelProfiler kprof(config_.gpu, config_.profiler);
-    switch (config_.policy) {
-      case PartitionPolicy::MpsDefault:
-        break;
-
-      case PartitionPolicy::StaticEqual:
-        for (auto &w : st.workers) {
-            st.hip->streamSetCuMask(
-                *w.stream,
-                staticEqualMask(config_.gpu.arch, w.id, num_workers));
-        }
-        break;
-
-      case PartitionPolicy::ModelRightSize: {
-        // Prior work: each model gets its kneepoint-sized partition;
-        // partitions avoid each other while the GPU has room and
-        // overlap once it does not (open-circle cases in Fig. 13).
-        ModelProfiler mprof(kprof);
-        MaskAllocator setup_alloc(DistributionPolicy::Conserved);
-        ResourceMonitor setup_mon(config_.gpu.arch);
-        for (auto &w : st.workers) {
-            const unsigned cus = mprof.rightSizeCus(*w.seq);
-            const CuMask mask = setup_alloc.allocate(cus, setup_mon);
-            setup_mon.addKernel(mask);
-            st.hip->streamSetCuMask(*w.stream, mask);
-        }
-        break;
-      }
-
-      case PartitionPolicy::KrispOversubscribed:
-      case PartitionPolicy::KrispIsolated: {
-        st.db = std::make_unique<PerfDatabase>();
-        for (auto &w : st.workers)
-            kprof.profileInto(*st.db, *w.seq);
-        unsigned limit =
-            config_.policy == PartitionPolicy::KrispIsolated
-                ? 0u
-                : config_.gpu.arch.totalCus();
-        if (config_.overlapLimitOverride)
-            limit = *config_.overlapLimitOverride;
-        st.allocator = std::make_unique<MaskAllocator>(
-            DistributionPolicy::Conserved, limit);
-        st.sizer = std::make_unique<ProfiledSizer>(
-            *st.db, config_.gpu.arch.totalCus());
-        st.krisp = std::make_unique<KrispRuntime>(
-            *st.hip, *st.sizer, *st.allocator, config_.enforcement,
-            st.obs);
-        st.krisp->setIoctlRetryPolicy(config_.ioctlRetry);
-        break;
-      }
+    std::vector<PartitionWorker> policy_workers;
+    std::vector<const std::vector<KernelDescPtr> *> profile_seqs;
+    for (auto &w : st.workers) {
+        policy_workers.push_back(PartitionWorker{w.stream, w.seq});
+        profile_seqs.push_back(w.seq);
     }
+    PartitionSetup policy_setup = setupPartitionPolicy(
+        *st.hip, config_.policy, config_.enforcement, kprof,
+        policy_workers, profile_seqs, config_.overlapLimitOverride,
+        config_.ioctlRetry, st.obs);
+    st.db = std::move(policy_setup.db);
+    st.allocator = std::move(policy_setup.allocator);
+    st.sizer = std::move(policy_setup.sizer);
+    st.krisp = std::move(policy_setup.krisp);
 
     // Closed-loop load: every worker always has a request waiting.
     for (auto &w : st.workers)

@@ -10,7 +10,7 @@
 #include "fault/fault_injector.hh"
 #include "gpu/gpu_device.hh"
 #include "models/model_zoo.hh"
-#include "profile/model_profiler.hh"
+#include "server/partition_setup.hh"
 #include "sim/event_queue.hh"
 
 namespace krisp
@@ -344,59 +344,26 @@ OpenLoopServer::run()
         st.workers[i].stream = &st.hip->createStream();
     }
 
-    // Policy setup mirrors the closed-loop server.
+    // Policy setup mirrors the closed-loop server (shared helper).
     KernelProfiler kprof(config_.gpu, config_.profiler);
-    switch (config_.policy) {
-      case PartitionPolicy::MpsDefault:
-        break;
-      case PartitionPolicy::StaticEqual:
-        for (unsigned i = 0; i < config_.numWorkers; ++i) {
-            CuMask mask;
-            const unsigned total = config_.gpu.arch.totalCus();
-            const unsigned lo = i * total / config_.numWorkers;
-            const unsigned hi =
-                (i + 1) * total / config_.numWorkers;
-            for (unsigned cu = lo; cu < hi; ++cu)
-                mask.set(cu);
-            st.hip->streamSetCuMask(*st.workers[i].stream, mask);
-        }
-        break;
-      case PartitionPolicy::ModelRightSize: {
-        ModelProfiler mprof(kprof);
-        MaskAllocator setup(DistributionPolicy::Conserved);
-        ResourceMonitor mon(config_.gpu.arch);
-        const auto &seq =
-            st.zoo->kernels(config_.model, config_.maxBatch);
-        const unsigned cus = mprof.rightSizeCus(seq);
-        for (auto &w : st.workers) {
-            const CuMask mask = setup.allocate(cus, mon);
-            mon.addKernel(mask);
-            st.hip->streamSetCuMask(*w.stream, mask);
-        }
-        break;
-      }
-      case PartitionPolicy::KrispOversubscribed:
-      case PartitionPolicy::KrispIsolated: {
-        st.db = std::make_unique<PerfDatabase>();
-        // Profile every batch size the frontend can assemble.
-        for (unsigned b = 1; b <= config_.maxBatch; ++b)
-            kprof.profileInto(*st.db,
-                              st.zoo->kernels(config_.model, b));
-        const unsigned limit =
-            config_.policy == PartitionPolicy::KrispIsolated
-                ? 0u
-                : config_.gpu.arch.totalCus();
-        st.allocator = std::make_unique<MaskAllocator>(
-            DistributionPolicy::Conserved, limit);
-        st.sizer = std::make_unique<ProfiledSizer>(
-            *st.db, config_.gpu.arch.totalCus());
-        st.krisp = std::make_unique<KrispRuntime>(
-            *st.hip, *st.sizer, *st.allocator, config_.enforcement,
-            st.obs);
-        st.krisp->setIoctlRetryPolicy(config_.ioctlRetry);
-        break;
-      }
-    }
+    const auto &rightsize_seq =
+        st.zoo->kernels(config_.model, config_.maxBatch);
+    std::vector<PartitionWorker> policy_workers;
+    for (auto &w : st.workers)
+        policy_workers.push_back(PartitionWorker{w.stream,
+                                                 &rightsize_seq});
+    // Profile every batch size the frontend can assemble.
+    std::vector<const std::vector<KernelDescPtr> *> profile_seqs;
+    for (unsigned b = 1; b <= config_.maxBatch; ++b)
+        profile_seqs.push_back(&st.zoo->kernels(config_.model, b));
+    PartitionSetup policy_setup = setupPartitionPolicy(
+        *st.hip, config_.policy, config_.enforcement, kprof,
+        policy_workers, profile_seqs, std::nullopt,
+        config_.ioctlRetry, st.obs);
+    st.db = std::move(policy_setup.db);
+    st.allocator = std::move(policy_setup.allocator);
+    st.sizer = std::move(policy_setup.sizer);
+    st.krisp = std::move(policy_setup.krisp);
 
     st.arrive();
     st.eq.run(config_.maxSimNs);

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Golden-file regression tests: miniature fig07 (allocation policies)
+ * and fig12 (emulation overhead) configurations rendered to metrics
+ * JSON and byte-compared against snapshots in tests/golden/.
+ *
+ * The simulator is deterministic end to end, so the comparison is
+ * exact — any divergence is a real behaviour change. To review and
+ * accept one, rerun with KRISP_UPDATE_GOLDEN=1 (the test then
+ * rewrites the snapshot and passes) and commit the diff.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/krisp_runtime.hh"
+#include "gpu/gpu_device.hh"
+#include "models/model_zoo.hh"
+#include "obs/metrics.hh"
+#include "sim/event_queue.hh"
+
+#ifndef KRISP_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define KRISP_GOLDEN_DIR"
+#endif
+
+namespace krisp
+{
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(KRISP_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("KRISP_UPDATE_GOLDEN");
+    return env != nullptr && env[0] == '1';
+}
+
+void
+compareWithGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with KRISP_UPDATE_GOLDEN=1)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "golden mismatch for " << name
+        << "; if the change is intended, rerun with "
+           "KRISP_UPDATE_GOLDEN=1 and commit the new snapshot";
+}
+
+/** Miniature fig07: 19 CUs under each policy, idle and loaded. */
+TEST(Golden, Fig07MiniAllocPolicies)
+{
+    const ArchParams arch = ArchParams::mi50();
+    MetricsRegistry m;
+    for (const bool loaded : {false, true}) {
+        ResourceMonitor mon(arch);
+        if (loaded)
+            mon.addKernel(CuMask::firstN(20));
+        const std::string scenario = loaded ? "loaded" : "idle";
+        for (const auto policy : {DistributionPolicy::Distributed,
+                                  DistributionPolicy::Packed,
+                                  DistributionPolicy::Conserved}) {
+            MaskAllocator alloc(policy);
+            const CuMask mask = alloc.allocate(19, mon);
+            const std::string prefix =
+                scenario + "." + distributionPolicyName(policy);
+            for (unsigned se = 0; se < arch.numSe; ++se) {
+                m.gauge(prefix + ".se" + std::to_string(se))
+                    .set(static_cast<double>(
+                        mask.countInSe(arch, se)));
+            }
+            m.label(prefix + ".mask").set(mask.toString(arch));
+        }
+    }
+    compareWithGolden("fig07_mini.json", m.toJson());
+}
+
+/** One full inference pass; the end tick is the model latency. */
+Tick
+runMiniPass(const std::vector<KernelDescPtr> &seq,
+            EnforcementMode mode)
+{
+    EventQueue eq;
+    const GpuConfig gpu = GpuConfig::mi50();
+    GpuDevice device(eq, gpu);
+    HipRuntime hip(eq, device);
+    FixedSizer sizer(gpu.arch.totalCus());
+    MaskAllocator alloc(DistributionPolicy::Conserved);
+    KrispRuntime krisp(hip, sizer, alloc, mode);
+    Stream &s = hip.createStream();
+    auto sig =
+        HsaSignal::create(static_cast<std::int64_t>(seq.size()));
+    Tick end = 0;
+    sig->waitZero([&] { end = eq.now(); });
+    for (const auto &k : seq)
+        krisp.launch(s, k, sig);
+    eq.run();
+    return end;
+}
+
+/** Miniature fig12: native vs emulated latency for two models. */
+TEST(Golden, Fig12MiniEmulationOverhead)
+{
+    ModelZoo zoo(ArchParams::mi50());
+    MetricsRegistry m;
+    for (const char *model : {"shufflenet", "resnet152"}) {
+        const auto &seq = zoo.kernels(model, 8);
+        const Tick native =
+            runMiniPass(seq, EnforcementMode::Native);
+        const Tick emulated =
+            runMiniPass(seq, EnforcementMode::Emulated);
+        const std::string prefix = model;
+        m.gauge(prefix + ".kernels")
+            .set(static_cast<double>(seq.size()));
+        m.gauge(prefix + ".l_native_ns")
+            .set(static_cast<double>(native));
+        m.gauge(prefix + ".l_emulated_ns")
+            .set(static_cast<double>(emulated));
+        m.gauge(prefix + ".l_over_ns")
+            .set(static_cast<double>(emulated - native));
+    }
+    compareWithGolden("fig12_mini.json", m.toJson());
+}
+
+} // namespace
+} // namespace krisp

@@ -4,8 +4,12 @@
  * its three CU distribution policies.
  */
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/random.hh"
 #include "core/mask_allocator.hh"
 
 namespace krisp
@@ -262,6 +266,165 @@ INSTANTIATE_TEST_SUITE_P(Policies, AllocatorSweep,
                              DistributionPolicy::Conserved,
                              DistributionPolicy::Distributed,
                              DistributionPolicy::Packed));
+
+/**
+ * Property-based randomized sweep: seeded alloc/release sequences
+ * with invariants checked after every step. A failure message names
+ * the (policy, limit, balanced, seed) tuple and the step, so any
+ * counterexample replays exactly.
+ */
+struct PropCase
+{
+    DistributionPolicy policy;
+    unsigned overlapLimit;
+    bool balanced;
+    std::uint64_t seed;
+};
+
+void
+PrintTo(const PropCase &c, std::ostream *os)
+{
+    *os << distributionPolicyName(c.policy) << "/limit"
+        << c.overlapLimit << (c.balanced ? "/balanced" : "/strict")
+        << "/seed" << c.seed;
+}
+
+class AllocatorProperty : public ::testing::TestWithParam<PropCase>
+{
+};
+
+TEST_P(AllocatorProperty, RandomAllocReleaseSequences)
+{
+    const PropCase c = GetParam();
+    const unsigned total = arch.totalCus();
+    Rng rng(c.seed);
+    ResourceMonitor mon(arch);
+    MaskAllocator alloc(c.policy, c.overlapLimit);
+    alloc.setBalancedGrants(c.balanced);
+
+    std::vector<CuMask> live;
+    std::vector<unsigned> ref(total, 0); // reference per-CU counts
+
+    for (unsigned step = 0; step < 400; ++step) {
+        SCOPED_TRACE(::testing::Message() << "step " << step);
+        const bool do_alloc = live.empty() || rng.chance(0.6);
+        if (do_alloc) {
+            const unsigned requested =
+                1 + static_cast<unsigned>(rng.below(70));
+            const unsigned num_cus = std::min(requested, total);
+            const unsigned free = mon.idleCus().count();
+
+            const CuMask m = alloc.allocate(requested, mon);
+
+            // Grant shape: non-empty, never larger than the
+            // (clamped) request, only device CUs, SE bounds.
+            ASSERT_GE(m.count(), 1u);
+            ASSERT_LE(m.count(), num_cus);
+            ASSERT_EQ((m & CuMask::full(arch)).count(), m.count());
+            for (unsigned se = 0; se < arch.numSe; ++se)
+                ASSERT_LE(m.countInSe(arch, se), arch.cusPerSe);
+
+            unsigned overlap = 0;
+            for (unsigned cu = 0; cu < total; ++cu)
+                if (m.test(cu) && ref[cu] > 0)
+                    ++overlap;
+
+            if (!c.balanced) {
+                // Literal Algorithm 1: granted-occupied CUs stay
+                // within the overlap budget. The single-CU fallback
+                // (nothing isolated available) is the one exception.
+                if (m.count() > 1)
+                    ASSERT_LE(overlap, c.overlapLimit);
+            } else {
+                // Balanced mode grants exactly the shrunk target:
+                // the full request while free + budget covers it,
+                // else what the budget supplies, floored at half.
+                const unsigned budget =
+                    std::min(c.overlapLimit, total);
+                unsigned target = num_cus;
+                if (free + budget < num_cus)
+                    target =
+                        std::max((num_cus + 1) / 2, free + budget);
+                target = std::clamp(target, 1u, total);
+                ASSERT_EQ(m.count(), target);
+                // Balance invariant: active-SE counts differ by at
+                // most one (packed fills SEs whole, so only its
+                // last SE may be ragged).
+                if (c.policy != DistributionPolicy::Packed) {
+                    unsigned lo = arch.cusPerSe, hi = 0;
+                    for (unsigned se = 0; se < arch.numSe; ++se) {
+                        const unsigned n = m.countInSe(arch, se);
+                        if (n > 0) {
+                            lo = std::min(lo, n);
+                            hi = std::max(hi, n);
+                        }
+                    }
+                    ASSERT_LE(hi - lo, 1u);
+                }
+            }
+
+            mon.addKernel(m);
+            live.push_back(m);
+            for (unsigned cu = 0; cu < total; ++cu)
+                if (m.test(cu))
+                    ++ref[cu];
+        } else {
+            const std::size_t victim = static_cast<std::size_t>(
+                rng.below(live.size()));
+            mon.removeKernel(live[victim]);
+            for (unsigned cu = 0; cu < total; ++cu)
+                if (live[victim].test(cu))
+                    --ref[cu];
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+        }
+
+        // The monitor agrees with the reference model after every
+        // step: per-CU counts (over-subscription fully accounted),
+        // residency, and the derived busy/idle views.
+        unsigned busy = 0;
+        for (unsigned cu = 0; cu < total; ++cu) {
+            ASSERT_EQ(mon.kernelsOnCu(cu), ref[cu])
+                << "cu " << cu;
+            if (ref[cu] > 0)
+                ++busy;
+        }
+        ASSERT_EQ(mon.residentKernels(), live.size());
+        ASSERT_EQ(mon.busyCus(), busy);
+        ASSERT_EQ(mon.idleCus().count(), total - busy);
+    }
+
+    // Full release returns the monitor to pristine state.
+    for (const CuMask &m : live)
+        mon.removeKernel(m);
+    EXPECT_EQ(mon.busyCus(), 0u);
+    EXPECT_EQ(mon.idleCus().count(), total);
+    EXPECT_EQ(mon.residentKernels(), 0u);
+    for (unsigned se = 0; se < arch.numSe; ++se)
+        EXPECT_EQ(mon.seKernelSum(se), 0u);
+}
+
+std::vector<PropCase>
+propCases()
+{
+    std::vector<PropCase> cases;
+    for (const auto policy :
+         {DistributionPolicy::Conserved, DistributionPolicy::Packed,
+          DistributionPolicy::Distributed}) {
+        for (const unsigned limit : {0u, 10u, 60u}) {
+            for (const bool balanced : {true, false}) {
+                for (const std::uint64_t seed : {11ull, 29ull}) {
+                    cases.push_back(
+                        PropCase{policy, limit, balanced, seed});
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, AllocatorProperty,
+                         ::testing::ValuesIn(propCases()));
 
 TEST(MaskAllocatorDeath, ZeroRequestRejected)
 {
