@@ -302,12 +302,13 @@ struct ClusterState
                     finishBatch(ss, w, *batch);
                 });
             });
-            for (const auto &k : seq) {
-                if (ss.shard->krisp() != nullptr) {
-                    ss.shard->krisp()->launch(*w.stream, k, sig);
-                } else {
+            if (ss.shard->krisp() != nullptr) {
+                // Group-aware whole-batch launch (one reconfig per
+                // equal-right-size run under ReconfigPolicy::Group).
+                ss.shard->krisp()->launchGroup(*w.stream, seq, sig);
+            } else {
+                for (const auto &k : seq)
                     w.stream->launchWithSignal(k, sig);
-                }
             }
         });
         if (cfg.batchWatchdogNs > 0) {
@@ -514,6 +515,7 @@ ClusterServer::run()
                      : config_.models;
         shard_cfg.faults = config_.faults.forShard(s);
         shard_cfg.ioctlRetry = config_.ioctlRetry;
+        shard_cfg.reconfig = config_.reconfig;
         shard_cfg.wantObs = st.obs != nullptr;
 
         auto ss = std::make_unique<ShardState>();

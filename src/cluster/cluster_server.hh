@@ -70,6 +70,8 @@ struct ClusterConfig
     Tick requestDeadlineNs = 0;
     Tick batchWatchdogNs = 0;
     IoctlRetryPolicy ioctlRetry;
+    /** Reconfiguration-elision policy (see ServerConfig::reconfig). */
+    ReconfigPolicy reconfig = reconfigPolicyFromEnv();
 
     // ---- failover policy -----------------------------------------
     /** Drain a shard after this many watchdog-failed batches. */

@@ -57,7 +57,8 @@ GpuShard::GpuShard(EventQueue &eq, GpuShardConfig config)
 
     setup_ = setupPartitionPolicy(
         *hip_, config_.policy, config_.enforcement, kprof, workers,
-        profile_seqs, std::nullopt, config_.ioctlRetry, obs_.get());
+        profile_seqs, std::nullopt, config_.ioctlRetry,
+        config_.reconfig, obs_.get());
 }
 
 Stream &

@@ -59,6 +59,8 @@ struct GpuShardConfig
     /** Shard-local fault scenario (already re-seeded via forShard). */
     FaultPlan faults;
     IoctlRetryPolicy ioctlRetry;
+    /** Reconfiguration-elision policy (see ServerConfig::reconfig). */
+    ReconfigPolicy reconfig = reconfigPolicyFromEnv();
     /** Build a per-shard ObsContext (see file comment). */
     bool wantObs = false;
 };

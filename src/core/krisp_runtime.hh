@@ -26,6 +26,7 @@
 #define KRISP_CORE_KRISP_RUNTIME_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/mask_allocator.hh"
 #include "core/perf_database.hh"
@@ -46,6 +47,39 @@ enum class EnforcementMode
 const char *enforcementModeName(EnforcementMode mode);
 
 /**
+ * What the emulated launch path does when the right-size it wants is
+ * already (or about to be) in effect on the stream's queue.
+ *
+ *  - Always: pay the full Fig. 11b protocol on every launch — the
+ *    paper's evaluation methodology, byte-identical to the behaviour
+ *    before this policy existed.
+ *  - Elide: skip B1/B2/allocator/ioctl when the stream's tracked
+ *    right-size already matches (the ECLIP observation that repeat
+ *    reconfigurations are pure overhead).
+ *  - Group: Elide, plus launchGroup() coalesces consecutive kernels
+ *    with equal right-size into one barrier-pair + one ioctl per run.
+ *
+ * Native enforcement ignores the policy (there is no per-launch
+ * protocol to skip).
+ */
+enum class ReconfigPolicy
+{
+    Always,
+    Elide,
+    Group,
+};
+
+const char *reconfigPolicyName(ReconfigPolicy policy);
+
+/**
+ * Policy requested via KRISP_RECONFIG_POLICY ("always" | "elide" |
+ * "group", case-sensitive); @p fallback when unset. An unrecognised
+ * value is a fatal config error, not a silent default.
+ */
+ReconfigPolicy reconfigPolicyFromEnv(
+    ReconfigPolicy fallback = ReconfigPolicy::Always);
+
+/**
  * Bounded retry-with-exponential-backoff for failed CU-mask
  * reconfiguration ioctls (emulated enforcement). Attempt n waits
  * backoffNs * backoffMultiplier^(n-1) before resubmitting; after
@@ -59,6 +93,13 @@ struct IoctlRetryPolicy
     Tick backoffNs = 20'000;
     double backoffMultiplier = 2.0;
 };
+
+/**
+ * Ceiling on one retry-backoff delay (one simulated hour). Keeps
+ * adversarial policy parameters (huge multipliers or attempt budgets)
+ * from overflowing the double -> Tick conversion.
+ */
+constexpr Tick maxReconfigBackoffNs = ticksFromSec(3600.0);
 
 /**
  * Snapshot of the interception-layer counters. The live values are
@@ -76,6 +117,12 @@ struct KrispRuntimeStats
     std::uint64_t reconfigRetries = 0;
     /** Launches degraded to the static queue mask after retries. */
     std::uint64_t reconfigFallbacks = 0;
+    /** Emulated launches that paid the full reconfig protocol. */
+    std::uint64_t reconfigLaunches = 0;
+    /** Emulated launches skipped because the size was in effect. */
+    std::uint64_t reconfigElisions = 0;
+    /** Emulated launches that rode a group leader's reconfig. */
+    std::uint64_t groupedLaunches = 0;
 };
 
 /** The programmer-transparent launch interceptor. */
@@ -106,6 +153,10 @@ class KrispRuntime
 
     EnforcementMode mode() const { return mode_; }
 
+    /** Reconfiguration-elision policy (emulated mode only). */
+    void setReconfigPolicy(ReconfigPolicy policy);
+    ReconfigPolicy reconfigPolicy() const { return policy_; }
+
     /** Failure-handling policy for emulated-mode reconfig ioctls. */
     void setIoctlRetryPolicy(IoctlRetryPolicy policy);
     const IoctlRetryPolicy &ioctlRetryPolicy() const { return retry_; }
@@ -120,34 +171,79 @@ class KrispRuntime
     void launch(Stream &stream, KernelDescPtr kernel,
                 HsaSignalPtr completion);
 
+    /**
+     * Launch a whole kernel sequence on @p stream, each kernel
+     * decrementing @p completion once. Semantically equivalent to
+     * calling launch() per kernel; under ReconfigPolicy::Group in
+     * emulated mode, consecutive kernels with equal right-size are
+     * coalesced into one barrier-pair + one reconfiguration ioctl per
+     * run (the ECLIP-style lookahead over the model's known kernel
+     * sequence). A run ends at a size change, at the queue ring's
+     * wrap point, and implicitly at a fault-triggered fallback (the
+     * invalidated tracking forces the next call to reconfigure).
+     */
+    void launchGroup(Stream &stream,
+                     const std::vector<KernelDescPtr> &kernels,
+                     HsaSignalPtr completion);
+
   private:
     void launchNative(Stream &stream, KernelDescPtr kernel,
                       HsaSignalPtr completion, unsigned cus);
     void launchEmulated(Stream &stream, KernelDescPtr kernel,
                         HsaSignalPtr completion, unsigned cus);
+    /** Per-launch bookkeeping shared by every dispatch path. */
+    void accountLaunch(const KernelDescriptor &kernel, unsigned cus);
+    /** True when this emulated launch may skip the protocol. */
+    bool canElide(const Stream &stream, unsigned cus) const;
+    /** Launch directly under the already-installed mask. */
+    void launchElided(Stream &stream, KernelDescPtr kernel,
+                      HsaSignalPtr completion, unsigned cus,
+                      const char *how);
+    /**
+     * Emulated protocol for a run of @p kernels sharing right-size
+     * @p cus: one B1/B2 pair, every kernel of the run behind B2, one
+     * allocator pass + reconfiguration ioctl.
+     */
+    void launchRunEmulated(Stream &stream,
+                           const KernelDescPtr *kernels,
+                           std::size_t count, HsaSignalPtr completion,
+                           unsigned cus);
     /**
      * Submit the mask-reconfiguration ioctl for one emulated launch
      * (attempt counts from 1). On rejection, retries with exponential
      * backoff up to the policy's attempt budget, then releases the
-     * kernel under the queue's current static mask.
+     * kernel under the queue's current static mask. The stream is
+     * addressed by id: retries cross simulated delays during which
+     * the stream may be destroyed, in which case the reconfiguration
+     * is abandoned (counted as a fallback) instead of touching a
+     * dangling pointer. @p backoff_scale carries the accumulated
+     * exponential factor so retry n costs O(1), not O(n).
      */
-    void tryReconfig(Stream &stream, CuMask mask,
-                     HsaSignalPtr mask_ready, unsigned attempt);
+    void tryReconfig(StreamId sid, CuMask mask,
+                     HsaSignalPtr mask_ready, unsigned attempt,
+                     double backoff_scale);
+    /** Release a held kernel whose stream disappeared mid-flight. */
+    void abandonReconfig(HsaSignalPtr mask_ready, const char *why);
 
     HipRuntime &hip_;
     const KernelSizer &sizer_;
     MaskAllocator &allocator_;
     EnforcementMode mode_;
+    ReconfigPolicy policy_ = ReconfigPolicy::Always;
     IoctlRetryPolicy retry_;
 
     /** Fallback registry when no ObsContext is supplied. */
     MetricsRegistry own_metrics_;
     TraceSink *trace_ = nullptr;
+    Label *policy_label_ = nullptr;
     Counter *launches_ = nullptr;
     Counter *emulated_reconfigs_ = nullptr;
     Counter *requested_cus_total_ = nullptr;
     Counter *reconfig_retries_ = nullptr;
     Counter *reconfig_fallbacks_ = nullptr;
+    Counter *reconfig_launches_ = nullptr;
+    Counter *reconfig_elisions_ = nullptr;
+    Counter *grouped_launches_ = nullptr;
     Accumulator *requested_cus_ = nullptr;
 };
 

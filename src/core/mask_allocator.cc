@@ -184,6 +184,22 @@ MaskAllocator::dispatchPolicy(unsigned num_cus,
     panic("unknown distribution policy");
 }
 
+void
+MaskAllocator::setMaskCacheEnabled(bool enabled)
+{
+    cache_enabled_ = enabled;
+    if (!enabled)
+        cache_.fill(CuMask());
+}
+
+void
+MaskAllocator::noteReleased(CuMask mask)
+{
+    if (!cache_enabled_ || mask.empty())
+        return;
+    cache_[mask.count()] = mask;
+}
+
 CuMask
 MaskAllocator::allocate(unsigned requested_cus,
                         const ResourceMonitor &monitor)
@@ -192,6 +208,22 @@ MaskAllocator::allocate(unsigned requested_cus,
     fatal_if(requested_cus == 0, "allocating a zero-CU partition");
     const unsigned total = arch.totalCus();
     const unsigned num_cus = std::min(requested_cus, total);
+
+    if (cache_enabled_) {
+        // O(1) repeat-size path: reuse the parked mask of this size
+        // if every CU in it is still idle (one AND against the live
+        // idle mask). The slot is consumed — its CUs are about to be
+        // busy — and refilled on the next release.
+        CuMask &slot = cache_[num_cus];
+        if (!slot.empty() && (slot & ~monitor.idleCus()).empty()) {
+            const CuMask cached = slot;
+            slot = CuMask();
+            ++stats_.requests;
+            ++stats_.cacheHits;
+            stats_.grantedCus += cached.count();
+            return cached;
+        }
+    }
 
     CuMask mask;
     if (balanced_) {

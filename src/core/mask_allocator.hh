@@ -26,6 +26,7 @@
 #ifndef KRISP_CORE_MASK_ALLOCATOR_HH
 #define KRISP_CORE_MASK_ALLOCATOR_HH
 
+#include <array>
 #include <cstdint>
 
 #include "gpu/mask_allocator_iface.hh"
@@ -54,6 +55,8 @@ struct MaskAllocatorStats
     /** CUs granted that already hosted a kernel. */
     std::uint64_t overlappedCus = 0;
     std::uint64_t grantedCus = 0;
+    /** Requests served from the released-mask cache (O(1) path). */
+    std::uint64_t cacheHits = 0;
 };
 
 /** Algorithm 1 with selectable distribution policy and overlap limit. */
@@ -90,6 +93,28 @@ class MaskAllocator : public MaskAllocatorIface
     void setOverlapLimit(unsigned limit) { overlap_limit_ = limit; }
     void setPolicy(DistributionPolicy policy) { policy_ = policy; }
 
+    /**
+     * Released-mask cache (default off): noteReleased() parks the
+     * most recently retired mask of each size; a later allocate() of
+     * the same size whose parked CUs are all idle reuses it in O(1)
+     * instead of re-running Algorithm 1. Repeat-size kernel runs —
+     * exactly what reconfiguration elision/grouping targets — then
+     * get both a constant-time allocator pass and a *grant-stable*
+     * mask (the same CUs every time, so queue masks stop churning).
+     * Off by default because a cached grant may legitimately differ
+     * from Algorithm 1's least-loaded pick; enabling it is part of
+     * opting in to the elision policies.
+     */
+    void setMaskCacheEnabled(bool enabled);
+    bool maskCacheEnabled() const { return cache_enabled_; }
+
+    /**
+     * Return a mask to the size-keyed cache; a no-op unless the cache
+     * is enabled. Called by the KRISP runtime when a queue's
+     * installed mask is replaced (its kernels drained behind B1).
+     */
+    void noteReleased(CuMask mask);
+
     const MaskAllocatorStats &stats() const { return stats_; }
 
   private:
@@ -122,6 +147,9 @@ class MaskAllocator : public MaskAllocatorIface
     DistributionPolicy policy_;
     unsigned overlap_limit_;
     bool balanced_ = true;
+    bool cache_enabled_ = false;
+    /** Most recently released mask per size (index = CU count). */
+    std::array<CuMask, 65> cache_{};
     MaskAllocatorStats stats_;
 };
 

@@ -44,13 +44,42 @@ Stream &
 HipRuntime::stream(StreamId id)
 {
     panic_if(id >= streams_.size(), "unknown stream id ", id);
+    panic_if(streams_[id] == nullptr, "destroyed stream id ", id);
     return *streams_[id];
+}
+
+Stream *
+HipRuntime::streamOrNull(StreamId id)
+{
+    panic_if(id >= streams_.size(), "unknown stream id ", id);
+    return streams_[id].get();
+}
+
+void
+HipRuntime::destroyStream(StreamId id)
+{
+    panic_if(id >= streams_.size(), "unknown stream id ", id);
+    panic_if(streams_[id] == nullptr, "double destroy of stream ", id);
+    // Null the slot instead of erasing: ids index streams_ directly
+    // and must stay stable (and never be reused) so stale ids from
+    // async callbacks resolve to nullptr, not to a different stream.
+    streams_[id].reset();
 }
 
 void
 HipRuntime::streamSetCuMask(Stream &stream, CuMask mask,
                             std::function<void()> done,
                             std::function<void()> failed)
+{
+    stream.invalidateMaskTracking();
+    submitMaskReconfig(stream, mask, std::move(done),
+                       std::move(failed));
+}
+
+void
+HipRuntime::submitMaskReconfig(Stream &stream, CuMask mask,
+                               std::function<void()> done,
+                               std::function<void()> failed)
 {
     fatal_if(mask.empty(), "streamSetCuMask with empty mask");
     const QueueId qid = stream.hsaQueue().id();

@@ -53,15 +53,46 @@ class HipRuntime
     Stream &stream(StreamId id);
 
     /**
+     * Like stream(), but returns nullptr for a destroyed id. Async
+     * layers (the KRISP emulation callbacks) hold StreamIds across
+     * simulated delays and use this to detect teardown races instead
+     * of dereferencing a dangling Stream*.
+     */
+    Stream *streamOrNull(StreamId id);
+
+    /**
+     * Destroy a stream handle (hipStreamDestroy). The backing HSA
+     * queue stays alive so packets already submitted drain normally;
+     * only the host-side handle goes away. Stream ids are never
+     * reused.
+     */
+    void destroyStream(StreamId id);
+
+    /**
      * AMD CU Masking API: set @p stream's CU mask. The change takes
      * effect after the serialised ioctl completes; @p done (optional)
      * runs at that point. With a fault layer attached the driver may
      * reject the ioctl: @p failed (optional) then runs instead of
      * @p done and the queue mask is left unchanged.
+     *
+     * This is the *external* entry point: it invalidates the stream's
+     * KRISP mask tracking immediately, so a subsequent right-sized
+     * launch can never elide against a mask this call is replacing.
      */
     void streamSetCuMask(Stream &stream, CuMask mask,
                          std::function<void()> done = {},
                          std::function<void()> failed = {});
+
+    /**
+     * KRISP-internal reconfiguration path: identical ioctl mechanics
+     * to streamSetCuMask but leaves the stream's mask tracking alone —
+     * the emulation layer updates it itself from the completion
+     * callback (it is the one party that knows the new mask is its
+     * own).
+     */
+    void submitMaskReconfig(Stream &stream, CuMask mask,
+                            std::function<void()> done = {},
+                            std::function<void()> failed = {});
 
     /**
      * Run @p fn after the runtime's callback-dispatch latency; used

@@ -53,4 +53,32 @@ Stream::spaceLeft() const
     return queue_.capacity() - queue_.size();
 }
 
+void
+Stream::noteReconfigRequested(unsigned cus)
+{
+    fatal_if(cus == 0, "reconfig request for zero CUs");
+    expected_cus_ = cus;
+}
+
+void
+Stream::noteMaskInstalled(CuMask mask, std::uint64_t generation)
+{
+    // A stale install (requested before an invalidation) must not
+    // resurrect the tracking: a later external mask may still be in
+    // flight behind it in the serialised ioctl queue.
+    if (generation != mask_generation_)
+        return;
+    installed_known_ = true;
+    installed_mask_ = mask;
+}
+
+void
+Stream::invalidateMaskTracking()
+{
+    expected_cus_ = 0;
+    installed_known_ = false;
+    installed_mask_ = CuMask();
+    ++mask_generation_;
+}
+
 } // namespace krisp

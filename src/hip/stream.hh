@@ -12,11 +12,13 @@
 #ifndef KRISP_HIP_STREAM_HH
 #define KRISP_HIP_STREAM_HH
 
+#include <cstdint>
 #include <functional>
 
 #include "common/types.hh"
 #include "hsa/aql.hh"
 #include "hsa/queue.hh"
+#include "kern/cu_mask.hh"
 #include "kern/kernel_desc.hh"
 
 namespace krisp
@@ -65,9 +67,48 @@ class Stream
     /** Packets the stream can still accept before back-pressure. */
     std::size_t spaceLeft() const;
 
+    // ---- KRISP mask tracking (reconfiguration elision) ----------
+    //
+    // The stream remembers which CU mask the KRISP emulation layer
+    // last installed on its queue, plus the right-size that will be
+    // in effect at the queue *tail* once every reconfiguration
+    // already enqueued has landed. The latter is what a new launch
+    // must compare against: in-order streams guarantee that by the
+    // time the new kernel reaches the head, all earlier reconfigs
+    // have been applied. Any change the layer did not make itself —
+    // an external streamSetCuMask, a reconfig fallback — invalidates
+    // the tracking and bumps the generation so stale in-flight
+    // installs are ignored.
+
+    /** Right-size (CUs) in effect at the queue tail; 0 = unknown. */
+    unsigned expectedCus() const { return expected_cus_; }
+
+    /** True once a KRISP-installed mask landed and none was lost. */
+    bool installedMaskKnown() const { return installed_known_; }
+    const CuMask &installedMask() const { return installed_mask_; }
+
+    /** Bumped on every invalidation; tags in-flight reconfigs. */
+    std::uint64_t maskGeneration() const { return mask_generation_; }
+
+    /** KRISP enqueued a reconfiguration right-sizing to @p cus. */
+    void noteReconfigRequested(unsigned cus);
+
+    /**
+     * The reconfiguration ioctl requested under @p generation landed
+     * with @p mask. Ignored if the tracking was invalidated since.
+     */
+    void noteMaskInstalled(CuMask mask, std::uint64_t generation);
+
+    /** External mask change / fallback: forget everything. */
+    void invalidateMaskTracking();
+
   private:
     StreamId id_;
     HsaQueue &queue_;
+    unsigned expected_cus_ = 0;
+    bool installed_known_ = false;
+    CuMask installed_mask_;
+    std::uint64_t mask_generation_ = 0;
 };
 
 } // namespace krisp

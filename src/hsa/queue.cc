@@ -21,6 +21,8 @@ HsaQueue::push(AqlPacket pkt)
              " (runtime must apply back-pressure)");
     if (pkt.type == AqlPacketType::KernelDispatch)
         panic_if(!pkt.kernel, "kernel-dispatch packet without kernel");
+    if (pkt.type == AqlPacketType::BarrierAnd)
+        ++barriers_pushed_;
     ring_.push_back(std::move(pkt));
     ++pushed_;
     if (doorbell_)

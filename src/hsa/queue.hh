@@ -78,6 +78,11 @@ class HsaQueue
     /** Statistics: total packets ever pushed. */
     std::uint64_t pushed() const { return pushed_; }
 
+    /** Statistics: barrier-AND packets among pushed(). The KRISP
+     *  emulation layer issues two per reconfiguration, so this is the
+     *  protocol cost the elision/grouping policies try to cut. */
+    std::uint64_t barriersPushed() const { return barriers_pushed_; }
+
     /** Statistics: total packets ever consumed (read pointer wraps
      *  the ring once this exceeds capacity()). */
     std::uint64_t popped() const { return popped_; }
@@ -93,6 +98,7 @@ class HsaQueue
     Doorbell doorbell_;
     TraceSink *trace_ = nullptr;
     std::uint64_t pushed_ = 0;
+    std::uint64_t barriers_pushed_ = 0;
     std::uint64_t popped_ = 0;
     std::uint64_t reconfigs_ = 0;
 };

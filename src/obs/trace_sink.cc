@@ -27,6 +27,7 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::IoctlSubmit: return "ioctl.submit";
       case TraceEventKind::IoctlSpan: return "ioctl.span";
       case TraceEventKind::RightSize: return "krisp.rightsize";
+      case TraceEventKind::ReconfigElide: return "krisp.elide";
       case TraceEventKind::RequestEnqueue: return "request.enqueue";
       case TraceEventKind::RequestSpan: return "request.span";
       case TraceEventKind::FaultInject: return "fault.inject";
@@ -55,7 +56,9 @@ kindCategory(TraceEventKind kind)
       case TraceEventKind::IoctlSubmit:
       case TraceEventKind::IoctlSpan:
         return "ioctl";
-      case TraceEventKind::RightSize: return "krisp";
+      case TraceEventKind::RightSize:
+      case TraceEventKind::ReconfigElide:
+        return "krisp";
       case TraceEventKind::RequestEnqueue:
       case TraceEventKind::RequestSpan:
       case TraceEventKind::RequestDrop:
@@ -277,6 +280,17 @@ TraceSink::rightSize(const std::string &kernel, unsigned requestedCus,
             {TraceArg::str("kernel", kernel),
              TraceArg::u64("requested_cus", requestedCus),
              TraceArg::str("mode", mode)});
+}
+
+void
+TraceSink::reconfigElide(QueueId queue, unsigned requestedCus,
+                         const char *how)
+{
+    instant(TraceEventKind::ReconfigElide, "elide", tracePidHost,
+            traceTidRuntime,
+            {TraceArg::u64("queue", queue),
+             TraceArg::u64("requested_cus", requestedCus),
+             TraceArg::str("how", how)});
 }
 
 void

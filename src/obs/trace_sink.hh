@@ -46,6 +46,7 @@ enum class TraceEventKind : std::uint8_t
     IoctlSubmit,    ///< ioctl entered the serialised driver queue
     IoctlSpan,      ///< ioctl service window (start -> applied)
     RightSize,      ///< KRISP runtime per-launch right-size decision
+    ReconfigElide,  ///< launch skipped the reconfiguration protocol
     RequestEnqueue, ///< inference request admitted
     RequestSpan,    ///< inference request lifetime (start -> complete)
     FaultInject,    ///< fault layer injected a failure
@@ -139,6 +140,9 @@ class TraceSink
     void ioctlSpan(Tick start, Tick end, Tick queuedNs);
     void rightSize(const std::string &kernel, unsigned requestedCus,
                    const char *mode);
+    /** @p how is "elide" (repeat size) or "group" (rode a leader). */
+    void reconfigElide(QueueId queue, unsigned requestedCus,
+                       const char *how);
     void requestEnqueue(WorkerId worker, const std::string &model,
                         std::uint64_t request);
     void requestSpan(WorkerId worker, const std::string &model,

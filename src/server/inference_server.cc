@@ -172,12 +172,14 @@ launchInference(RunState &st, Worker &w)
     const std::uint64_t gen = w.generation;
     auto completion = HsaSignal::create(
         static_cast<std::int64_t>(w.seq->size()));
-    for (const auto &kernel : *w.seq) {
-        if (st.krisp) {
-            st.krisp->launch(*w.stream, kernel, completion);
-        } else {
+    if (st.krisp) {
+        // Whole-sequence launch: under ReconfigPolicy::Group the
+        // runtime coalesces equal-right-size runs into one
+        // reconfiguration; otherwise this is per-kernel launch().
+        st.krisp->launchGroup(*w.stream, *w.seq, completion);
+    } else {
+        for (const auto &kernel : *w.seq)
             w.stream->launchWithSignal(kernel, completion);
-        }
     }
     completion->waitZero([&st, &w, gen] {
         if (gen != w.generation)
@@ -312,7 +314,7 @@ InferenceServer::run()
     PartitionSetup policy_setup = setupPartitionPolicy(
         *st.hip, config_.policy, config_.enforcement, kprof,
         policy_workers, profile_seqs, config_.overlapLimitOverride,
-        config_.ioctlRetry, st.obs);
+        config_.ioctlRetry, config_.reconfig, st.obs);
     st.db = std::move(policy_setup.db);
     st.allocator = std::move(policy_setup.allocator);
     st.sizer = std::move(policy_setup.sizer);

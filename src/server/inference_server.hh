@@ -81,6 +81,12 @@ struct ServerConfig
     Tick requestTimeoutNs = 0;
     /** Retry/backoff budget for failed reconfig ioctls (emulated). */
     IoctlRetryPolicy ioctlRetry;
+    /**
+     * Reconfiguration-elision policy for the KRISP policies under
+     * emulated enforcement; defaults to KRISP_RECONFIG_POLICY (or
+     * Always, the paper's per-launch protocol, when unset).
+     */
+    ReconfigPolicy reconfig = reconfigPolicyFromEnv();
 
     /**
      * Optional observability context (owned by the caller, must

@@ -233,12 +233,13 @@ struct OpenState
                     finishBatch(w, *batch);
                 });
             });
-            for (const auto &k : seq) {
-                if (krisp) {
-                    krisp->launch(*w.stream, k, sig);
-                } else {
+            if (krisp) {
+                // Group-aware whole-batch launch (one reconfig per
+                // equal-right-size run under ReconfigPolicy::Group).
+                krisp->launchGroup(*w.stream, seq, sig);
+            } else {
+                for (const auto &k : seq)
                     w.stream->launchWithSignal(k, sig);
-                }
             }
         });
         if (cfg.batchWatchdogNs > 0) {
@@ -359,7 +360,7 @@ OpenLoopServer::run()
     PartitionSetup policy_setup = setupPartitionPolicy(
         *st.hip, config_.policy, config_.enforcement, kprof,
         policy_workers, profile_seqs, std::nullopt,
-        config_.ioctlRetry, st.obs);
+        config_.ioctlRetry, config_.reconfig, st.obs);
     st.db = std::move(policy_setup.db);
     st.allocator = std::move(policy_setup.allocator);
     st.sizer = std::move(policy_setup.sizer);

@@ -80,6 +80,8 @@ struct OpenLoopConfig
     Tick batchWatchdogNs = 0;
     /** Retry/backoff budget for failed reconfig ioctls (emulated). */
     IoctlRetryPolicy ioctlRetry;
+    /** Reconfiguration-elision policy (see ServerConfig::reconfig). */
+    ReconfigPolicy reconfig = reconfigPolicyFromEnv();
 
     /**
      * Optional observability context (owned by the caller, must

@@ -32,7 +32,8 @@ setupPartitionPolicy(HipRuntime &hip, PartitionPolicy policy,
                      const std::vector<const std::vector<KernelDescPtr> *>
                          &profile_seqs,
                      std::optional<unsigned> overlap_limit_override,
-                     const IoctlRetryPolicy &ioctl_retry, ObsContext *obs)
+                     const IoctlRetryPolicy &ioctl_retry,
+                     ReconfigPolicy reconfig, ObsContext *obs)
 {
     PartitionSetup setup;
     const GpuConfig &gpu = kprof.gpuConfig();
@@ -84,6 +85,11 @@ setupPartitionPolicy(HipRuntime &hip, PartitionPolicy policy,
         setup.krisp = std::make_unique<KrispRuntime>(
             hip, *setup.sizer, *setup.allocator, enforcement, obs);
         setup.krisp->setIoctlRetryPolicy(ioctl_retry);
+        setup.krisp->setReconfigPolicy(reconfig);
+        // The elision policies are the repeat-size fast path; give
+        // them the matching O(1), grant-stable allocator path too.
+        if (reconfig != ReconfigPolicy::Always)
+            setup.allocator->setMaskCacheEnabled(true);
         break;
       }
     }

@@ -63,6 +63,9 @@ struct PartitionSetup
  * @param overlap_limit_override explicit KRISP overlap limit
  *                       (Fig. 16 sensitivity; empty = per policy)
  * @param ioctl_retry    retry/backoff budget for emulated reconfigs
+ * @param reconfig       reconfiguration-elision policy for the KRISP
+ *                       variants; anything but Always also enables
+ *                       the allocator's released-mask cache
  * @param obs            optional observability context
  *
  * StaticEqual masks are applied through streamSetCuMask, so they take
@@ -78,7 +81,7 @@ setupPartitionPolicy(HipRuntime &hip, PartitionPolicy policy,
                          &profile_seqs,
                      std::optional<unsigned> overlap_limit_override,
                      const IoctlRetryPolicy &ioctl_retry,
-                     ObsContext *obs);
+                     ReconfigPolicy reconfig, ObsContext *obs);
 
 } // namespace krisp
 

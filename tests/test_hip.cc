@@ -155,6 +155,47 @@ TEST(HipRuntime, SpaceLeftTracksQueueOccupancy)
     EXPECT_EQ(s.spaceLeft(), initial);
 }
 
+TEST(HipRuntime, DestroyStreamNullsTheSlotAndKeepsIdsStable)
+{
+    Fixture fx;
+    Stream &a = fx.hip.createStream();
+    Stream &b = fx.hip.createStream();
+    const StreamId aid = a.id();
+    EXPECT_EQ(fx.hip.streamOrNull(aid), &a);
+    fx.hip.destroyStream(aid);
+    // The slot is nulled, not erased: stale ids resolve to nullptr
+    // and later streams never reuse them.
+    EXPECT_EQ(fx.hip.streamOrNull(aid), nullptr);
+    EXPECT_EQ(fx.hip.streamOrNull(b.id()), &b);
+    Stream &c = fx.hip.createStream();
+    EXPECT_NE(c.id(), aid);
+}
+
+TEST(HipRuntime, MaskTrackingFollowsInstallsAndInvalidation)
+{
+    Fixture fx;
+    Stream &s = fx.hip.createStream();
+    EXPECT_EQ(s.expectedCus(), 0u);
+    EXPECT_FALSE(s.installedMaskKnown());
+
+    s.noteReconfigRequested(15);
+    EXPECT_EQ(s.expectedCus(), 15u);
+    const std::uint64_t gen = s.maskGeneration();
+    s.noteMaskInstalled(CuMask::firstN(15), gen);
+    ASSERT_TRUE(s.installedMaskKnown());
+    EXPECT_EQ(s.installedMask().count(), 15u);
+
+    // External mask changes forget everything and bump the
+    // generation so stale in-flight installs are ignored.
+    fx.hip.streamSetCuMask(s, CuMask::firstN(10));
+    fx.eq.run();
+    EXPECT_EQ(s.expectedCus(), 0u);
+    EXPECT_FALSE(s.installedMaskKnown());
+    EXPECT_GT(s.maskGeneration(), gen);
+    s.noteMaskInstalled(CuMask::firstN(15), gen); // stale: ignored
+    EXPECT_FALSE(s.installedMaskKnown());
+}
+
 TEST(HipRuntimeDeath, InvalidUses)
 {
     Fixture fx;
@@ -164,6 +205,11 @@ TEST(HipRuntimeDeath, InvalidUses)
     EXPECT_EXIT(fx.hip.streamSetCuMask(s, CuMask()),
                 ::testing::ExitedWithCode(1), "empty");
     EXPECT_DEATH(fx.hip.stream(99), "unknown stream");
+    EXPECT_DEATH(fx.hip.destroyStream(99), "unknown stream");
+    const StreamId sid = s.id();
+    fx.hip.destroyStream(sid);
+    EXPECT_DEATH(fx.hip.stream(sid), "destroyed stream");
+    EXPECT_DEATH(fx.hip.destroyStream(sid), "double destroy");
 }
 
 } // namespace
