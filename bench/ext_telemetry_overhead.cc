@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Extension experiment: host-side cost of the observability layer.
+ *
+ * Runs the same open-loop serving workload under four telemetry
+ * modes — off, metrics-only, sampled tracing (1/100 requests), and
+ * full tracing plus the windowed timeline — and compares wall-clock
+ * time (best of five). The simulated results must be identical in
+ * every mode: recording never schedules simulation events, so the
+ * only difference telemetry can make is host time and memory.
+ *
+ * Artifacts: the full-mode timeline JSON and the sampled-mode
+ * streamed Chrome trace land next to the BENCH summary, and the
+ * summary gauges (<mode>.wall_ms / .overhead_pct / .trace_records)
+ * feed the CI gate that keeps metrics-only overhead bounded.
+ */
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/obs.hh"
+#include "server/load_generator.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+struct Mode
+{
+    const char *name;
+    bool wantObs;
+    bool trace;            ///< request/kernel span recording
+    std::uint64_t sample;  ///< trace sampling divisor (0 = keep all)
+    bool timeline;         ///< windowed time-series recording
+};
+
+struct ModeOutcome
+{
+    double wallMs = 0;
+    double achievedRps = 0;
+    std::uint64_t served = 0;
+    std::uint64_t traceRecords = 0;
+};
+
+OpenLoopConfig
+workload()
+{
+    OpenLoopConfig cfg;
+    cfg.model = "resnet152";
+    cfg.numWorkers = 4;
+    cfg.policy = PartitionPolicy::KrispIsolated;
+    cfg.arrivalRatePerSec = 800;
+    cfg.measureNs = bench::quickMode() ? ticksFromSec(0.5)
+                                       : ticksFromSec(2.0);
+    return cfg;
+}
+
+ModeOutcome
+runMode(const Mode &mode, const std::string &trace_path,
+        const std::string &timeline_path)
+{
+    ModeOutcome best;
+    // Best-of-5: wall clock on shared runners is noisy and the CI
+    // gate compares modes against the "off" baseline.
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+        ObsContext obs;
+        obs.trace.setEnabled(mode.trace);
+        if (mode.sample != 0)
+            obs.trace.setSample(mode.sample);
+        if (mode.timeline)
+            obs.timeline.enable(10'000'000); // 10 ms windows
+        // Sampled mode streams to disk (bounded memory) on the last
+        // repetition only, so the timing repetitions stay file-free.
+        const bool stream = mode.trace && mode.sample != 0 &&
+                            rep == reps - 1 && !trace_path.empty();
+        if (stream)
+            fatal_if(!obs.trace.openStream(trace_path),
+                     "cannot open ", trace_path);
+
+        OpenLoopConfig cfg = workload();
+        cfg.obs = mode.wantObs ? &obs : nullptr;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const OpenLoopResult r = OpenLoopServer(cfg).run();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+
+        if (stream)
+            obs.trace.closeStream();
+        if (mode.timeline && rep == reps - 1 &&
+            !timeline_path.empty())
+            fatal_if(!obs.timeline.writeJsonFile(timeline_path),
+                     "cannot write ", timeline_path);
+
+        if (rep == 0 || wall_ms < best.wallMs)
+            best.wallMs = wall_ms;
+        best.achievedRps = r.achievedRps;
+        best.served = r.served;
+        // Streaming runs do not retain records; report the retained
+        // count from a non-streaming repetition.
+        if (!stream)
+            best.traceRecords = obs.trace.size();
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchReport report(
+        "ext_telemetry_overhead",
+        "extension: cost of metrics/trace/timeline recording "
+        "(observability layer, DESIGN.md Sec. 11)");
+
+    const Mode modes[] = {
+        {"off", false, false, 0, false},
+        {"metrics", true, false, 0, false},
+        {"sampled", true, true, 100, false},
+        {"full", true, true, 0, true},
+    };
+
+    TextTable table({"mode", "wall_ms", "overhead_pct",
+                     "trace_records", "achieved_rps"});
+    double base_wall = 0;
+    double base_rps = -1;
+    std::uint64_t base_served = 0;
+    for (const Mode &mode : modes) {
+        const ModeOutcome out = runMode(
+            mode, report.tracePath("sampled"),
+            bench::outDir() + "/ext_telemetry_overhead.timeline.json");
+        if (base_rps < 0) {
+            base_wall = out.wallMs;
+            base_rps = out.achievedRps;
+            base_served = out.served;
+        }
+        // The determinism contract: telemetry must not change what
+        // the simulator computes, only how much it records.
+        fatal_if(out.achievedRps != base_rps ||
+                     out.served != base_served,
+                 "mode '", mode.name,
+                 "' changed simulated results (achieved_rps ",
+                 out.achievedRps, " vs ", base_rps, ")");
+        const double overhead_pct =
+            base_wall > 0
+                ? (out.wallMs - base_wall) / base_wall * 100.0
+                : 0;
+        report.set(std::string(mode.name) + ".wall_ms", out.wallMs);
+        report.set(std::string(mode.name) + ".overhead_pct",
+                   overhead_pct);
+        report.set(std::string(mode.name) + ".trace_records",
+                   static_cast<double>(out.traceRecords));
+        table.row()
+            .cell(mode.name)
+            .cell(out.wallMs, 2)
+            .cell(overhead_pct, 1)
+            .cell(out.traceRecords)
+            .cell(out.achievedRps, 1);
+    }
+    report.set("served_per_mode", static_cast<double>(base_served));
+    table.print("resnet152 x4 workers, open loop, telemetry modes");
+    report.write();
+    return 0;
+}

@@ -138,6 +138,7 @@ main(int argc, char **argv)
     // shows the barrier/ioctl machinery) and dump the observability
     // context to disk.
     ObsContext obs;
+    obs.timeline.enable(10'000'000); // 10 ms windows
     ServerConfig cfg;
     cfg.workerModels = {model, model};
     cfg.batch = batch;
@@ -150,12 +151,19 @@ main(int argc, char **argv)
 
     const std::string trace_path = model + ".trace.json";
     const std::string metrics_path = model + ".metrics.json";
+    const std::string timeline_path = model + ".timeline.json";
+    // Counter tracks (req/s, latency, CU occupancy, watts, protocol
+    // activity) render alongside the kernel spans in Perfetto.
+    obs.timeline.emitCounterTracks(obs.trace);
     obs.trace.writeChromeJsonFile(trace_path);
     obs.metrics.writeJsonFile(metrics_path);
+    obs.timeline.writeJsonFile(timeline_path);
     std::printf("\nwrote %s (%zu events) — open it at "
                 "https://ui.perfetto.dev\n",
                 trace_path.c_str(), obs.trace.size());
     std::printf("wrote %s (metrics snapshot of the same run)\n",
                 metrics_path.c_str());
+    std::printf("wrote %s (windowed time-series of the same run)\n",
+                timeline_path.c_str());
     return 0;
 }

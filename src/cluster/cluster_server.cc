@@ -23,6 +23,19 @@ struct Request
     unsigned model = 0; ///< index into ClusterConfig::models
 };
 
+/** One in-flight batch plus its phase stamps. */
+struct Batch
+{
+    std::vector<Request> reqs;
+    /** Kernels handed to the stream (preprocess done). */
+    Tick launched = 0;
+    /** Completion signal hit zero. */
+    Tick execDone = 0;
+    /** Stream protocol-wait total at launch (delta = this batch). */
+    Tick protoBase = 0;
+    Tick protoWaitNs = 0;
+};
+
 struct ClusterWorker
 {
     WorkerId id = 0;
@@ -81,6 +94,13 @@ struct ClusterState
 
     Counter *droppedMetric = nullptr;
     Counter *shedMetric = nullptr;
+    PercentileTracker *phaseQueueMs = nullptr;
+    PercentileTracker *phaseBatchMs = nullptr;
+    PercentileTracker *phaseExecMs = nullptr;
+    PercentileTracker *phasePostMs = nullptr;
+    PercentileTracker *phaseReconfigMs = nullptr;
+    PercentileTracker *latencyAllMs = nullptr;
+    Histogram *latencyHistMs = nullptr;
 
     double
     totalEnergy() const
@@ -120,6 +140,7 @@ struct ClusterState
             KRISP_TRACE_EVENT(&obs->trace,
                               requestDrop(tid, modelName(r.model),
                                           r.id, reason));
+            obs->timeline.recordDrop(eq.now());
         }
     }
 
@@ -139,6 +160,11 @@ struct ClusterState
                               requestEnqueue(shardTid(ss),
                                              modelName(r.model),
                                              r.id));
+            // Flow arrow: router decision -> shard frontend (ends at
+            // finishBatch on the same shard track).
+            KRISP_TRACE_EVENT(&obs->trace,
+                              requestFlowStep(r.id, tracePidServer,
+                                              shardTid(ss)));
         }
         return true;
     }
@@ -168,6 +194,11 @@ struct ClusterState
                             rng.below(cfg.models.size()))
                       : 0;
         const int target = router->route(modelName(r.model), r.id);
+        if (target >= 0 && obs != nullptr) {
+            KRISP_TRACE_EVENT(&obs->trace,
+                              requestFlowBegin(r.id, tracePidServer,
+                                               traceTidRouter));
+        }
         if (target < 0) {
             dropRequest(nullptr, r, "unrouted");
         } else if (enqueueOn(static_cast<unsigned>(target), r)) {
@@ -211,6 +242,7 @@ struct ClusterState
                                   requestDrop(shardTid(ss),
                                               modelName(r.model),
                                               r.id, "deadline"));
+                obs->timeline.recordDrop(eq.now());
             }
         }
     }
@@ -264,37 +296,42 @@ struct ClusterState
         // Single-model batches: collect up to @p size requests for
         // the head's model, leaving other models queued in order.
         const unsigned model = ss.pending.front().model;
-        auto batch = std::make_shared<std::vector<Request>>();
+        auto batch = std::make_shared<Batch>();
         for (auto it = ss.pending.begin();
-             it != ss.pending.end() && batch->size() < size;) {
+             it != ss.pending.end() && batch->reqs.size() < size;) {
             if (it->model == model) {
                 Request r = *it;
                 r.dequeued = eq.now();
-                batch->push_back(r);
+                batch->reqs.push_back(r);
                 it = ss.pending.erase(it);
             } else {
                 ++it;
             }
         }
         if (measuring)
-            batchSizes.add(static_cast<double>(batch->size()));
+            batchSizes.add(static_cast<double>(batch->reqs.size()));
 
         Tick preprocess = cfg.preprocessNs;
         if (ss.shard->fault() != nullptr)
             preprocess += ss.shard->fault()->preprocessStall();
         const auto *seq_ptr = &ss.shard->zoo().kernels(
             modelName(model),
-            static_cast<unsigned>(batch->size()));
+            static_cast<unsigned>(batch->reqs.size()));
         eq.scheduleIn(preprocess,
                       [this, &ss, &w, gen, batch, seq_ptr] {
             if (gen != w.generation)
                 return;
+            batch->launched = eq.now();
+            batch->protoBase = w.stream->protocolWaitNs();
             const auto &seq = *seq_ptr;
             auto sig = HsaSignal::create(
                 static_cast<std::int64_t>(seq.size()));
             sig->waitZero([this, &ss, &w, gen, batch] {
                 if (gen != w.generation)
                     return;
+                batch->execDone = eq.now();
+                batch->protoWaitNs =
+                    w.stream->protocolWaitNs() - batch->protoBase;
                 eq.scheduleIn(cfg.postprocessNs,
                               [this, &ss, &w, gen, batch] {
                     if (gen != w.generation)
@@ -315,7 +352,7 @@ struct ClusterState
             w.watchdogEv = eq.scheduleIn(
                 cfg.batchWatchdogNs,
                 [this, &ss, &w, batch] {
-                    watchdogFire(ss, w, *batch);
+                    watchdogFire(ss, w, batch->reqs);
                 });
         }
     }
@@ -348,6 +385,7 @@ struct ClusterState
                                   requestDrop(shardTid(ss),
                                               modelName(r.model),
                                               r.id, "timeout"));
+                obs->timeline.recordDrop(eq.now());
             }
         }
         w.busy = false;
@@ -357,19 +395,61 @@ struct ClusterState
     }
 
     void
-    finishBatch(ShardState &ss, ClusterWorker &w,
-                const std::vector<Request> &batch)
+    finishBatch(ShardState &ss, ClusterWorker &w, const Batch &batch)
     {
         disarmWatchdog(w);
         const Tick t = eq.now();
+        const double reconfig_ms = ticksToMs(batch.protoWaitNs);
         router->addOutstanding(
             ss.shard->index(),
-            -static_cast<std::int64_t>(batch.size()));
-        for (const Request &r : batch) {
+            -static_cast<std::int64_t>(batch.reqs.size()));
+        for (const Request &r : batch.reqs) {
+            const double latency_ms = ticksToMs(t - r.arrival);
             if (measuring && r.arrival >= measureStart) {
                 ++served;
                 ++ss.served;
-                latencyMs.add(ticksToMs(t - r.arrival));
+                latencyMs.add(latency_ms);
+            }
+            if (obs != nullptr) {
+                TraceSink *trace = &obs->trace;
+                const WorkerId tid = shardTid(ss);
+                const std::string &model = modelName(r.model);
+                KRISP_TRACE_EVENT(trace,
+                                  requestSpan(tid, model, r.id,
+                                              r.arrival, t));
+                // Four phases tiling [arrival, t] exactly: queued,
+                // batched+preprocessed, executing, postprocessed.
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(tid, model, r.id,
+                                               "queue_wait",
+                                               r.arrival, r.dequeued));
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(tid, model, r.id,
+                                               "batch_wait",
+                                               r.dequeued,
+                                               batch.launched));
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(tid, model, r.id,
+                                               "execute",
+                                               batch.launched,
+                                               batch.execDone));
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(tid, model, r.id,
+                                               "postprocess",
+                                               batch.execDone, t));
+                KRISP_TRACE_EVENT(trace,
+                                  requestFlowEnd(r.id, tracePidServer,
+                                                 tid));
+                phaseQueueMs->add(ticksToMs(r.dequeued - r.arrival));
+                phaseBatchMs->add(
+                    ticksToMs(batch.launched - r.dequeued));
+                phaseExecMs->add(
+                    ticksToMs(batch.execDone - batch.launched));
+                phasePostMs->add(ticksToMs(t - batch.execDone));
+                phaseReconfigMs->add(reconfig_ms);
+                latencyAllMs->add(latency_ms);
+                latencyHistMs->add(latency_ms);
+                obs->timeline.recordRequest(t, latency_ms);
             }
         }
         w.busy = false;
@@ -481,10 +561,25 @@ ClusterServer::run()
     st.obs = config_.obs;
     if (st.obs != nullptr) {
         st.obs->trace.setClock(&st.eq);
-        st.droppedMetric =
-            &st.obs->metrics.counter("cluster.dropped");
-        st.shedMetric =
-            &st.obs->metrics.counter("cluster.deadline_misses");
+        // Environment timeline opt-in must precede shard
+        // construction (shards mirror the cluster window width so
+        // per-shard timelines merge into the cluster-wide one).
+        if (!st.obs->timeline.enabled()) {
+            if (const Tick window = TimelineRecorder::envWindowNs())
+                st.obs->timeline.enable(window);
+        }
+        MetricsRegistry &m = st.obs->metrics;
+        st.droppedMetric = &m.counter("cluster.dropped");
+        st.shedMetric = &m.counter("cluster.deadline_misses");
+        st.phaseQueueMs = &m.percentiles("server.phase.queue_wait_ms");
+        st.phaseBatchMs = &m.percentiles("server.phase.batch_wait_ms");
+        st.phaseExecMs = &m.percentiles("server.phase.execute_ms");
+        st.phasePostMs = &m.percentiles("server.phase.postprocess_ms");
+        st.phaseReconfigMs =
+            &m.percentiles("server.phase.reconfig_ms");
+        st.latencyAllMs = &m.percentiles("server.latency_ms");
+        st.latencyHistMs =
+            &m.histogram("server.latency_hist_ms", 0.0, 500.0, 100);
     }
 
     st.router = std::make_unique<ClusterRouter>(config_.routing,
@@ -517,6 +612,10 @@ ClusterServer::run()
         shard_cfg.ioctlRetry = config_.ioctlRetry;
         shard_cfg.reconfig = config_.reconfig;
         shard_cfg.wantObs = st.obs != nullptr;
+        shard_cfg.timelineWindowNs =
+            st.obs != nullptr && st.obs->timeline.enabled()
+                ? st.obs->timeline.windowNs()
+                : 0;
 
         auto ss = std::make_unique<ShardState>();
         ss->shard = std::make_unique<GpuShard>(st.eq,
@@ -573,11 +672,10 @@ ClusterServer::run()
                               static_cast<double>(st.arrivals)
                         : 0;
     result.meanBatchSize = st.batchSizes.mean();
-    if (!st.latencyMs.empty()) {
-        result.p50Ms = st.latencyMs.percentile(0.50);
-        result.p95Ms = st.latencyMs.percentile(0.95);
-        result.p99Ms = st.latencyMs.percentile(0.99);
-    }
+    const LatencySummary lat = LatencySummary::from(st.latencyMs);
+    result.p50Ms = lat.p50Ms;
+    result.p95Ms = lat.p95Ms;
+    result.p99Ms = lat.p99Ms;
     result.energyPerRequestJ =
         st.served > 0 ? (st.energyEnd - st.energyStart) /
                             static_cast<double>(st.served)
@@ -594,6 +692,15 @@ ClusterServer::run()
             if (sobs == nullptr)
                 continue;
             ss->shard->device().publishMetrics(sobs->metrics);
+            publishObsHealth(*sobs);
+            // Shard timelines carry the device-side signals (CU
+            // occupancy, watts, protocol counts); overlay them onto
+            // the cluster timeline, which holds the request feed.
+            if (sobs->timeline.enabled() &&
+                st.obs->timeline.enabled()) {
+                sobs->timeline.finish(st.eq.now());
+                sobs->timeline.mergeInto(st.obs->timeline);
+            }
             const std::string prefix =
                 "cluster.shard" +
                 std::to_string(ss->shard->index()) + ".";
@@ -601,6 +708,8 @@ ClusterServer::run()
             m.gauge(prefix + "served")
                 .set(static_cast<double>(ss->served));
         }
+        st.obs->timeline.finish(st.eq.now());
+        publishObsHealth(*st.obs);
         snapshotEventQueue(st.eq, m);
         m.label("cluster.routing")
             .set(routingPolicyName(config_.routing));

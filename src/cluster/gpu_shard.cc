@@ -19,6 +19,10 @@ GpuShard::GpuShard(EventQueue &eq, GpuShardConfig config)
     if (config_.wantObs) {
         obs_ = std::make_unique<ObsContext>();
         obs_->trace.setClock(&eq);
+        // Before attachObs below: components wire the timeline feed
+        // only if it is already enabled.
+        if (config_.timelineWindowNs != 0)
+            obs_->timeline.enable(config_.timelineWindowNs);
     }
 
     device_ = std::make_unique<GpuDevice>(eq, config_.gpu);

@@ -63,6 +63,12 @@ struct GpuShardConfig
     ReconfigPolicy reconfig = reconfigPolicyFromEnv();
     /** Build a per-shard ObsContext (see file comment). */
     bool wantObs = false;
+    /**
+     * Window width for the shard's TimelineRecorder; 0 leaves it
+     * disabled. Effective only with wantObs; the cluster sets it so
+     * per-shard timelines merge into the cluster-wide one.
+     */
+    Tick timelineWindowNs = 0;
 };
 
 /** One simulated GPU plus its serving runtime. */

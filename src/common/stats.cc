@@ -205,6 +205,22 @@ Histogram::binHigh(std::size_t i) const
     return binLow(i + 1);
 }
 
+LatencySummary
+LatencySummary::from(const PercentileTracker &samples)
+{
+    LatencySummary s;
+    s.count = samples.count();
+    if (samples.empty())
+        return s;
+    s.meanMs = samples.mean();
+    s.p50Ms = samples.percentile(0.50);
+    s.p95Ms = samples.percentile(0.95);
+    s.p99Ms = samples.percentile(0.99);
+    s.minMs = samples.min();
+    s.maxMs = samples.max();
+    return s;
+}
+
 double
 geomean(const std::vector<double> &values)
 {

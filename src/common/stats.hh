@@ -125,6 +125,26 @@ class Histogram
     std::size_t overflow_ = 0;
 };
 
+/**
+ * The latency digest every serving layer reports: one place for the
+ * count / mean / p50 / p95 / p99 / min / max extraction that the
+ * closed-loop server, the open-loop server, the cluster shards and
+ * the report tool all need. All values are milliseconds by
+ * convention; an empty tracker yields all zeros.
+ */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double meanMs = 0;
+    double p50Ms = 0;
+    double p95Ms = 0;
+    double p99Ms = 0;
+    double minMs = 0;
+    double maxMs = 0;
+
+    static LatencySummary from(const PercentileTracker &samples);
+};
+
 /** Geometric mean of strictly positive values (0 if any non-positive). */
 double geomean(const std::vector<double> &values);
 

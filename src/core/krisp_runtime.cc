@@ -69,6 +69,8 @@ KrispRuntime::KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
     requested_cus_ = &reg.accumulator("krisp.requested_cus");
     if (obs != nullptr) {
         trace_ = &obs->trace;
+        if (obs->timeline.enabled())
+            timeline_ = &obs->timeline;
         reg.label("krisp.enforcement").set(enforcementModeName(mode_));
         policy_label_ = &reg.label("krisp.reconfig_policy");
         policy_label_->set(reconfigPolicyName(policy_));
@@ -227,6 +229,8 @@ KrispRuntime::launchElided(Stream &stream, KernelDescPtr kernel,
     reconfig_elisions_->inc();
     KRISP_TRACE_EVENT(trace_, reconfigElide(stream.hsaQueue().id(),
                                             cus, how));
+    if (timeline_ != nullptr)
+        timeline_->recordElision(hip_.eventQueue().now());
     stream.launchWithSignal(std::move(kernel), std::move(completion),
                             /*requested_cus=*/0);
 }
@@ -254,11 +258,15 @@ KrispRuntime::launchRunEmulated(Stream &stream,
     AqlPacket b1 = AqlPacket::barrier({}, drained,
                                       /*barrier_bit=*/true);
     KRISP_TRACE_EVENT(trace_, barrierInject(qid, "B1-drain"));
+    if (timeline_ != nullptr)
+        timeline_->recordBarrier(hip_.eventQueue().now());
     stream.enqueuePacket(std::move(b1));
 
     AqlPacket b2 = AqlPacket::barrier({mask_ready}, nullptr,
                                       /*barrier_bit=*/true);
     KRISP_TRACE_EVENT(trace_, barrierInject(qid, "B2-hold"));
+    if (timeline_ != nullptr)
+        timeline_->recordBarrier(hip_.eventQueue().now());
     stream.enqueuePacket(std::move(b2));
 
     reconfig_launches_->inc();
@@ -284,14 +292,19 @@ KrispRuntime::launchRunEmulated(Stream &stream,
         // then reconfigure the queue mask through the ioctl. The
         // stream travels by id — it can be destroyed while this
         // callback (or a retry below) is pending.
-        hip_.deferCallback([this, sid, mask_ready, cus] {
+        //
+        // Protocol wait starts here — at quiesce, not at enqueue —
+        // so overlap with the previous kernels' execution is not
+        // billed as reconfiguration overhead.
+        const Tick proto_start = hip_.eventQueue().now();
+        hip_.deferCallback([this, sid, mask_ready, cus, proto_start] {
             if (hip_.streamOrNull(sid) == nullptr) {
                 abandonReconfig(mask_ready, "stream-destroyed");
                 return;
             }
             const CuMask mask = allocator_.allocate(
                 cus, hip_.device().monitor());
-            tryReconfig(sid, mask, mask_ready, 1, 1.0);
+            tryReconfig(sid, mask, mask_ready, 1, 1.0, proto_start);
         });
     });
 }
@@ -299,7 +312,7 @@ KrispRuntime::launchRunEmulated(Stream &stream,
 void
 KrispRuntime::tryReconfig(StreamId sid, CuMask mask,
                           HsaSignalPtr mask_ready, unsigned attempt,
-                          double backoff_scale)
+                          double backoff_scale, Tick proto_start)
 {
     Stream *stream = hip_.streamOrNull(sid);
     if (stream == nullptr) {
@@ -309,8 +322,10 @@ KrispRuntime::tryReconfig(StreamId sid, CuMask mask,
     const std::uint64_t generation = stream->maskGeneration();
     hip_.submitMaskReconfig(
         *stream, mask,
-        [this, sid, mask, generation, mask_ready] {
+        [this, sid, mask, generation, mask_ready, proto_start] {
             emulated_reconfigs_->inc();
+            if (timeline_ != nullptr)
+                timeline_->recordReconfig(hip_.eventQueue().now());
             if (Stream *s = hip_.streamOrNull(sid)) {
                 // The drain barrier retired this stream's work under
                 // the previous mask, so it can go back to the
@@ -319,10 +334,13 @@ KrispRuntime::tryReconfig(StreamId sid, CuMask mask,
                 if (s->installedMaskKnown())
                     allocator_.noteReleased(s->installedMask());
                 s->noteMaskInstalled(mask, generation);
+                s->addProtocolWait(hip_.eventQueue().now() -
+                                   proto_start);
             }
             mask_ready->subtract(1);
         },
-        [this, sid, mask, mask_ready, attempt, backoff_scale] {
+        [this, sid, mask, mask_ready, attempt, backoff_scale,
+         proto_start] {
             if (attempt < retry_.maxAttempts) {
                 reconfig_retries_->inc();
                 // Exponential backoff: 1x, mult x, mult^2 x, ... The
@@ -345,9 +363,10 @@ KrispRuntime::tryReconfig(StreamId sid, CuMask mask,
                     backoff_scale * retry_.backoffMultiplier;
                 hip_.eventQueue().scheduleIn(
                     delay, [this, sid, mask, mask_ready, attempt,
-                            next_scale] {
+                            next_scale, proto_start] {
                         tryReconfig(sid, mask, mask_ready,
-                                    attempt + 1, next_scale);
+                                    attempt + 1, next_scale,
+                                    proto_start);
                     });
                 return;
             }
@@ -361,8 +380,11 @@ KrispRuntime::tryReconfig(StreamId sid, CuMask mask,
                               recovery("mask-fallback", "", attempt));
             warn("reconfig ioctl failed ", attempt,
                  " times; falling back to the static queue mask");
-            if (Stream *s = hip_.streamOrNull(sid))
+            if (Stream *s = hip_.streamOrNull(sid)) {
                 s->invalidateMaskTracking();
+                s->addProtocolWait(hip_.eventQueue().now() -
+                                   proto_start);
+            }
             mask_ready->subtract(1);
         });
 }

@@ -218,10 +218,13 @@ class KrispRuntime
      * is abandoned (counted as a fallback) instead of touching a
      * dangling pointer. @p backoff_scale carries the accumulated
      * exponential factor so retry n costs O(1), not O(n).
+     * @p proto_start is when the drain barrier signalled quiesce;
+     * the stream's protocol-wait accumulator is credited with
+     * (now - proto_start) when the held kernels are released.
      */
     void tryReconfig(StreamId sid, CuMask mask,
                      HsaSignalPtr mask_ready, unsigned attempt,
-                     double backoff_scale);
+                     double backoff_scale, Tick proto_start);
     /** Release a held kernel whose stream disappeared mid-flight. */
     void abandonReconfig(HsaSignalPtr mask_ready, const char *why);
 
@@ -235,6 +238,7 @@ class KrispRuntime
     /** Fallback registry when no ObsContext is supplied. */
     MetricsRegistry own_metrics_;
     TraceSink *trace_ = nullptr;
+    TimelineRecorder *timeline_ = nullptr;
     Label *policy_label_ = nullptr;
     Counter *launches_ = nullptr;
     Counter *emulated_reconfigs_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -150,6 +151,16 @@ GpuDevice::attachObs(ObsContext *obs)
         trace_->setClock(&eq_);
     for (const auto &ctx : queues_)
         ctx->queue->setTraceSink(trace_);
+    kernel_agg_enabled_ = obs != nullptr;
+    timeline_ = obs != nullptr && obs->timeline.enabled()
+                    ? &obs->timeline
+                    : nullptr;
+    if (timeline_ != nullptr) {
+        // Seed the piecewise-constant utilization signal at the
+        // attach point so the first window integrates from idle.
+        timeline_->recordUtilization(eq_.now(), 0,
+                                     power_.currentPowerW());
+    }
 }
 
 void
@@ -189,6 +200,22 @@ GpuDevice::publishMetrics(MetricsRegistry &metrics) const
     metrics.gauge("gpu.queue_mask_reconfigs")
         .set(static_cast<double>(reconfigs));
     metrics.gauge("gpu.energy_joules").set(power_.energyJoules());
+
+    // Fold per-descriptor totals by kernel name (several descriptor
+    // instances can share a name across streams) into name-ordered
+    // gauges; the report tool ranks these by CU-seconds.
+    std::map<std::string, KernelAgg> by_name;
+    for (const auto &[desc, agg] : kernel_agg_) {
+        auto &out = by_name[desc->name];
+        out.completions += agg.completions;
+        out.cuNs += agg.cuNs;
+    }
+    for (const auto &[kname, agg] : by_name) {
+        metrics.gauge("gpu.kernel." + kname + ".completions")
+            .set(static_cast<double>(agg.completions));
+        metrics.gauge("gpu.kernel." + kname + ".cu_seconds")
+            .set(agg.cuNs / 1e9);
+    }
 }
 
 unsigned
@@ -423,6 +450,12 @@ GpuDevice::retireKernel(RunningKernel rk, bool killed)
                                  rk.mask.bits(), rk.mask.count(),
                                  rk.dispatchTick, rk.startTick,
                                  eq_.now()));
+    if (kernel_agg_enabled_) {
+        auto &agg = kernel_agg_[rk.desc];
+        ++agg.completions;
+        agg.cuNs += static_cast<double>(rk.mask.count()) *
+                    static_cast<double>(eq_.now() - rk.startTick);
+    }
 
     QueueCtx &ctx = *queues_.at(rk.qid);
     panic_if(ctx.outstanding == 0, "queue outstanding underflow");
@@ -562,6 +595,10 @@ GpuDevice::recomputeRates(FluidScheduler &fs)
     }
     power_.update(busy_cus, active_ses,
                   bw_used / arch.memBwBytesPerNs);
+    if (timeline_ != nullptr) {
+        timeline_->recordUtilization(eq_.now(), busy_cus,
+                                     power_.currentPowerW());
+    }
 }
 
 } // namespace krisp

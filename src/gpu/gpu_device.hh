@@ -240,7 +240,22 @@ class GpuDevice
     MaskAllocatorIface *allocator_ = nullptr;
     std::function<void(const KernelTraceEvent &)> trace_fn_;
     TraceSink *trace_ = nullptr;
+    TimelineRecorder *timeline_ = nullptr;
     FaultInjector *fault_ = nullptr;
+
+    /** Per-kernel-descriptor totals for gpu.kernel.* metrics. */
+    struct KernelAgg
+    {
+        std::uint64_t completions = 0;
+        double cuNs = 0; ///< sum of mask CUs * execution ns
+    };
+    /**
+     * Keyed by descriptor identity (the shared_ptr keeps the name
+     * alive); folded by kernel name at publish time. Only populated
+     * while an obs context is attached, so obs-free runs pay nothing.
+     */
+    std::unordered_map<KernelDescPtr, KernelAgg> kernel_agg_;
+    bool kernel_agg_enabled_ = false;
 
     std::vector<std::unique_ptr<QueueCtx>> queues_;
     std::unordered_map<JobId, RunningKernel> running_;

@@ -20,6 +20,9 @@ HipRuntime::attachObs(ObsContext *obs)
 {
     device_.attachObs(obs);
     ioctl_.setTraceSink(obs != nullptr ? &obs->trace : nullptr);
+    ioctl_.setTimeline(obs != nullptr && obs->timeline.enabled()
+                           ? &obs->timeline
+                           : nullptr);
 }
 
 void

@@ -102,6 +102,20 @@ class Stream
     /** External mask change / fallback: forget everything. */
     void invalidateMaskTracking();
 
+    // ---- reconfiguration-overhead accounting --------------------
+    //
+    // Simulated time this stream spent inside the KRISP
+    // reconfiguration protocol — from the drain barrier signalling
+    // quiesce to the hold barrier releasing — accumulated by the
+    // runtime so the serving layers can attribute per-request
+    // reconfig overhead (server.phase.reconfig_ms).
+
+    /** Add @p ns of protocol wait (drain-to-release) to the total. */
+    void addProtocolWait(Tick ns) { protocol_wait_ns_ += ns; }
+
+    /** Total protocol wait accumulated so far, simulated ns. */
+    Tick protocolWaitNs() const { return protocol_wait_ns_; }
+
   private:
     StreamId id_;
     HsaQueue &queue_;
@@ -109,6 +123,7 @@ class Stream
     bool installed_known_ = false;
     CuMask installed_mask_;
     std::uint64_t mask_generation_ = 0;
+    Tick protocol_wait_ns_ = 0;
 };
 
 } // namespace krisp

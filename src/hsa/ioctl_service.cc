@@ -62,6 +62,8 @@ IoctlService::startNext()
             ++completed_;
         }
         KRISP_TRACE_EVENT(trace_, ioctlSpan(start, eq_.now(), queued));
+        if (timeline_ != nullptr)
+            timeline_->recordIoctl(eq_.now());
         debug("ioctl ", fails ? "rejected" : "applied", " after ",
               queued, " ns queueing; backlog ", backlog_.size());
         startNext();

@@ -18,6 +18,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/timeline.hh"
 #include "obs/trace_sink.hh"
 #include "sim/event_queue.hh"
 
@@ -57,6 +58,12 @@ class IoctlService
     /** Observability hook: serialisation events + queueing delays. */
     void setTraceSink(TraceSink *trace) { trace_ = trace; }
 
+    /** Timeline feed: each completed ioctl counts in its window. */
+    void setTimeline(TimelineRecorder *timeline)
+    {
+        timeline_ = timeline;
+    }
+
     /** Fault hook: per-ioctl failure + latency-spike decisions. */
     void setFaultInjector(FaultInjector *fault) { fault_ = fault; }
 
@@ -87,6 +94,7 @@ class IoctlService
     std::deque<Pending> backlog_;
     bool busy_ = false;
     TraceSink *trace_ = nullptr;
+    TimelineRecorder *timeline_ = nullptr;
     FaultInjector *fault_ = nullptr;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;

@@ -1,5 +1,6 @@
 #include "obs/json.hh"
 
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -10,6 +11,30 @@ namespace krisp
 {
 namespace json
 {
+
+namespace
+{
+
+// Atomics: the parallel sweep harness serialises island snapshots
+// from worker threads. Healthy runs never touch these, so the
+// counter stays 0 and cannot perturb cross-job byte-determinism.
+std::atomic<std::uint64_t> nonfinite_count{0};
+std::atomic<bool> nonfinite_warned{false};
+
+} // namespace
+
+std::uint64_t
+nonFiniteCount()
+{
+    return nonfinite_count.load(std::memory_order_relaxed);
+}
+
+void
+resetNonFiniteCount()
+{
+    nonfinite_count.store(0, std::memory_order_relaxed);
+    nonfinite_warned.store(false, std::memory_order_relaxed);
+}
 
 std::string
 escape(const std::string &s)
@@ -49,7 +74,13 @@ std::string
 number(double v)
 {
     if (!std::isfinite(v)) {
-        warn("non-finite value in JSON output; emitting 0");
+        nonfinite_count.fetch_add(1, std::memory_order_relaxed);
+        if (!nonfinite_warned.exchange(true,
+                                       std::memory_order_relaxed)) {
+            warn("non-finite value in JSON output; emitting 0 "
+                 "(further occurrences are only counted — see the "
+                 "obs.nonfinite_values metric)");
+        }
         return "0";
     }
     char buf[32];

@@ -27,12 +27,22 @@ std::string quote(const std::string &s);
 
 /**
  * Shortest round-trip decimal for a double. Non-finite values (which
- * JSON cannot represent) serialise as 0 with a warning.
+ * JSON cannot represent) serialise as 0; the first occurrence since
+ * the last resetNonFiniteCount() warns once, every occurrence is
+ * counted so a NaN-producing bug stays visible in metrics
+ * ("obs.nonfinite_values", see publishObsHealth) instead of spamming
+ * the log.
  */
 std::string number(double v);
 
 std::string number(std::uint64_t v);
 std::string number(std::int64_t v);
+
+/** Non-finite doubles serialised (process-wide, since last reset). */
+std::uint64_t nonFiniteCount();
+
+/** Reset the non-finite counter and re-arm the once-per-run warning. */
+void resetNonFiniteCount();
 
 } // namespace json
 } // namespace krisp

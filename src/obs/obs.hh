@@ -12,17 +12,25 @@
 #ifndef KRISP_OBS_OBS_HH
 #define KRISP_OBS_OBS_HH
 
+#include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "obs/trace_sink.hh"
 
 namespace krisp
 {
 
-/** Trace sink + metrics registry for one run. */
+/** Trace sink + metrics registry + timeline for one run. */
 struct ObsContext
 {
     TraceSink trace;
     MetricsRegistry metrics;
+    /**
+     * Windowed time-series; disabled until timeline.enable(). Enable
+     * it before handing the context to components (attachObs reads
+     * enabled() once to decide whether to wire the feeds).
+     */
+    TimelineRecorder timeline;
 
     ObsContext() = default;
     explicit ObsContext(const EventQueue &clock) : trace(&clock) {}
@@ -44,6 +52,24 @@ snapshotEventQueue(const EventQueue &eq, MetricsRegistry &metrics)
         .set(static_cast<double>(eq.cancelledCount()));
     metrics.gauge("sim.final_tick_ns")
         .set(static_cast<double>(eq.now()));
+}
+
+/**
+ * Publish the observability layer's own health into its metrics:
+ * trace records dropped at the sink limit ("obs.trace_dropped") and
+ * non-finite doubles serialised as 0 ("obs.nonfinite_values").
+ * Top-up deltas, so calling it repeatedly (each serving layer calls
+ * it at end of run) never double-counts.
+ */
+inline void
+publishObsHealth(ObsContext &obs)
+{
+    auto &dropped = obs.metrics.counter("obs.trace_dropped");
+    if (obs.trace.dropped() > dropped.value())
+        dropped.inc(obs.trace.dropped() - dropped.value());
+    auto &nonfinite = obs.metrics.counter("obs.nonfinite_values");
+    if (json::nonFiniteCount() > nonfinite.value())
+        nonfinite.inc(json::nonFiniteCount() - nonfinite.value());
 }
 
 } // namespace krisp

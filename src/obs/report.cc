@@ -1,0 +1,379 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+/**
+ * Gauge lookup that works for both single-GPU and cluster snapshots:
+ * tries the name verbatim, then "server." and "cluster." prefixes.
+ */
+const json::Value *
+findGauge(const json::Value &metrics, const std::string &suffix)
+{
+    const json::Value *gauges = metrics.find("gauges");
+    if (gauges == nullptr)
+        return nullptr;
+    if (const json::Value *v = gauges->find(suffix))
+        return v;
+    if (const json::Value *v = gauges->find("server." + suffix))
+        return v;
+    return gauges->find("cluster." + suffix);
+}
+
+const json::Value *
+findPercentiles(const json::Value &metrics, const std::string &name)
+{
+    return metrics.find("percentiles", name);
+}
+
+void
+addGaugeRow(TextTable &t, const json::Value &metrics,
+            const std::string &label, const std::string &suffix,
+            int precision)
+{
+    if (const json::Value *v = findGauge(metrics, suffix))
+        t.row().cell(label).cell(v->numberOr(0), precision);
+}
+
+/** Aggregated per-kernel work, keyed by kernel name. */
+struct KernelWork
+{
+    double completions = 0;
+    double cuSeconds = 0;
+};
+
+/**
+ * Collect gpu.kernel.<name>.{completions,cu_seconds} gauges,
+ * folding "cluster.shard<i>." prefixed copies into one entry per
+ * kernel name (std::map keeps the ranking tie-break deterministic).
+ */
+std::map<std::string, KernelWork>
+collectKernelWork(const json::Value &metrics)
+{
+    std::map<std::string, KernelWork> work;
+    const json::Value *gauges = metrics.find("gauges");
+    if (gauges == nullptr)
+        return work;
+    const std::string marker = "gpu.kernel.";
+    for (const auto &[key, v] : gauges->obj) {
+        const std::size_t at = key.find(marker);
+        if (at != 0 &&
+            (at == std::string::npos || key[at - 1] != '.'))
+            continue;
+        const std::string rest = key.substr(at + marker.size());
+        const std::size_t dot = rest.rfind('.');
+        if (dot == std::string::npos)
+            continue;
+        const std::string name = rest.substr(0, dot);
+        const std::string field = rest.substr(dot + 1);
+        if (field == "completions")
+            work[name].completions += v.numberOr(0);
+        else if (field == "cu_seconds")
+            work[name].cuSeconds += v.numberOr(0);
+    }
+    return work;
+}
+
+void
+renderRunSummary(std::ostringstream &os, const json::Value &metrics)
+{
+    TextTable t({"metric", "value"});
+    addGaugeRow(t, metrics, "requests_served", "requests_served", 0);
+    addGaugeRow(t, metrics, "requests_completed",
+                "requests_completed", 0);
+    addGaugeRow(t, metrics, "offered_rps", "offered_rps", 1);
+    addGaugeRow(t, metrics, "achieved_rps", "achieved_rps", 1);
+    addGaugeRow(t, metrics, "total_rps", "total_rps", 1);
+    addGaugeRow(t, metrics, "drop_rate", "drop_rate", 4);
+    addGaugeRow(t, metrics, "shards", "shards", 0);
+    addGaugeRow(t, metrics, "workers", "workers", 0);
+    addGaugeRow(t, metrics, "energy_per_request_j",
+                "energy_per_inference_j", 4);
+    if (const json::Value *v = findGauge(metrics, "timed_out"))
+        t.row().cell("timed_out").cell(v->numberOr(0), 0);
+    os << "== run summary ==\n";
+    if (t.rows() == 0)
+        os << "  (no server gauges in snapshot)\n";
+    else
+        os << t.render();
+    os << "\n";
+}
+
+void
+renderSlo(std::ostringstream &os, const json::Value &metrics,
+          double sloMs)
+{
+    os << "== SLO attainment ==\n";
+    const json::Value *hist =
+        metrics.find("histograms", "server.latency_hist_ms");
+    if (hist == nullptr) {
+        os << "  (no server.latency_hist_ms histogram)\n\n";
+        return;
+    }
+    const double frac = sloAttainment(*hist, sloMs);
+    if (frac < 0) {
+        os << "  (empty latency histogram)\n\n";
+        return;
+    }
+    const double total = hist->find("total") != nullptr
+                             ? hist->find("total")->numberOr(0)
+                             : 0;
+    os << "  deadline: " << formatFixed(sloMs, 1) << " ms\n"
+       << "  attained: " << formatFixed(frac * 100.0, 2) << " % of "
+       << formatFixed(total, 0) << " requests\n"
+       << "  missed:   " << formatFixed((1.0 - frac) * 100.0, 2)
+       << " %\n\n";
+}
+
+void
+renderPhases(std::ostringstream &os, const json::Value &metrics)
+{
+    os << "== request phase breakdown ==\n";
+    static const struct
+    {
+        const char *label;
+        const char *name;
+        bool tiles; ///< part of the exact e2e partition
+    } phases[] = {
+        {"queue_wait", "server.phase.queue_wait_ms", true},
+        {"batch_wait", "server.phase.batch_wait_ms", true},
+        {"execute", "server.phase.execute_ms", true},
+        {"postprocess", "server.phase.postprocess_ms", true},
+        {"reconfig (informational)", "server.phase.reconfig_ms",
+         false},
+    };
+    TextTable t({"phase", "mean_ms", "p50_ms", "p99_ms", "count"});
+    double tiled_mean = 0;
+    bool any = false;
+    for (const auto &ph : phases) {
+        const json::Value *p = findPercentiles(metrics, ph.name);
+        if (p == nullptr)
+            continue;
+        any = true;
+        const double mean =
+            p->find("mean") ? p->find("mean")->numberOr(0) : 0;
+        t.row()
+            .cell(ph.label)
+            .cell(mean, 3)
+            .cell(p->find("p50") ? p->find("p50")->numberOr(0) : 0, 3)
+            .cell(p->find("p99") ? p->find("p99")->numberOr(0) : 0, 3)
+            .cell(p->find("count") ? p->find("count")->numberOr(0)
+                                   : 0,
+                  0);
+        if (ph.tiles)
+            tiled_mean += mean;
+    }
+    if (!any) {
+        os << "  (no server.phase.* percentiles)\n\n";
+        return;
+    }
+    os << t.render();
+    const json::Value *lat =
+        findPercentiles(metrics, "server.latency_ms");
+    if (lat != nullptr && lat->find("mean") != nullptr) {
+        const double e2e = lat->find("mean")->numberOr(0);
+        os << "  phase-sum mean " << formatFixed(tiled_mean, 3)
+           << " ms vs e2e mean " << formatFixed(e2e, 3)
+           << " ms (delta "
+           << formatFixed(std::fabs(e2e - tiled_mean), 4) << " ms)\n";
+    }
+    os << "\n";
+}
+
+void
+renderUtilization(std::ostringstream &os, const json::Value &metrics,
+                  const json::Value *timeline)
+{
+    os << "== utilization / power ==\n";
+    bool printed = false;
+    if (timeline != nullptr && timeline->isObject()) {
+        const json::Value *windows = timeline->find("windows");
+        if (windows != nullptr && windows->isArray()) {
+            double covered = 0, cu_int = 0, watts_int = 0;
+            double requests = 0, drops = 0, reconfigs = 0,
+                   elisions = 0;
+            for (const json::Value &w : windows->arr) {
+                const double c =
+                    w.find("covered_ns")
+                        ? w.find("covered_ns")->numberOr(0)
+                        : 0;
+                covered += c;
+                if (w.find("cu_busy_mean"))
+                    cu_int += c * w.find("cu_busy_mean")->numberOr(0);
+                if (w.find("watts_mean"))
+                    watts_int += c * w.find("watts_mean")->numberOr(0);
+                if (w.find("requests"))
+                    requests += w.find("requests")->numberOr(0);
+                if (w.find("drops"))
+                    drops += w.find("drops")->numberOr(0);
+                if (w.find("reconfigs"))
+                    reconfigs += w.find("reconfigs")->numberOr(0);
+                if (w.find("elisions"))
+                    elisions += w.find("elisions")->numberOr(0);
+            }
+            os << "  timeline windows: " << windows->arr.size()
+               << " x "
+               << formatFixed((timeline->find("window_ns")
+                                   ? timeline->find("window_ns")
+                                         ->numberOr(0)
+                                   : 0) /
+                                  1e6,
+                              1)
+               << " ms\n"
+               << "  requests " << formatFixed(requests, 0)
+               << ", drops " << formatFixed(drops, 0)
+               << ", reconfigs " << formatFixed(reconfigs, 0)
+               << ", elisions " << formatFixed(elisions, 0) << "\n";
+            if (covered > 0) {
+                os << "  mean busy CUs "
+                   << formatFixed(cu_int / covered, 2)
+                   << ", mean power "
+                   << formatFixed(watts_int / covered, 1) << " W\n";
+            }
+            printed = true;
+        }
+    }
+    double energy = 0;
+    bool have_energy = false;
+    if (const json::Value *gauges = metrics.find("gauges")) {
+        for (const auto &[key, v] : gauges->obj) {
+            if (key == "gpu.energy_joules" ||
+                (key.size() > 18 &&
+                 key.compare(key.size() - 18, 18,
+                             ".gpu.energy_joules") == 0)) {
+                energy += v.numberOr(0);
+                have_energy = true;
+            }
+        }
+    }
+    if (have_energy) {
+        os << "  total energy " << formatFixed(energy, 1) << " J\n";
+        printed = true;
+    }
+    if (!printed)
+        os << "  (no timeline or energy data)\n";
+    os << "\n";
+}
+
+void
+renderTopKernels(std::ostringstream &os, const json::Value &metrics,
+                 unsigned topK)
+{
+    os << "== top kernels by CU-seconds ==\n";
+    const auto work = collectKernelWork(metrics);
+    if (work.empty()) {
+        os << "  (no gpu.kernel.* gauges — run with observability "
+              "attached)\n\n";
+        return;
+    }
+    std::vector<std::pair<std::string, KernelWork>> ranked(
+        work.begin(), work.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.cuSeconds != b.second.cuSeconds)
+                      return a.second.cuSeconds > b.second.cuSeconds;
+                  return a.first < b.first;
+              });
+    if (ranked.size() > topK)
+        ranked.resize(topK);
+    TextTable t({"kernel", "cu_seconds", "completions"});
+    for (const auto &[name, kw] : ranked)
+        t.row().cell(name).cell(kw.cuSeconds, 4).cell(kw.completions,
+                                                      0);
+    os << t.render() << "\n";
+}
+
+void
+renderBenches(
+    std::ostringstream &os,
+    const std::vector<std::pair<std::string, json::Value>> &benches)
+{
+    for (const auto &[label, root] : benches) {
+        os << "== bench: " << label << " ==\n";
+        const json::Value *gauges = root.find("gauges");
+        if (gauges == nullptr || gauges->obj.empty()) {
+            os << "  (no gauges)\n\n";
+            continue;
+        }
+        TextTable t({"gauge", "value"});
+        for (const auto &[key, v] : gauges->obj)
+            t.row().cell(key).cell(v.numberOr(0), 4);
+        os << t.render() << "\n";
+    }
+}
+
+} // namespace
+
+double
+sloAttainment(const json::Value &hist, double sloMs)
+{
+    const json::Value *lo_v = hist.find("lo");
+    const json::Value *hi_v = hist.find("hi");
+    const json::Value *total_v = hist.find("total");
+    const json::Value *bins_v = hist.find("bins");
+    if (lo_v == nullptr || hi_v == nullptr || total_v == nullptr ||
+        bins_v == nullptr || !bins_v->isArray())
+        return -1;
+    const double lo = lo_v->numberOr(0);
+    const double hi = hi_v->numberOr(0);
+    const double total = total_v->numberOr(0);
+    const std::size_t nbins = bins_v->arr.size();
+    if (total <= 0 || nbins == 0 || hi <= lo)
+        return -1;
+    const double underflow =
+        hist.find("underflow") ? hist.find("underflow")->numberOr(0)
+                               : 0;
+    if (sloMs < lo)
+        return underflow / total; // everything below lo attained
+    if (sloMs >= hi) {
+        const double overflow =
+            hist.find("overflow")
+                ? hist.find("overflow")->numberOr(0)
+                : 0;
+        return (total - overflow) / total;
+    }
+    const double width = (hi - lo) / static_cast<double>(nbins);
+    double attained = underflow;
+    for (std::size_t i = 0; i < nbins; ++i) {
+        const double bin_lo = lo + width * static_cast<double>(i);
+        const double bin_hi = bin_lo + width;
+        const double count = bins_v->arr[i].numberOr(0);
+        if (sloMs >= bin_hi) {
+            attained += count;
+        } else {
+            // Straddling bin: assume uniform density inside it.
+            attained += count * (sloMs - bin_lo) / width;
+            break;
+        }
+    }
+    return attained / total;
+}
+
+std::string
+generateReport(
+    const json::Value &metrics, const json::Value *timeline,
+    const std::vector<std::pair<std::string, json::Value>> &benches,
+    const ReportOptions &opts)
+{
+    std::ostringstream os;
+    os << "krisp-report\n============\n\n";
+    renderRunSummary(os, metrics);
+    renderSlo(os, metrics, opts.sloMs);
+    renderPhases(os, metrics);
+    renderUtilization(os, metrics, timeline);
+    renderTopKernels(os, metrics, opts.topK);
+    renderBenches(os, benches);
+    return os.str();
+}
+
+} // namespace krisp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text report generator over emitted telemetry.
+ *
+ * Consumes a MetricsRegistry JSON snapshot plus (optionally) a
+ * TimelineRecorder JSON dump and benchmark result files, and renders
+ * the operator-facing summary the krisp-report tool prints: SLO
+ * attainment at a configurable deadline, the request phase breakdown
+ * with a reconciliation check against end-to-end latency, utilization
+ * and power from the windowed time-series, and the top-k kernels by
+ * accumulated CU-seconds.
+ *
+ * Pure string-to-string: no simulator state, so the tests can feed it
+ * canned snapshots and golden-diff the output.
+ */
+
+#ifndef KRISP_OBS_REPORT_HH
+#define KRISP_OBS_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_parse.hh"
+
+namespace krisp
+{
+
+struct ReportOptions
+{
+    /** Latency deadline for the SLO attainment section (ms). */
+    double sloMs = 100.0;
+    /** Kernels listed in the CU-seconds ranking. */
+    unsigned topK = 5;
+};
+
+/**
+ * Fraction of requests in @p hist (a "histograms" entry: lo / hi /
+ * total / underflow / overflow / bins) that met @p sloMs, linearly
+ * interpolating inside the straddling bin. Underflow samples count
+ * as attained, overflow samples as missed. Returns -1 when the
+ * histogram is empty or malformed.
+ */
+double sloAttainment(const json::Value &hist, double sloMs);
+
+/**
+ * Render the report. @p metrics is a parsed metrics snapshot;
+ * @p timeline (may be null) a parsed timeline dump; @p benches are
+ * (label, parsed snapshot) pairs appended as benchmark summaries.
+ */
+std::string generateReport(
+    const json::Value &metrics, const json::Value *timeline,
+    const std::vector<std::pair<std::string, json::Value>> &benches,
+    const ReportOptions &opts);
+
+} // namespace krisp
+
+#endif // KRISP_OBS_REPORT_HH

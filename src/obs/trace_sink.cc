@@ -33,6 +33,9 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::FaultInject: return "fault.inject";
       case TraceEventKind::RequestDrop: return "request.drop";
       case TraceEventKind::RecoveryAction: return "recovery.action";
+      case TraceEventKind::CounterSample: return "counter.sample";
+      case TraceEventKind::RequestPhase: return "request.phase";
+      case TraceEventKind::RequestFlow: return "request.flow";
     }
     return "?";
 }
@@ -62,10 +65,13 @@ kindCategory(TraceEventKind kind)
       case TraceEventKind::RequestEnqueue:
       case TraceEventKind::RequestSpan:
       case TraceEventKind::RequestDrop:
+      case TraceEventKind::RequestPhase:
+      case TraceEventKind::RequestFlow:
         return "request";
       case TraceEventKind::FaultInject:
       case TraceEventKind::RecoveryAction:
         return "fault";
+      case TraceEventKind::CounterSample: return "timeline";
     }
     return "?";
 }
@@ -90,9 +96,29 @@ threadName(std::uint32_t pid, std::uint32_t tid)
         if (tid == traceTidIoctl)
             return "ioctl";
         return tid == traceTidFault ? "fault" : "krisp-runtime";
-      case tracePidServer: return "worker " + std::to_string(tid);
+      case tracePidServer:
+        if (tid == traceTidRouter)
+            return "router";
+        return "worker " + std::to_string(tid);
     }
     return "tid" + std::to_string(tid);
+}
+
+/**
+ * FNV-1a over the request id bytes: the sampling decision must be a
+ * pure function of the id so it is identical for any --jobs value
+ * and any event ordering, and must decorrelate from sequentially
+ * assigned ids so "every Nth kept" is not "one contiguous burst".
+ */
+std::uint64_t
+hashRequestId(std::uint64_t id)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (id >> (i * 8)) & 0xffu;
+        h *= 1099511628211ull;
+    }
+    return h;
 }
 
 /** Microseconds with nanosecond precision, stable formatting. */
@@ -131,7 +157,15 @@ TraceArg::hex(std::string key, std::uint64_t bits)
     return TraceArg{std::move(key), buf};
 }
 
-TraceSink::TraceSink(const EventQueue *clock) : clock_(clock) {}
+TraceSink::TraceSink(const EventQueue *clock)
+    : clock_(clock), sample_(envSample())
+{
+}
+
+TraceSink::~TraceSink()
+{
+    closeStream();
+}
 
 bool
 TraceSink::envEnabled()
@@ -140,15 +174,51 @@ TraceSink::envEnabled()
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+std::uint64_t
+TraceSink::envSample()
+{
+    const char *env = std::getenv("KRISP_TRACE_SAMPLE");
+    if (env == nullptr || env[0] == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    fatal_if(end == env || *end != '\0',
+             "KRISP_TRACE_SAMPLE must be a non-negative integer, got '",
+             env, "'");
+    return v;
+}
+
+bool
+TraceSink::sampleRequest(std::uint64_t id) const
+{
+    if (sample_ <= 1)
+        return true;
+    return hashRequestId(id) % sample_ == 0;
+}
+
 void
 TraceSink::push(TraceRecord rec)
 {
     if (!enabled_)
         return;
+    if (stream_ != nullptr) {
+        // Streaming mode: serialise immediately, retain nothing, so
+        // the record limit (a memory bound) does not apply.
+        rec.seq = next_seq_++;
+        rec.recordedAt = now();
+        noteTrack(rec);
+        if (!stream_first_)
+            *stream_ << ",";
+        stream_first_ = false;
+        serializeRecord(*stream_, rec);
+        return;
+    }
     if (records_.size() >= limit_) {
+        ++dropped_;
         if (!limit_warned_) {
             warn("trace sink hit its record limit (", limit_,
-                 "); further events are dropped");
+                 "); further events are dropped and counted in "
+                 "obs.trace_dropped");
             limit_warned_ = true;
         }
         return;
@@ -297,6 +367,8 @@ void
 TraceSink::requestEnqueue(WorkerId worker, const std::string &model,
                           std::uint64_t request)
 {
+    if (!sampleRequest(request))
+        return;
     instant(TraceEventKind::RequestEnqueue, "enqueue", tracePidServer,
             worker,
             {TraceArg::str("model", model),
@@ -307,6 +379,8 @@ void
 TraceSink::requestSpan(WorkerId worker, const std::string &model,
                        std::uint64_t request, Tick start, Tick end)
 {
+    if (!sampleRequest(request))
+        return;
     span(TraceEventKind::RequestSpan, model, tracePidServer, worker,
          start, end,
          {TraceArg::u64("request", request),
@@ -332,6 +406,8 @@ void
 TraceSink::requestDrop(WorkerId worker, const std::string &model,
                        std::uint64_t request, const char *reason)
 {
+    if (!sampleRequest(request))
+        return;
     instant(TraceEventKind::RequestDrop, "drop", tracePidServer,
             worker,
             {TraceArg::str("model", model),
@@ -352,27 +428,103 @@ TraceSink::recovery(const char *action, const std::string &target,
 }
 
 void
+TraceSink::requestPhase(WorkerId worker, const std::string &model,
+                        std::uint64_t request, const char *phaseName,
+                        Tick start, Tick end)
+{
+    if (!sampleRequest(request))
+        return;
+    span(TraceEventKind::RequestPhase,
+         std::string("phase.") + phaseName, tracePidServer, worker,
+         start, end,
+         {TraceArg::u64("request", request),
+          TraceArg::str("model", model),
+          TraceArg::str("phase", phaseName)});
+}
+
+namespace
+{
+
+TraceRecord
+flowRecord(char phase, std::uint64_t request, std::uint32_t pid,
+           std::uint32_t tid, Tick ts)
+{
+    TraceRecord rec;
+    rec.ts = ts;
+    rec.kind = TraceEventKind::RequestFlow;
+    rec.phase = phase;
+    rec.pid = pid;
+    rec.tid = tid;
+    rec.flowId = request;
+    rec.name = "request.flow";
+    rec.args.push_back(TraceArg::u64("request", request));
+    return rec;
+}
+
+} // namespace
+
+void
+TraceSink::requestFlowBegin(std::uint64_t request, std::uint32_t pid,
+                            std::uint32_t tid)
+{
+    if (!sampleRequest(request))
+        return;
+    push(flowRecord('s', request, pid, tid, now()));
+}
+
+void
+TraceSink::requestFlowStep(std::uint64_t request, std::uint32_t pid,
+                           std::uint32_t tid)
+{
+    if (!sampleRequest(request))
+        return;
+    push(flowRecord('t', request, pid, tid, now()));
+}
+
+void
+TraceSink::requestFlowEnd(std::uint64_t request, std::uint32_t pid,
+                          std::uint32_t tid)
+{
+    if (!sampleRequest(request))
+        return;
+    push(flowRecord('f', request, pid, tid, now()));
+}
+
+void
+TraceSink::counter(const std::string &name, std::uint32_t pid, Tick ts,
+                   std::vector<TraceArg> values)
+{
+    TraceRecord rec;
+    rec.ts = ts;
+    rec.kind = TraceEventKind::CounterSample;
+    rec.phase = 'C';
+    rec.pid = pid;
+    rec.tid = 0;
+    rec.name = name;
+    rec.args = std::move(values);
+    push(std::move(rec));
+}
+
+void
 TraceSink::clear()
 {
     records_.clear();
     next_seq_ = 0;
     limit_warned_ = false;
+    dropped_ = 0;
 }
 
-void
-TraceSink::writeChromeJson(std::ostream &os) const
+namespace
 {
-    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-    bool first = true;
 
-    // Process / thread name metadata for every track in use, emitted
-    // in (pid, tid) order for determinism.
+void
+writeTrackMetadata(
+    std::ostream &os, bool &first,
+    const std::set<std::pair<std::uint32_t, std::uint32_t>> &tracks)
+{
     std::set<std::uint32_t> pids;
-    std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;
-    for (const auto &rec : records_) {
-        pids.insert(rec.pid);
-        tracks.insert({rec.pid, rec.tid});
-    }
+    for (const auto &[pid, tid] : tracks)
+        pids.insert(pid);
     for (const std::uint32_t pid : pids) {
         if (!first)
             os << ",";
@@ -383,34 +535,112 @@ TraceSink::writeChromeJson(std::ostream &os) const
            << "}}";
     }
     for (const auto &[pid, tid] : tracks) {
-        os << ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
            << json::number(std::uint64_t(pid))
            << ",\"tid\":" << json::number(std::uint64_t(tid))
            << ",\"args\":{\"name\":"
            << json::quote(threadName(pid, tid)) << "}}";
     }
+}
+
+} // namespace
+
+void
+TraceSink::serializeRecord(std::ostream &os,
+                           const TraceRecord &rec) const
+{
+    os << "{\"name\":" << json::quote(rec.name)
+       << ",\"cat\":" << json::quote(kindCategory(rec.kind))
+       << ",\"ph\":\"" << rec.phase << "\""
+       << ",\"ts\":" << ticksToUsJson(rec.ts);
+    if (rec.phase == 'X')
+        os << ",\"dur\":" << ticksToUsJson(rec.dur);
+    if (rec.phase == 'i')
+        os << ",\"s\":\"t\"";
+    if (rec.phase == 's' || rec.phase == 't' || rec.phase == 'f') {
+        os << ",\"id\":" << json::number(rec.flowId);
+        // Bind the terminating arrow to the enclosing slice so
+        // Perfetto draws it into the request span, not past it.
+        if (rec.phase == 'f')
+            os << ",\"bp\":\"e\"";
+    }
+    os << ",\"pid\":" << json::number(std::uint64_t(rec.pid))
+       << ",\"tid\":" << json::number(std::uint64_t(rec.tid))
+       << ",\"args\":{";
+    // Counter tracks render every arg as a series; keep them pure
+    // numbers (no "kind" tag, which would become a bogus series).
+    bool first_arg = true;
+    if (rec.phase != 'C') {
+        os << "\"kind\":" << json::quote(traceEventKindName(rec.kind));
+        first_arg = false;
+    }
+    for (const auto &arg : rec.args) {
+        if (!first_arg)
+            os << ",";
+        first_arg = false;
+        os << json::quote(arg.key) << ":" << arg.json;
+    }
+    os << "}}";
+}
+
+void
+TraceSink::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+
+    // Process / thread name metadata for every track in use, emitted
+    // in (pid, tid) order for determinism.
+    std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;
+    for (const auto &rec : records_)
+        tracks.insert({rec.pid, rec.tid});
+    writeTrackMetadata(os, first, tracks);
 
     for (const auto &rec : records_) {
         if (!first)
             os << ",";
         first = false;
-        os << "{\"name\":" << json::quote(rec.name)
-           << ",\"cat\":" << json::quote(kindCategory(rec.kind))
-           << ",\"ph\":\"" << rec.phase << "\""
-           << ",\"ts\":" << ticksToUsJson(rec.ts);
-        if (rec.phase == 'X')
-            os << ",\"dur\":" << ticksToUsJson(rec.dur);
-        if (rec.phase == 'i')
-            os << ",\"s\":\"t\"";
-        os << ",\"pid\":" << json::number(std::uint64_t(rec.pid))
-           << ",\"tid\":" << json::number(std::uint64_t(rec.tid))
-           << ",\"args\":{\"kind\":"
-           << json::quote(traceEventKindName(rec.kind));
-        for (const auto &arg : rec.args)
-            os << "," << json::quote(arg.key) << ":" << arg.json;
-        os << "}}";
+        serializeRecord(os, rec);
     }
     os << "]}\n";
+}
+
+void
+TraceSink::noteTrack(const TraceRecord &rec)
+{
+    stream_tracks_.insert({rec.pid, rec.tid});
+}
+
+bool
+TraceSink::openStream(const std::string &path)
+{
+    closeStream();
+    auto out = std::make_unique<std::ofstream>(path, std::ios::binary);
+    if (!*out) {
+        warn("cannot open trace stream file ", path);
+        return false;
+    }
+    stream_ = std::move(out);
+    stream_first_ = true;
+    stream_tracks_.clear();
+    *stream_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    return true;
+}
+
+void
+TraceSink::closeStream()
+{
+    if (stream_ == nullptr)
+        return;
+    writeTrackMetadata(*stream_, stream_first_, stream_tracks_);
+    *stream_ << "]}\n";
+    stream_->close();
+    stream_.reset();
+    stream_first_ = true;
+    stream_tracks_.clear();
 }
 
 std::string

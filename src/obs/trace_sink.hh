@@ -24,8 +24,12 @@
 #define KRISP_OBS_TRACE_SINK_HH
 
 #include <cstdint>
+#include <fstream>
+#include <memory>
 #include <ostream>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -52,6 +56,9 @@ enum class TraceEventKind : std::uint8_t
     FaultInject,    ///< fault layer injected a failure
     RequestDrop,    ///< request shed (backlog overflow / deadline)
     RecoveryAction, ///< handling layer recovered from a fault
+    CounterSample,  ///< timeline counter sample ('C' track value)
+    RequestPhase,   ///< one phase of a request (queue / batch / exec)
+    RequestFlow,    ///< flow arrow linking router -> shard -> finish
 };
 
 const char *traceEventKindName(TraceEventKind kind);
@@ -65,6 +72,12 @@ constexpr std::uint32_t tracePidServer = 2;
 constexpr std::uint32_t traceTidIoctl = 0;
 constexpr std::uint32_t traceTidRuntime = 1;
 constexpr std::uint32_t traceTidFault = 2;
+
+/**
+ * Track id for the cluster router inside the server process. High so
+ * it can never collide with a real worker / frontend track.
+ */
+constexpr std::uint32_t traceTidRouter = 0xFFFFu;
 
 /** One key plus a pre-encoded JSON value. */
 struct TraceArg
@@ -87,9 +100,12 @@ struct TraceRecord
     Tick dur = 0;          ///< span duration (0 for instants)
     Tick recordedAt = 0;   ///< simulated time the record was made
     TraceEventKind kind{};
-    char phase = 'i'; ///< Chrome phase: 'X' span, 'i' instant
+    /** Chrome phase: 'X' span, 'i' instant, 'C' counter, 's'/'t'/'f' flow. */
+    char phase = 'i';
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
+    /** Flow-binding id ('s'/'t'/'f' phases); 0 everywhere else. */
+    std::uint64_t flowId = 0;
     std::string name;
     std::vector<TraceArg> args;
 };
@@ -100,6 +116,8 @@ class TraceSink
   public:
     /** @param clock source of simulated time for implicit stamps. */
     explicit TraceSink(const EventQueue *clock = nullptr);
+    /** Finalises a still-open stream file. */
+    ~TraceSink();
 
     TraceSink(const TraceSink &) = delete;
     TraceSink &operator=(const TraceSink &) = delete;
@@ -113,8 +131,41 @@ class TraceSink
     /** True if the KRISP_TRACE environment variable requests tracing. */
     static bool envEnabled();
 
+    /** KRISP_TRACE_SAMPLE value (0 = unset / keep everything). */
+    static std::uint64_t envSample();
+
     /** Recording stops (with one warning) past this many records. */
     void setLimit(std::size_t limit) { limit_ = limit; }
+
+    /** Records dropped because the limit tripped (obs.trace_dropped). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    // ---- request sampling ---------------------------------------
+    /**
+     * Keep only every Nth request's lifecycle events (enqueue, span,
+     * drop, phase, flow). 0 or 1 keeps everything. Selection hashes
+     * the request id, so which requests are kept is byte-identical
+     * for any --jobs value and independent of event arrival order.
+     * Kernel / protocol events are unaffected.
+     */
+    void setSample(std::uint64_t n) { sample_ = n; }
+    std::uint64_t sample() const { return sample_; }
+
+    /** True if request @p id survives the sampling filter. */
+    bool sampleRequest(std::uint64_t id) const;
+
+    // ---- streaming export ---------------------------------------
+    /**
+     * Stream records to @p path as they are recorded instead of
+     * retaining them in memory: the record limit no longer applies
+     * and records() stays empty. Metadata (process / thread names)
+     * is appended on closeStream() — Perfetto accepts 'M' events
+     * anywhere in the array. The file is finalised by closeStream()
+     * or the destructor.
+     */
+    bool openStream(const std::string &path);
+    void closeStream();
+    bool streaming() const { return stream_ != nullptr; }
 
     // ---- generic record API -------------------------------------
     void instant(TraceEventKind kind, std::string name,
@@ -153,6 +204,27 @@ class TraceSink
                      std::uint64_t request, const char *reason);
     void recovery(const char *action, const std::string &target,
                   std::uint64_t value);
+    /**
+     * One phase of a request's life as a span named "phase.<name>" on
+     * the server track, nested under the request span in Perfetto.
+     */
+    void requestPhase(WorkerId worker, const std::string &model,
+                      std::uint64_t request, const char *phaseName,
+                      Tick start, Tick end);
+    /** Flow arrows tying the router decision to shard execution. */
+    void requestFlowBegin(std::uint64_t request, std::uint32_t pid,
+                          std::uint32_t tid);
+    void requestFlowStep(std::uint64_t request, std::uint32_t pid,
+                         std::uint32_t tid);
+    void requestFlowEnd(std::uint64_t request, std::uint32_t pid,
+                        std::uint32_t tid);
+    /**
+     * Chrome 'C' counter sample: one point per series key in @p
+     * values at simulated time @p ts. Not subject to request
+     * sampling.
+     */
+    void counter(const std::string &name, std::uint32_t pid, Tick ts,
+                 std::vector<TraceArg> values);
 
     // ---- inspection / export ------------------------------------
     const std::vector<TraceRecord> &records() const { return records_; }
@@ -175,13 +247,22 @@ class TraceSink
   private:
     Tick now() const { return clock_ != nullptr ? clock_->now() : 0; }
     void push(TraceRecord rec);
+    void serializeRecord(std::ostream &os, const TraceRecord &rec) const;
+    void noteTrack(const TraceRecord &rec);
 
     const EventQueue *clock_;
     bool enabled_ = true;
     std::size_t limit_ = 4'000'000;
     bool limit_warned_ = false;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t sample_ = 0;
     std::uint64_t next_seq_ = 0;
     std::vector<TraceRecord> records_;
+
+    std::unique_ptr<std::ofstream> stream_;
+    bool stream_first_ = true;
+    /** Tracks seen while streaming; metadata written at close. */
+    std::set<std::pair<std::uint32_t, std::uint32_t>> stream_tracks_;
 };
 
 /**

@@ -31,6 +31,13 @@ struct Worker
     std::uint64_t requestId = 0;
     bool idle = false;
 
+    /** Phase stamps for the in-flight request. */
+    Tick launchTick = 0;
+    Tick execDoneTick = 0;
+    /** Stream protocol-wait total at launch (delta = this request). */
+    Tick protoBase = 0;
+    Tick protoWaitNs = 0;
+
     /**
      * Abandonment guard: bumped when a new request starts. Callbacks
      * of an abandoned request (shed or failed) carry a stale value
@@ -67,6 +74,15 @@ struct RunState
 
     ObsContext *obs = nullptr;
     std::uint64_t nextRequestId = 0;
+
+    /** Phase instruments (null without an ObsContext). */
+    PercentileTracker *phaseQueueMs = nullptr;
+    PercentileTracker *phaseBatchMs = nullptr;
+    PercentileTracker *phaseExecMs = nullptr;
+    PercentileTracker *phasePostMs = nullptr;
+    PercentileTracker *phaseReconfigMs = nullptr;
+    PercentileTracker *latencyAllMs = nullptr;
+    Histogram *latencyHistMs = nullptr;
 
     bool measuring = false;
     bool done = false;
@@ -138,6 +154,7 @@ abandonRequest(RunState &st, Worker &w, const char *reason)
         KRISP_TRACE_EVENT(&st.obs->trace,
                           requestDrop(w.id, w.model, w.requestId,
                                       reason));
+        st.obs->timeline.recordDrop(st.eq.now());
     }
     debug("worker ", w.id, " abandoned request ", w.requestId, " (",
           reason, ") after ", st.eq.now() - w.requestStart, " ns");
@@ -148,19 +165,43 @@ void
 completeRequest(RunState &st, Worker &w)
 {
     disarmRequestTimers(st, w);
-    const double latency_ms =
-        ticksToMs(st.eq.now() - w.requestStart);
+    const Tick now = st.eq.now();
+    const double latency_ms = ticksToMs(now - w.requestStart);
     ++w.totalCompleted;
     if (st.measuring && !st.done) {
         ++w.measuredCompleted;
         w.latencyMs.add(latency_ms);
     }
     if (st.obs != nullptr) {
-        KRISP_TRACE_EVENT(&st.obs->trace,
+        TraceSink *trace = &st.obs->trace;
+        KRISP_TRACE_EVENT(trace,
                           requestSpan(w.id, w.model, w.requestId,
-                                      w.requestStart, st.eq.now()));
+                                      w.requestStart, now));
+        // The closed loop admits each request the instant the last
+        // one finished, so queue wait is identically zero; the three
+        // remaining phases tile [requestStart, now] exactly.
+        KRISP_TRACE_EVENT(trace, requestPhase(w.id, w.model,
+                                              w.requestId, "batch_wait",
+                                              w.requestStart,
+                                              w.launchTick));
+        KRISP_TRACE_EVENT(trace, requestPhase(w.id, w.model,
+                                              w.requestId, "execute",
+                                              w.launchTick,
+                                              w.execDoneTick));
+        KRISP_TRACE_EVENT(trace, requestPhase(w.id, w.model,
+                                              w.requestId,
+                                              "postprocess",
+                                              w.execDoneTick, now));
         w.requestsMetric->inc();
         w.latencyMetric->add(latency_ms);
+        st.phaseQueueMs->add(0.0);
+        st.phaseBatchMs->add(ticksToMs(w.launchTick - w.requestStart));
+        st.phaseExecMs->add(ticksToMs(w.execDoneTick - w.launchTick));
+        st.phasePostMs->add(ticksToMs(now - w.execDoneTick));
+        st.phaseReconfigMs->add(ticksToMs(w.protoWaitNs));
+        st.latencyAllMs->add(latency_ms);
+        st.latencyHistMs->add(latency_ms);
+        st.obs->timeline.recordRequest(now, latency_ms);
     }
     maybeTransition(st);
     startRequest(st, w);
@@ -170,6 +211,8 @@ void
 launchInference(RunState &st, Worker &w)
 {
     const std::uint64_t gen = w.generation;
+    w.launchTick = st.eq.now();
+    w.protoBase = w.stream->protocolWaitNs();
     auto completion = HsaSignal::create(
         static_cast<std::int64_t>(w.seq->size()));
     if (st.krisp) {
@@ -184,6 +227,8 @@ launchInference(RunState &st, Worker &w)
     completion->waitZero([&st, &w, gen] {
         if (gen != w.generation)
             return;
+        w.execDoneTick = st.eq.now();
+        w.protoWaitNs = w.stream->protocolWaitNs() - w.protoBase;
         st.eq.scheduleIn(st.cfg.postprocessNs, [&st, &w, gen] {
             if (gen != w.generation)
                 return;
@@ -270,7 +315,23 @@ InferenceServer::run()
                                           config_.host);
     if (st.obs != nullptr) {
         st.obs->trace.setClock(&st.eq);
+        // The environment opt-in for the timeline must land before
+        // attachObs wires the feeds (components read enabled() once).
+        if (!st.obs->timeline.enabled()) {
+            if (const Tick window = TimelineRecorder::envWindowNs())
+                st.obs->timeline.enable(window);
+        }
         st.hip->attachObs(st.obs);
+        MetricsRegistry &m = st.obs->metrics;
+        st.phaseQueueMs = &m.percentiles("server.phase.queue_wait_ms");
+        st.phaseBatchMs = &m.percentiles("server.phase.batch_wait_ms");
+        st.phaseExecMs = &m.percentiles("server.phase.execute_ms");
+        st.phasePostMs = &m.percentiles("server.phase.postprocess_ms");
+        st.phaseReconfigMs =
+            &m.percentiles("server.phase.reconfig_ms");
+        st.latencyAllMs = &m.percentiles("server.latency_ms");
+        st.latencyHistMs =
+            &m.histogram("server.latency_hist_ms", 0.0, 500.0, 100);
     }
     if (config_.faults.enabled()) {
         // Only instantiated for fault-injecting plans: a zero-fault
@@ -359,10 +420,9 @@ InferenceServer::run()
         wr.rps = seconds > 0
                      ? static_cast<double>(w.measuredCompleted) / seconds
                      : 0.0;
-        if (!w.latencyMs.empty()) {
-            wr.meanLatencyMs = w.latencyMs.mean();
-            wr.p95LatencyMs = w.latencyMs.percentile(0.95);
-        }
+        const LatencySummary lat = LatencySummary::from(w.latencyMs);
+        wr.meanLatencyMs = lat.meanMs;
+        wr.p95LatencyMs = lat.p95Ms;
         result.maxP95Ms = std::max(result.maxP95Ms, wr.p95LatencyMs);
         result.totalRps += wr.rps;
         result.completed += wr.completed;
@@ -412,6 +472,8 @@ InferenceServer::run()
             m.gauge("server.failed_requests")
                 .set(static_cast<double>(result.failedRequests));
         }
+        st.obs->timeline.finish(st.eq.now());
+        publishObsHealth(*st.obs);
     }
     return result;
 }

@@ -26,6 +26,19 @@ struct Request
     Tick dequeued = 0;
 };
 
+/** One in-flight batch plus its phase stamps. */
+struct Batch
+{
+    std::vector<Request> reqs;
+    /** Kernels handed to the stream (preprocess done). */
+    Tick launched = 0;
+    /** Completion signal hit zero. */
+    Tick execDone = 0;
+    /** Stream protocol-wait total at launch (delta = this batch). */
+    Tick protoBase = 0;
+    Tick protoWaitNs = 0;
+};
+
 struct OpenWorker
 {
     WorkerId id = 0;
@@ -60,6 +73,13 @@ struct OpenState
     /** Registry instruments (null when no ObsContext is attached). */
     Counter *droppedMetric = nullptr;
     Counter *shedMetric = nullptr;
+    PercentileTracker *phaseQueueMs = nullptr;
+    PercentileTracker *phaseBatchMs = nullptr;
+    PercentileTracker *phaseExecMs = nullptr;
+    PercentileTracker *phasePostMs = nullptr;
+    PercentileTracker *phaseReconfigMs = nullptr;
+    PercentileTracker *latencyAllMs = nullptr;
+    Histogram *latencyHistMs = nullptr;
 
     bool measuring = false;
     bool stopped = false;
@@ -111,6 +131,7 @@ struct OpenState
                 KRISP_TRACE_EVENT(&obs->trace,
                                   requestDrop(frontendTid(), cfg.model,
                                               rid, "backlog"));
+                obs->timeline.recordDrop(t);
             }
         } else {
             pending.push_back(Request{rid, t});
@@ -162,6 +183,7 @@ struct OpenState
                 KRISP_TRACE_EVENT(&obs->trace,
                                   requestDrop(frontendTid(), cfg.model,
                                               r.id, "deadline"));
+                obs->timeline.recordDrop(eq.now());
             }
         }
     }
@@ -203,12 +225,12 @@ struct OpenState
         panic_if(size == 0, "dispatching an empty batch");
         w.busy = true;
         const std::uint64_t gen = w.generation;
-        auto batch = std::make_shared<std::vector<Request>>();
+        auto batch = std::make_shared<Batch>();
         for (unsigned i = 0; i < size; ++i) {
             Request r = pending.front();
             pending.pop_front();
             r.dequeued = eq.now();
-            batch->push_back(r);
+            batch->reqs.push_back(r);
         }
         if (measuring)
             batchSizes.add(static_cast<double>(size));
@@ -220,12 +242,17 @@ struct OpenState
         eq.scheduleIn(preprocess, [this, &w, gen, batch, seq_ptr] {
             if (gen != w.generation)
                 return;
+            batch->launched = eq.now();
+            batch->protoBase = w.stream->protocolWaitNs();
             const auto &seq = *seq_ptr;
             auto sig = HsaSignal::create(
                 static_cast<std::int64_t>(seq.size()));
             sig->waitZero([this, &w, gen, batch] {
                 if (gen != w.generation)
                     return;
+                batch->execDone = eq.now();
+                batch->protoWaitNs =
+                    w.stream->protocolWaitNs() - batch->protoBase;
                 eq.scheduleIn(cfg.postprocessNs,
                               [this, &w, gen, batch] {
                     if (gen != w.generation)
@@ -245,7 +272,7 @@ struct OpenState
         if (cfg.batchWatchdogNs > 0) {
             w.watchdogEv = eq.scheduleIn(
                 cfg.batchWatchdogNs,
-                [this, &w, batch] { watchdogFire(w, *batch); });
+                [this, &w, batch] { watchdogFire(w, batch->reqs); });
         }
     }
 
@@ -279,6 +306,7 @@ struct OpenState
                 KRISP_TRACE_EVENT(&obs->trace,
                                   requestDrop(w.id, cfg.model, r.id,
                                               "timeout"));
+                obs->timeline.recordDrop(eq.now());
             }
         }
         w.busy = false;
@@ -286,15 +314,53 @@ struct OpenState
     }
 
     void
-    finishBatch(OpenWorker &w, const std::vector<Request> &batch)
+    finishBatch(OpenWorker &w, const Batch &batch)
     {
         disarmWatchdog(w);
         const Tick t = eq.now();
-        for (const Request &r : batch) {
+        const double reconfig_ms = ticksToMs(batch.protoWaitNs);
+        for (const Request &r : batch.reqs) {
+            const double latency_ms = ticksToMs(t - r.arrival);
             if (measuring && r.arrival >= measureStart) {
                 ++served;
-                latencyMs.add(ticksToMs(t - r.arrival));
+                latencyMs.add(latency_ms);
                 queueDelayMs.add(ticksToMs(r.dequeued - r.arrival));
+            }
+            if (obs != nullptr) {
+                TraceSink *trace = &obs->trace;
+                KRISP_TRACE_EVENT(trace,
+                                  requestSpan(w.id, cfg.model, r.id,
+                                              r.arrival, t));
+                // Four phases tiling [arrival, t] exactly: queued,
+                // batched+preprocessed, executing, postprocessed.
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(w.id, cfg.model, r.id,
+                                               "queue_wait", r.arrival,
+                                               r.dequeued));
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(w.id, cfg.model, r.id,
+                                               "batch_wait",
+                                               r.dequeued,
+                                               batch.launched));
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(w.id, cfg.model, r.id,
+                                               "execute",
+                                               batch.launched,
+                                               batch.execDone));
+                KRISP_TRACE_EVENT(trace,
+                                  requestPhase(w.id, cfg.model, r.id,
+                                               "postprocess",
+                                               batch.execDone, t));
+                phaseQueueMs->add(ticksToMs(r.dequeued - r.arrival));
+                phaseBatchMs->add(
+                    ticksToMs(batch.launched - r.dequeued));
+                phaseExecMs->add(
+                    ticksToMs(batch.execDone - batch.launched));
+                phasePostMs->add(ticksToMs(t - batch.execDone));
+                phaseReconfigMs->add(reconfig_ms);
+                latencyAllMs->add(latency_ms);
+                latencyHistMs->add(latency_ms);
+                obs->timeline.recordRequest(t, latency_ms);
             }
         }
         w.busy = false;
@@ -327,10 +393,25 @@ OpenLoopServer::run()
                                           config_.host);
     if (st.obs != nullptr) {
         st.obs->trace.setClock(&st.eq);
+        // Environment timeline opt-in must precede attachObs (the
+        // components read enabled() once while wiring their feeds).
+        if (!st.obs->timeline.enabled()) {
+            if (const Tick window = TimelineRecorder::envWindowNs())
+                st.obs->timeline.enable(window);
+        }
         st.hip->attachObs(st.obs);
-        st.droppedMetric = &st.obs->metrics.counter("server.dropped");
-        st.shedMetric =
-            &st.obs->metrics.counter("server.deadline_misses");
+        MetricsRegistry &m = st.obs->metrics;
+        st.droppedMetric = &m.counter("server.dropped");
+        st.shedMetric = &m.counter("server.deadline_misses");
+        st.phaseQueueMs = &m.percentiles("server.phase.queue_wait_ms");
+        st.phaseBatchMs = &m.percentiles("server.phase.batch_wait_ms");
+        st.phaseExecMs = &m.percentiles("server.phase.execute_ms");
+        st.phasePostMs = &m.percentiles("server.phase.postprocess_ms");
+        st.phaseReconfigMs =
+            &m.percentiles("server.phase.reconfig_ms");
+        st.latencyAllMs = &m.percentiles("server.latency_ms");
+        st.latencyHistMs =
+            &m.histogram("server.latency_hist_ms", 0.0, 500.0, 100);
     }
     if (config_.faults.enabled()) {
         st.fault = std::make_unique<FaultInjector>(config_.faults,
@@ -400,11 +481,10 @@ OpenLoopServer::run()
                   static_cast<double>(st.arrivals + st.dropped)
             : 0;
     result.meanBatchSize = st.batchSizes.mean();
-    if (!st.latencyMs.empty()) {
-        result.p50Ms = st.latencyMs.percentile(0.50);
-        result.p95Ms = st.latencyMs.percentile(0.95);
-        result.p99Ms = st.latencyMs.percentile(0.99);
-    }
+    const LatencySummary lat = LatencySummary::from(st.latencyMs);
+    result.p50Ms = lat.p50Ms;
+    result.p95Ms = lat.p95Ms;
+    result.p99Ms = lat.p99Ms;
     result.meanQueueDelayMs = st.queueDelayMs.mean();
     if (st.queueDelayMs.count() > 0)
         result.maxQueueDelayMs = st.queueDelayMs.max();
@@ -430,6 +510,8 @@ OpenLoopServer::run()
         m.gauge("server.failed_batches")
             .set(static_cast<double>(result.failedBatches));
         m.gauge("sim.timed_out").set(result.timedOut ? 1.0 : 0.0);
+        st.obs->timeline.finish(st.eq.now());
+        publishObsHealth(*st.obs);
     }
     return result;
 }
