@@ -88,12 +88,22 @@ ClusterRouter::outstanding(unsigned shard) const
     return outstanding_[shard];
 }
 
+bool
+ClusterRouter::eligible(unsigned shard,
+                        const std::vector<bool> *avoid) const
+{
+    if (!healthy_[shard])
+        return false;
+    return avoid == nullptr || shard >= avoid->size() ||
+           !(*avoid)[shard];
+}
+
 int
-ClusterRouter::pickRoundRobin()
+ClusterRouter::pickRoundRobin(const std::vector<bool> *avoid)
 {
     for (unsigned probe = 0; probe < num_shards_; ++probe) {
         const unsigned shard = (rr_next_ + probe) % num_shards_;
-        if (healthy_[shard]) {
+        if (eligible(shard, avoid)) {
             rr_next_ = (shard + 1) % num_shards_;
             return static_cast<int>(shard);
         }
@@ -103,12 +113,13 @@ ClusterRouter::pickRoundRobin()
 
 int
 ClusterRouter::pickLeastOutstanding(
-    const std::vector<unsigned> *candidates)
+    const std::vector<unsigned> *candidates,
+    const std::vector<bool> *avoid)
 {
     int best = -1;
     std::int64_t best_load = 0;
     auto consider = [&](unsigned shard) {
-        if (!healthy_[shard])
+        if (!eligible(shard, avoid))
             return;
         // Ties break toward the lowest shard index: deterministic
         // and stable under permutation of the candidate list.
@@ -131,22 +142,23 @@ ClusterRouter::pickLeastOutstanding(
 
 int
 ClusterRouter::route(const std::string &model,
-                     std::uint64_t request_id)
+                     std::uint64_t request_id,
+                     const std::vector<bool> *avoid)
 {
     int shard = -1;
     switch (policy_) {
       case RoutingPolicy::RoundRobin:
-        shard = pickRoundRobin();
+        shard = pickRoundRobin(avoid);
         break;
       case RoutingPolicy::LeastOutstanding:
-        shard = pickLeastOutstanding(nullptr);
+        shard = pickLeastOutstanding(nullptr, avoid);
         break;
       case RoutingPolicy::ModelAffinity: {
         const auto &homes = homeShards(model);
         if (!homes.empty())
-            shard = pickLeastOutstanding(&homes);
+            shard = pickLeastOutstanding(&homes, avoid);
         if (shard < 0) // no healthy home: serve anywhere rather
-            shard = pickLeastOutstanding(nullptr); // than drop
+            shard = pickLeastOutstanding(nullptr, avoid); // than drop
         break;
       }
     }

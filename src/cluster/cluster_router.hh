@@ -70,8 +70,16 @@ class ClusterRouter
      * Pick a shard for request @p request_id of @p model, or -1 when
      * no healthy shard exists. Every decision (including -1) advances
      * the decision count and hash.
+     *
+     * @p avoid optionally excludes shards (indexed by shard id, true
+     * = skip) on top of the health filter — retries and hedges use it
+     * to avoid the shard that already failed / holds the primary
+     * copy, and the resilience layer routes around open circuit
+     * breakers with it. Passing nullptr (the default) is byte-for-
+     * byte the pre-avoid behaviour.
      */
-    int route(const std::string &model, std::uint64_t request_id);
+    int route(const std::string &model, std::uint64_t request_id,
+              const std::vector<bool> *avoid = nullptr);
 
     /** Decisions made so far (including unroutable ones). */
     std::uint64_t decisions() const { return decisions_; }
@@ -79,8 +87,12 @@ class ClusterRouter
     std::uint64_t decisionHash() const { return hash_; }
 
   private:
-    int pickRoundRobin();
-    int pickLeastOutstanding(const std::vector<unsigned> *candidates);
+    /** True when @p shard may receive traffic for this decision. */
+    bool eligible(unsigned shard,
+                  const std::vector<bool> *avoid) const;
+    int pickRoundRobin(const std::vector<bool> *avoid);
+    int pickLeastOutstanding(const std::vector<unsigned> *candidates,
+                             const std::vector<bool> *avoid);
 
     RoutingPolicy policy_;
     unsigned num_shards_;

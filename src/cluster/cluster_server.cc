@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -15,12 +16,37 @@ namespace krisp
 namespace
 {
 
+/**
+ * Shared fate of one hedged request's copies. Primary and hedge carry
+ * the same HedgeState; the first completion resolves it (winner), the
+ * other copy is then a known loser: queued copies are lazily purged,
+ * an executing copy retires normally (its grants release through the
+ * ordinary path, keeping the allocator pristine) and is counted
+ * hedgesLost. liveCopies tracks copies that can still complete, so a
+ * request is only failed when its *last* copy is lost.
+ */
+struct HedgeState
+{
+    bool resolved = false;
+    unsigned liveCopies = 1;
+    int primaryShard = -1;
+    EventId timerEv = invalidEventId;
+};
+
 struct Request
 {
     std::uint64_t id = 0;
     Tick arrival = 0;
     Tick dequeued = 0;
     unsigned model = 0; ///< index into ClusterConfig::models
+    PriorityClass cls = PriorityClass::Interactive;
+    /** Dispatch attempts including the first (retry cap input). */
+    unsigned attempts = 1;
+    /** Absolute expiry; refreshed on retry so a re-routed request is
+     *  not dead on arrival. 0 = no deadline. */
+    Tick deadlineAt = 0;
+    bool isHedge = false;
+    std::shared_ptr<HedgeState> hedge;
 };
 
 /** One in-flight batch plus its phase stamps. */
@@ -44,6 +70,8 @@ struct ClusterWorker
     /** Abandonment guard: bumped when the watchdog fails a batch. */
     std::uint64_t generation = 0;
     EventId watchdogEv = invalidEventId;
+    /** The batch being served, so a crash can recover its requests. */
+    std::shared_ptr<Batch> inFlight;
 };
 
 /** Per-shard serving state (frontend queue + workers + health). */
@@ -58,6 +86,15 @@ struct ShardState
     std::uint64_t hungBatches = 0;
     std::uint64_t fallbackBaseline = 0;
     bool draining = false;
+    /** Crashed and awaiting warm restart (shard is null while set). */
+    bool down = false;
+    /** Health monitor holds fire until this tick (post-readmit). */
+    Tick graceUntil = 0;
+
+    // ---- shard-crash schedule ------------------------------------
+    /** Dedicated stream: crash gaps depend only on (plan seed, i). */
+    Rng crashRng{1};
+    EventId crashEv = invalidEventId;
 
     // ---- per-shard tallies (measurement window) ------------------
     std::uint64_t served = 0;
@@ -69,7 +106,10 @@ struct ClusterState
     EventQueue eq;
     std::vector<std::unique_ptr<ShardState>> shards;
     std::unique_ptr<ClusterRouter> router;
+    std::unique_ptr<ClusterResilience> resilience;
     Rng rng{1};
+    /** Priority-class stream, independent of arrival/model draws. */
+    Rng classRng{1};
 
     ObsContext *obs = nullptr;
     std::uint64_t nextRequestId = 0;
@@ -92,6 +132,26 @@ struct ClusterState
     Accumulator batchSizes;
     PercentileTracker latencyMs;
 
+    // ---- whole-run conservation accounting -----------------------
+    // Every generated request ends in exactly one of res.{completed,
+    // shed, dropped, failed} or is still live at end of run; `live`
+    // is the running in-flight count that closes the invariant.
+    ResilienceStats res;
+    std::uint64_t live = 0;
+    /** Shed hedging cost gate: resilience.enabled && hedging. */
+    bool hedging = false;
+    /** Grant cap currently pushed into the shards. */
+    unsigned currentGrantCap = 0;
+    EventId brownoutEv = invalidEventId;
+
+    /** Crashed shard stacks, kept so in-flight simulated work (and
+     *  end-of-run metric merging) stays valid after a warm restart
+     *  replaced them. */
+    std::vector<std::pair<unsigned, std::unique_ptr<GpuShard>>>
+        graveyard;
+    /** Per-shard bring-up templates for warm restarts. */
+    std::vector<GpuShardConfig> shardCfgs;
+
     Counter *droppedMetric = nullptr;
     Counter *shedMetric = nullptr;
     PercentileTracker *phaseQueueMs = nullptr;
@@ -107,7 +167,11 @@ struct ClusterState
     {
         double joules = 0;
         for (const auto &ss : shards)
-            joules += ss->shard->device().power().energyJoules();
+            if (ss->shard != nullptr)
+                joules +=
+                    ss->shard->device().power().energyJoules();
+        for (const auto &dead : graveyard)
+            joules += dead.second->device().power().energyJoules();
         return joules;
     }
 
@@ -121,13 +185,79 @@ struct ClusterState
     WorkerId
     shardTid(const ShardState &ss) const
     {
-        return static_cast<WorkerId>(ss.shard->index());
+        for (unsigned i = 0; i < shards.size(); ++i)
+            if (shards[i].get() == &ss)
+                return static_cast<WorkerId>(i);
+        return static_cast<WorkerId>(cfg.numShards);
+    }
+
+    std::size_t
+    classIdx(PriorityClass cls) const
+    {
+        return static_cast<std::size_t>(cls);
+    }
+
+    // ---- terminal transitions (each logical request exactly once) -
+    void
+    terminalComplete(const Request &r)
+    {
+        panic_if(live == 0, "completion with no live requests");
+        --live;
+        ++res.completed;
+        ++res.completedByClass[classIdx(r.cls)];
+    }
+
+    void
+    terminalFail(const Request &r)
+    {
+        panic_if(live == 0, "failure with no live requests");
+        --live;
+        ++res.failed;
+        static_cast<void>(r);
+    }
+
+    void
+    terminalDrop()
+    {
+        panic_if(live == 0, "drop with no live requests");
+        --live;
+        ++res.dropped;
+    }
+
+    void
+    cancelHedgeTimer(const Request &r)
+    {
+        if (r.hedge && r.hedge->timerEv != invalidEventId) {
+            eq.deschedule(r.hedge->timerEv);
+            r.hedge->timerEv = invalidEventId;
+        }
+    }
+
+    /**
+     * One copy of @p r is gone before completing. Returns true when
+     * that ended the logical request's life (caller already ran the
+     * terminal/retry path); false when another copy is still racing
+     * or the request already completed elsewhere.
+     */
+    bool
+    copyLost(const Request &r)
+    {
+        if (!r.hedge)
+            return true;
+        if (r.hedge->resolved)
+            return false; // completed elsewhere: silent purge
+        if (--r.hedge->liveCopies > 0)
+            return false; // the other copy can still win
+        cancelHedgeTimer(r);
+        return true;
     }
 
     void
     dropRequest(const ShardState *ss, const Request &r,
                 const char *reason)
     {
+        if (!copyLost(r))
+            return;
         if (measuring && r.arrival >= measureStart)
             ++dropped;
         if (droppedMetric != nullptr)
@@ -142,6 +272,85 @@ struct ClusterState
                                           r.id, reason));
             obs->timeline.recordDrop(eq.now());
         }
+        terminalDrop();
+    }
+
+    /** Avoid set for retry/hedge routing: the failed/primary shard
+     *  plus every shard with an open circuit breaker. */
+    std::vector<bool>
+    avoidFor(unsigned bad)
+    {
+        std::vector<bool> avoid(cfg.numShards, false);
+        if (bad < avoid.size())
+            avoid[bad] = true;
+        for (unsigned s = 0; s < cfg.numShards; ++s)
+            if (resilience->breakerOpen(s, eq.now()))
+                avoid[s] = true;
+        return avoid;
+    }
+
+    /**
+     * The last copy of @p r was lost on @p failed_shard. Re-route it
+     * under the retry budget, or fail it permanently — never drop it
+     * on the floor.
+     */
+    void
+    handleLostRequest(Request r, unsigned failed_shard,
+                      const char *why)
+    {
+        const ResilienceConfig &rc = resilience->config();
+        if (rc.enabled) {
+            if (r.attempts < rc.maxAttempts &&
+                resilience->tryChargeRetry()) {
+                ++res.retries;
+                r.attempts += 1;
+                r.hedge.reset();
+                r.isHedge = false;
+                r.deadlineAt = cfg.requestDeadlineNs > 0
+                                   ? eq.now() + cfg.requestDeadlineNs
+                                   : 0;
+                const std::vector<bool> avoid =
+                    avoidFor(failed_shard);
+                const int target =
+                    router->route(modelName(r.model), r.id, &avoid);
+                if (target >= 0) {
+                    if (obs != nullptr) {
+                        KRISP_TRACE_EVENT(
+                            &obs->trace,
+                            recovery("request_retry",
+                                     modelName(r.model), r.attempts));
+                    }
+                    if (enqueueOn(static_cast<unsigned>(target), r))
+                        maybeDispatch(
+                            *shards[static_cast<unsigned>(target)]);
+                    return; // requeued (or terminally dropped: full)
+                }
+                // No routable shard right now (crash + drain
+                // overlap): park the request and re-route after a
+                // backoff. Each hop re-enters here, spending one
+                // attempt, so parking is bounded by maxAttempts.
+                const Request parked = r;
+                eq.scheduleIn(rc.rerouteBackoffNs, [this, parked] {
+                    handleLostRequest(parked, cfg.numShards,
+                                      "reroute");
+                });
+                return;
+            } else {
+                ++res.retriesDenied;
+            }
+        }
+        static_cast<void>(why);
+        terminalFail(r);
+    }
+
+    /** A copy of @p r was lost (watchdog / crash / deadline). */
+    void
+    loseRequest(const Request &r, unsigned failed_shard,
+                const char *why)
+    {
+        if (!copyLost(r))
+            return;
+        handleLostRequest(r, failed_shard, why);
     }
 
     /** Queue @p r on shard @p target; false = dropped (full). */
@@ -169,6 +378,23 @@ struct ClusterState
         return true;
     }
 
+    /** Measurement is over: recurring timers must let the queue
+     *  drain instead of ticking forever. */
+    void
+    haltPeriodicTimers()
+    {
+        if (brownoutEv != invalidEventId) {
+            eq.deschedule(brownoutEv);
+            brownoutEv = invalidEventId;
+        }
+        for (auto &ss : shards) {
+            if (ss->crashEv != invalidEventId) {
+                eq.deschedule(ss->crashEv);
+                ss->crashEv = invalidEventId;
+            }
+        }
+    }
+
     void
     arrive()
     {
@@ -184,6 +410,7 @@ struct ClusterState
             stopped = true;
             measureEnd = t;
             energyEnd = totalEnergy();
+            haltPeriodicTimers();
             return; // stop injecting; in-flight work drains
         }
         Request r;
@@ -193,24 +420,101 @@ struct ClusterState
                       ? static_cast<unsigned>(
                             rng.below(cfg.models.size()))
                       : 0;
-        const int target = router->route(modelName(r.model), r.id);
-        if (target >= 0 && obs != nullptr) {
-            KRISP_TRACE_EVENT(&obs->trace,
-                              requestFlowBegin(r.id, tracePidServer,
-                                               traceTidRouter));
-        }
-        if (target < 0) {
-            dropRequest(nullptr, r, "unrouted");
-        } else if (enqueueOn(static_cast<unsigned>(target), r)) {
-            if (measuring)
-                ++arrivals;
-            maybeDispatch(*shards[static_cast<unsigned>(target)]);
+        r.cls = classRng.uniform() < cfg.interactiveFraction
+                    ? PriorityClass::Interactive
+                    : PriorityClass::Batch;
+        if (cfg.requestDeadlineNs > 0)
+            r.deadlineAt = t + cfg.requestDeadlineNs;
+        ++res.injected;
+        ++res.injectedByClass[classIdx(r.cls)];
+
+        if (!resilience->admit(r.cls, t)) {
+            ++res.shed;
+            ++res.shedByClass[classIdx(r.cls)];
+            if (obs != nullptr) {
+                KRISP_TRACE_EVENT(
+                    &obs->trace,
+                    requestDrop(static_cast<WorkerId>(cfg.numShards),
+                                modelName(r.model), r.id,
+                                "admission"));
+                obs->timeline.recordDrop(t);
+            }
+        } else {
+            ++live;
+            if (hedging && resilience->hedgeReady())
+                r.hedge = std::make_shared<HedgeState>();
+            const int target =
+                router->route(modelName(r.model), r.id);
+            if (target >= 0 && obs != nullptr) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestFlowBegin(r.id,
+                                                   tracePidServer,
+                                                   traceTidRouter));
+            }
+            if (target < 0) {
+                if (resilience->config().enabled) {
+                    // Nowhere to go (crash + drain overlap): the
+                    // retry path parks and re-routes with backoff
+                    // instead of bouncing the request.
+                    loseRequest(r, cfg.numShards, "unrouted");
+                } else {
+                    dropRequest(nullptr, r, "unrouted");
+                }
+            } else if (enqueueOn(static_cast<unsigned>(target), r)) {
+                if (measuring)
+                    ++arrivals;
+                if (r.hedge) {
+                    r.hedge->primaryShard = target;
+                    r.hedge->timerEv = eq.scheduleIn(
+                        resilience->hedgeDelayNs(),
+                        [this, r] { hedgeFire(r); });
+                }
+                maybeDispatch(*shards[static_cast<unsigned>(target)]);
+            }
         }
         // Next Poisson arrival (cluster-wide process).
         const double gap_s = -std::log(1.0 - rng.uniform()) /
                              cfg.arrivalRatePerSec;
         eq.scheduleIn(std::max<Tick>(ticksFromSec(gap_s), 1),
                       [this] { arrive(); });
+    }
+
+    /**
+     * The hedge timer fired: @p tmpl is still unresolved, so issue a
+     * duplicate dispatch to a second shard (avoiding the primary and
+     * open breakers), charged against the retry budget. Whichever
+     * copy completes first wins.
+     */
+    void
+    hedgeFire(const Request &tmpl)
+    {
+        const std::shared_ptr<HedgeState> hs = tmpl.hedge;
+        hs->timerEv = invalidEventId;
+        if (stopped || hs->resolved || hs->liveCopies == 0)
+            return;
+        const std::vector<bool> avoid = avoidFor(
+            hs->primaryShard >= 0
+                ? static_cast<unsigned>(hs->primaryShard)
+                : cfg.numShards);
+        const int target =
+            router->route(modelName(tmpl.model), tmpl.id, &avoid);
+        if (target < 0)
+            return; // nowhere to hedge to
+        if (!resilience->tryChargeRetry())
+            return; // budget spent: the primary is on its own
+        ++res.hedges;
+        Request copy = tmpl;
+        copy.isHedge = true;
+        ++hs->liveCopies;
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(
+                &obs->trace,
+                recovery("request_hedge", modelName(tmpl.model),
+                         static_cast<std::uint64_t>(target)));
+        }
+        // A full queue silently reclaims the copy (copyLost path).
+        if (enqueueOn(static_cast<unsigned>(target), copy))
+            maybeDispatch(*shards[static_cast<unsigned>(target)]);
     }
 
     ClusterWorker *
@@ -222,28 +526,46 @@ struct ClusterState
         return nullptr;
     }
 
+    /** Lazily cancel queued copies whose hedge already resolved. */
+    void
+    purgeResolved(ShardState &ss)
+    {
+        if (!hedging)
+            return;
+        for (auto it = ss.pending.begin(); it != ss.pending.end();) {
+            if (it->hedge && it->hedge->resolved) {
+                router->addOutstanding(shardTid(ss), -1);
+                it = ss.pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
     void
     shedExpired(ShardState &ss)
     {
         if (cfg.requestDeadlineNs == 0)
             return;
         while (!ss.pending.empty() &&
-               ss.pending.front().arrival + cfg.requestDeadlineNs <=
-                   eq.now()) {
+               ss.pending.front().deadlineAt != 0 &&
+               ss.pending.front().deadlineAt <= eq.now()) {
             const Request r = ss.pending.front();
             ss.pending.pop_front();
-            router->addOutstanding(ss.shard->index(), -1);
+            const unsigned idx = shardTid(ss);
+            router->addOutstanding(idx, -1);
             if (measuring && r.arrival >= measureStart)
                 ++shedDeadline;
             if (shedMetric != nullptr)
                 shedMetric->inc();
             if (obs != nullptr) {
                 KRISP_TRACE_EVENT(&obs->trace,
-                                  requestDrop(shardTid(ss),
+                                  requestDrop(idx,
                                               modelName(r.model),
                                               r.id, "deadline"));
                 obs->timeline.recordDrop(eq.now());
             }
+            loseRequest(r, idx, "deadline");
         }
     }
 
@@ -264,6 +586,9 @@ struct ClusterState
     void
     maybeDispatch(ShardState &ss)
     {
+        if (ss.down)
+            return;
+        purgeResolved(ss);
         shedExpired(ss);
         ClusterWorker *w = idleWorker(ss);
         if (!w || ss.pending.empty())
@@ -308,6 +633,7 @@ struct ClusterState
                 ++it;
             }
         }
+        w.inFlight = batch;
         if (measuring)
             batchSizes.add(static_cast<double>(batch->reqs.size()));
 
@@ -370,27 +696,31 @@ struct ClusterState
     watchdogFire(ShardState &ss, ClusterWorker &w,
                  const std::vector<Request> &batch)
     {
+        const unsigned idx = shardTid(ss);
         w.watchdogEv = invalidEventId;
         ++w.generation;
         ++failedBatches;
         ++ss.hungBatches;
         router->addOutstanding(
-            ss.shard->index(),
-            -static_cast<std::int64_t>(batch.size()));
+            idx, -static_cast<std::int64_t>(batch.size()));
         warn("cluster watchdog failed a batch of ", batch.size(),
-             " on shard ", ss.shard->index(), " worker ", w.id);
+             " on shard ", idx, " worker ", w.id);
         if (obs != nullptr) {
             for (const Request &r : batch) {
                 KRISP_TRACE_EVENT(&obs->trace,
-                                  requestDrop(shardTid(ss),
+                                  requestDrop(idx,
                                               modelName(r.model),
                                               r.id, "timeout"));
                 obs->timeline.recordDrop(eq.now());
             }
         }
         w.busy = false;
+        w.inFlight.reset();
+        resilience->noteShardFailure(idx, eq.now());
+        for (const Request &r : batch)
+            loseRequest(r, idx, "watchdog");
         checkHealth(ss);
-        if (!ss.draining)
+        if (!ss.draining && !ss.down)
             maybeDispatch(ss);
     }
 
@@ -399,20 +729,38 @@ struct ClusterState
     {
         disarmWatchdog(w);
         const Tick t = eq.now();
+        const unsigned idx = shardTid(ss);
         const double reconfig_ms = ticksToMs(batch.protoWaitNs);
         router->addOutstanding(
-            ss.shard->index(),
-            -static_cast<std::int64_t>(batch.reqs.size()));
+            idx, -static_cast<std::int64_t>(batch.reqs.size()));
         for (const Request &r : batch.reqs) {
+            if (r.hedge && r.hedge->resolved) {
+                // The other copy already won; this one retires
+                // normally (grants released) but counts nothing.
+                ++res.hedgesLost;
+                continue;
+            }
+            if (r.hedge) {
+                r.hedge->resolved = true;
+                cancelHedgeTimer(r);
+                if (r.isHedge)
+                    ++res.hedgesWon;
+            }
             const double latency_ms = ticksToMs(t - r.arrival);
             if (measuring && r.arrival >= measureStart) {
                 ++served;
                 ++ss.served;
                 latencyMs.add(latency_ms);
             }
+            terminalComplete(r);
+            if (cfg.sloMs > 0 && latency_ms <= cfg.sloMs)
+                ++res.sloOkByClass[classIdx(r.cls)];
+            resilience->noteCompleted();
+            resilience->noteLatencySample(t - r.arrival);
+            resilience->noteShardSuccess(idx);
             if (obs != nullptr) {
                 TraceSink *trace = &obs->trace;
-                const WorkerId tid = shardTid(ss);
+                const WorkerId tid = idx;
                 const std::string &model = modelName(r.model);
                 KRISP_TRACE_EVENT(trace,
                                   requestSpan(tid, model, r.id,
@@ -453,8 +801,9 @@ struct ClusterState
             }
         }
         w.busy = false;
+        w.inFlight.reset();
         checkHealth(ss);
-        if (!ss.draining)
+        if (!ss.draining && !ss.down)
             maybeDispatch(ss);
     }
 
@@ -462,8 +811,10 @@ struct ClusterState
     void
     checkHealth(ShardState &ss)
     {
-        if (ss.draining)
+        if (ss.draining || ss.down)
             return;
+        if (eq.now() < ss.graceUntil)
+            return; // post-readmit grace: let it warm up
         const std::uint64_t fallbacks =
             ss.shard->reconfigFallbacks() - ss.fallbackBaseline;
         const bool hang_storm =
@@ -480,7 +831,7 @@ struct ClusterState
     void
     drainShard(ShardState &ss, const char *why)
     {
-        const unsigned idx = ss.shard->index();
+        const unsigned idx = shardTid(ss);
         ss.draining = true;
         router->setHealthy(idx, false);
         ++failovers;
@@ -502,10 +853,15 @@ struct ClusterState
         }
         for (const Request &r : backlog) {
             router->addOutstanding(idx, -1);
+            if (r.hedge && r.hedge->resolved)
+                continue; // lazily purged copy: nothing to move
             const int target =
                 router->route(modelName(r.model), r.id);
             if (target < 0) {
-                dropRequest(&ss, r, "unrouted");
+                if (resilience->config().enabled)
+                    loseRequest(r, idx, "unrouted");
+                else
+                    dropRequest(&ss, r, "unrouted");
                 continue;
             }
             if (enqueueOn(static_cast<unsigned>(target), r)) {
@@ -520,19 +876,180 @@ struct ClusterState
     void
     readmit(ShardState &ss)
     {
+        if (ss.down)
+            return; // crash superseded the drain; restart re-admits
         ss.hungBatches = 0;
         ss.fallbackBaseline = ss.shard->reconfigFallbacks();
         ss.draining = false;
-        router->setHealthy(ss.shard->index(), true);
+        ss.graceUntil = eq.now() + cfg.readmitGraceNs;
+        const unsigned idx = shardTid(ss);
+        router->setHealthy(idx, true);
         ++readmits;
         if (obs != nullptr) {
             KRISP_TRACE_EVENT(
                 &obs->trace,
                 recovery("shard_readmit",
-                         "shard" + std::to_string(ss.shard->index()),
-                         readmits));
+                         "shard" + std::to_string(idx), readmits));
         }
         maybeDispatch(ss);
+    }
+
+    // ---- shard crash / warm restart ------------------------------
+
+    void
+    scheduleNextCrash(unsigned idx)
+    {
+        const double rate = cfg.faults.shardCrashRatePerSec;
+        if (rate <= 0 || stopped)
+            return;
+        ShardState &ss = *shards[idx];
+        const double gap_s =
+            -std::log(1.0 - ss.crashRng.uniform()) / rate;
+        ss.crashEv = eq.scheduleIn(
+            std::max<Tick>(ticksFromSec(gap_s), 1), [this, idx] {
+                ShardState &s = *shards[idx];
+                s.crashEv = invalidEventId;
+                if (stopped)
+                    return;
+                if (!s.down)
+                    crashShard(s);
+                scheduleNextCrash(idx);
+            });
+    }
+
+    /**
+     * Kill shard @p ss outright: its queue and in-flight batches are
+     * lost (re-routed under the retry budget when resilience is on),
+     * its CU masks and stream state are invalidated, and a timed warm
+     * restart rebuilds the whole KRISP stack. The dead stack moves to
+     * the graveyard so already-scheduled simulated work (kernel
+     * retirements, signal callbacks) still lands on live objects;
+     * worker generations are bumped so batch callbacks become no-ops.
+     */
+    void
+    crashShard(ShardState &ss)
+    {
+        const unsigned idx = shardTid(ss);
+        ++res.crashes;
+        warn("shard ", idx, " crashed: ", ss.pending.size(),
+             " queued and in-flight work lost");
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(&obs->trace,
+                              faultInject("shard_crash",
+                                          "shard" +
+                                              std::to_string(idx),
+                                          1.0));
+        }
+        ss.down = true;
+        ss.draining = false;
+        router->setHealthy(idx, false);
+        if (ss.batchTimer != invalidEventId) {
+            eq.deschedule(ss.batchTimer);
+            ss.batchTimer = invalidEventId;
+        }
+
+        std::vector<Request> lost;
+        std::deque<Request> backlog;
+        backlog.swap(ss.pending);
+        for (const Request &r : backlog) {
+            router->addOutstanding(idx, -1);
+            lost.push_back(r);
+        }
+        for (auto &w : ss.workers) {
+            disarmWatchdog(w);
+            ++w.generation; // abandon preprocess/signal callbacks
+            if (w.busy) {
+                ++failedBatches;
+                if (w.inFlight) {
+                    router->addOutstanding(
+                        idx, -static_cast<std::int64_t>(
+                                 w.inFlight->reqs.size()));
+                    for (const Request &r : w.inFlight->reqs)
+                        lost.push_back(r);
+                    w.inFlight.reset();
+                }
+                w.busy = false;
+            }
+            w.stream = nullptr; // dangling into the dead stack
+        }
+        res.crashLostRequests += lost.size();
+        resilience->noteShardFailure(idx, eq.now());
+
+        graveyard.emplace_back(idx, std::move(ss.shard));
+        for (const Request &r : lost)
+            loseRequest(r, idx, "crash");
+
+        if (!stopped) {
+            eq.scheduleIn(cfg.faults.shardRestartNs,
+                          [this, &ss, idx] {
+                              if (!stopped)
+                                  restartShard(ss, idx);
+                          });
+        }
+    }
+
+    /** Warm restart: rebuild the KRISP stack via setupPartitionPolicy
+     *  (inside the GpuShard constructor) and re-admit the shard. */
+    void
+    restartShard(ShardState &ss, unsigned idx)
+    {
+        GpuShardConfig shard_cfg = shardCfgs[idx];
+        ss.shard = std::make_unique<GpuShard>(eq,
+                                              std::move(shard_cfg));
+        for (auto &w : ss.workers) {
+            w.stream = &ss.shard->workerStream(w.id);
+            w.busy = false;
+            w.inFlight.reset();
+        }
+        ss.hungBatches = 0;
+        ss.fallbackBaseline = ss.shard->reconfigFallbacks();
+        ss.down = false;
+        ss.draining = false;
+        ss.graceUntil = eq.now() + cfg.readmitGraceNs;
+        router->setHealthy(idx, true);
+        ++res.recoveries;
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(
+                &obs->trace,
+                recovery("shard_restart",
+                         "shard" + std::to_string(idx),
+                         res.recoveries));
+        }
+        // Brownout may have moved while the shard was down.
+        ss.shard->setGrantCapCus(currentGrantCap);
+        maybeDispatch(ss);
+    }
+
+    // ---- brownout control ----------------------------------------
+
+    void
+    brownoutTick()
+    {
+        brownoutEv = invalidEventId;
+        if (stopped)
+            return;
+        std::size_t depth = 0;
+        for (const auto &ss : shards)
+            depth += ss->pending.size();
+        const BrownoutLevel before = resilience->brownout();
+        resilience->noteQueueDepth(depth);
+        const BrownoutLevel after = resilience->brownout();
+        const unsigned cap = resilience->grantCapCus();
+        if (cap != currentGrantCap) {
+            currentGrantCap = cap;
+            for (auto &ss : shards)
+                if (!ss->down)
+                    ss->shard->setGrantCapCus(cap);
+        }
+        if (after != before && obs != nullptr) {
+            KRISP_TRACE_EVENT(
+                &obs->trace,
+                recovery("brownout", brownoutLevelName(after),
+                         static_cast<std::uint64_t>(after)));
+        }
+        brownoutEv =
+            eq.scheduleIn(resilience->config().brownoutCheckNs,
+                          [this] { brownoutTick(); });
     }
 };
 
@@ -548,6 +1065,11 @@ ClusterServer::ClusterServer(ClusterConfig config)
     fatal_if(config_.arrivalRatePerSec <= 0,
              "arrival rate must be positive");
     fatal_if(config_.maxBatch == 0, "max batch must be non-zero");
+    fatal_if(config_.interactiveFraction < 0 ||
+                 config_.interactiveFraction > 1,
+             "interactive fraction must be in [0, 1]: ",
+             config_.interactiveFraction);
+    fatal_if(config_.sloMs < 0, "negative SLO bound");
     for (const auto &m : config_.models)
         fatal_if(!ModelZoo::isModel(m), "unknown model: ", m);
 }
@@ -558,7 +1080,13 @@ ClusterServer::run()
     ClusterState st;
     st.cfg = config_;
     st.rng = Rng(config_.seed);
+    // Dedicated stream so the class sequence is identical whether or
+    // not resilience is enabled (fair on/off comparisons) and never
+    // perturbs the legacy arrival/model draws.
+    st.classRng = Rng(config_.seed ^ 0xC1A55ULL);
     st.obs = config_.obs;
+    st.hedging = config_.resilience.enabled &&
+                 config_.resilience.hedging;
     if (st.obs != nullptr) {
         st.obs->trace.setClock(&st.eq);
         // Environment timeline opt-in must precede shard
@@ -584,6 +1112,8 @@ ClusterServer::run()
 
     st.router = std::make_unique<ClusterRouter>(config_.routing,
                                                 config_.numShards);
+    st.resilience = std::make_unique<ClusterResilience>(
+        config_.resilience, config_.numShards);
     // Model homes: model m lives on every shard s with
     // s % models == m, so homes stay balanced for any shard count.
     // Under affinity routing only the home set is profiled/resident;
@@ -616,10 +1146,15 @@ ClusterServer::run()
             st.obs != nullptr && st.obs->timeline.enabled()
                 ? st.obs->timeline.windowNs()
                 : 0;
+        st.shardCfgs.push_back(shard_cfg);
 
         auto ss = std::make_unique<ShardState>();
         ss->shard = std::make_unique<GpuShard>(st.eq,
                                                std::move(shard_cfg));
+        // Crash gaps draw from the shard-derived fault seed: the
+        // schedule depends only on (plan seed, shard index).
+        ss->crashRng =
+            Rng(st.shardCfgs.back().faults.seed ^ 0xC4A54ULL);
         ss->workers.resize(config_.workersPerShard);
         for (unsigned w = 0; w < config_.workersPerShard; ++w) {
             ss->workers[w].id = w;
@@ -629,6 +1164,11 @@ ClusterServer::run()
     }
 
     st.arrive();
+    if (config_.resilience.enabled)
+        st.brownoutTick();
+    if (config_.faults.shardCrashRatePerSec > 0)
+        for (unsigned s = 0; s < config_.numShards; ++s)
+            st.scheduleNextCrash(s);
     st.eq.run(config_.maxSimNs);
 
     ClusterResult result;
@@ -683,11 +1223,69 @@ ClusterServer::run()
     for (const auto &ss : st.shards)
         result.servedPerShard.push_back(ss->served);
 
+    // ---- resilience accounting (whole run) ----------------------
+    st.res.inFlight = st.live;
+    st.res.brownoutEnters = st.resilience->brownoutEnters();
+    st.res.breakerOpens = st.resilience->breakerOpens();
+    for (const auto &ss : st.shards)
+        if (ss->shard != nullptr && ss->shard->krisp() != nullptr)
+            st.res.cappedGrants +=
+                ss->shard->krisp()->stats().cappedGrants;
+    for (const auto &dead : st.graveyard)
+        if (dead.second->krisp() != nullptr)
+            st.res.cappedGrants +=
+                dead.second->krisp()->stats().cappedGrants;
+    result.resilience = st.res;
+    const std::uint64_t avail_denom =
+        st.res.completed + st.res.dropped + st.res.failed;
+    result.availability =
+        avail_denom > 0 ? static_cast<double>(st.res.completed) /
+                              static_cast<double>(avail_denom)
+                        : 1.0;
+    for (std::size_t c = 0; c < numPriorityClasses; ++c)
+        result.sloAttainment[c] =
+            st.res.injectedByClass[c] > 0
+                ? static_cast<double>(st.res.sloOkByClass[c]) /
+                      static_cast<double>(st.res.injectedByClass[c])
+                : 0;
+    for (const auto &ss : st.shards)
+        if (ss->shard != nullptr)
+            result.allocatorsPristine =
+                result.allocatorsPristine &&
+                ss->shard->allocatorPristine();
+    if (st.res.conservationDelta() != 0)
+        warn("request conservation violated: delta = ",
+             st.res.conservationDelta(), " (injected ",
+             st.res.injected, ", completed ", st.res.completed,
+             ", shed ", st.res.shed, ", dropped ", st.res.dropped,
+             ", failed ", st.res.failed, ", in flight ",
+             st.res.inFlight, ")");
+
     if (st.obs != nullptr) {
         MetricsRegistry &m = st.obs->metrics;
+        // Graveyard first: zombie counters sum into the shard prefix
+        // and the restarted shard's gauges/labels overwrite after.
+        for (auto &dead : st.graveyard) {
+            ObsContext *sobs = dead.second->obs();
+            if (sobs == nullptr)
+                continue;
+            dead.second->device().publishMetrics(sobs->metrics);
+            publishObsHealth(*sobs);
+            if (sobs->timeline.enabled() &&
+                st.obs->timeline.enabled()) {
+                sobs->timeline.finish(st.eq.now());
+                sobs->timeline.mergeInto(st.obs->timeline);
+            }
+            const std::string prefix =
+                "cluster.shard" + std::to_string(dead.first) + ".";
+            sobs->metrics.mergeInto(m, prefix);
+        }
         // Per-shard snapshots merge in under a stable prefix; the
         // shard registries stay untouched (callers may inspect them).
-        for (auto &ss : st.shards) {
+        for (unsigned s = 0; s < st.shards.size(); ++s) {
+            auto &ss = st.shards[s];
+            if (ss->shard == nullptr)
+                continue; // crashed and never restarted
             ObsContext *sobs = ss->shard->obs();
             if (sobs == nullptr)
                 continue;
@@ -702,8 +1300,7 @@ ClusterServer::run()
                 sobs->timeline.mergeInto(st.obs->timeline);
             }
             const std::string prefix =
-                "cluster.shard" +
-                std::to_string(ss->shard->index()) + ".";
+                "cluster.shard" + std::to_string(s) + ".";
             sobs->metrics.mergeInto(m, prefix);
             m.gauge(prefix + "served")
                 .set(static_cast<double>(ss->served));
@@ -740,6 +1337,48 @@ ClusterServer::run()
                           result.routingHash));
         m.label("cluster.routing_hash").set(hash_hex);
         m.gauge("sim.timed_out").set(result.timedOut ? 1.0 : 0.0);
+
+        // ---- cluster.resilience.* -------------------------------
+        const ResilienceStats &r = st.res;
+        auto rg = [&m](const char *name, std::uint64_t v) {
+            m.gauge(std::string("cluster.resilience.") + name)
+                .set(static_cast<double>(v));
+        };
+        m.gauge("cluster.resilience.enabled")
+            .set(config_.resilience.enabled ? 1.0 : 0.0);
+        rg("injected", r.injected);
+        rg("completed", r.completed);
+        rg("shed", r.shed);
+        rg("dropped", r.dropped);
+        rg("failed", r.failed);
+        rg("in_flight", r.inFlight);
+        m.gauge("cluster.resilience.conservation_delta")
+            .set(static_cast<double>(r.conservationDelta()));
+        rg("retries", r.retries);
+        rg("retries_denied", r.retriesDenied);
+        rg("hedges", r.hedges);
+        rg("hedges_won", r.hedgesWon);
+        rg("hedges_lost", r.hedgesLost);
+        rg("crashes", r.crashes);
+        rg("recoveries", r.recoveries);
+        rg("crash_lost_requests", r.crashLostRequests);
+        rg("breaker_opens", r.breakerOpens);
+        rg("brownout_enters", r.brownoutEnters);
+        rg("capped_grants", r.cappedGrants);
+        rg("injected_interactive", r.injectedByClass[0]);
+        rg("injected_batch", r.injectedByClass[1]);
+        rg("completed_interactive", r.completedByClass[0]);
+        rg("completed_batch", r.completedByClass[1]);
+        rg("shed_interactive", r.shedByClass[0]);
+        rg("shed_batch", r.shedByClass[1]);
+        rg("slo_ok_interactive", r.sloOkByClass[0]);
+        rg("slo_ok_batch", r.sloOkByClass[1]);
+        m.gauge("cluster.resilience.availability")
+            .set(result.availability);
+        m.gauge("cluster.resilience.allocators_pristine")
+            .set(result.allocatorsPristine ? 1.0 : 0.0);
+        m.label("cluster.resilience.brownout")
+            .set(brownoutLevelName(st.resilience->brownout()));
     }
     return result;
 }

@@ -32,6 +32,7 @@
 
 #include "cluster/cluster_router.hh"
 #include "cluster/gpu_shard.hh"
+#include "cluster/resilience.hh"
 
 namespace krisp
 {
@@ -80,6 +81,24 @@ struct ClusterConfig
     unsigned failoverFallbackThreshold = 16;
     /** Re-admit a drained shard after this long (0 = never). */
     Tick drainNs = ticksFromMs(100.0);
+    /**
+     * Post-readmit grace: the health monitor holds its fire this long
+     * after a re-admission (or crash recovery), so a shard re-admitted
+     * into a still-active fault storm is not immediately re-drained,
+     * inflating failovers. 0 keeps the legacy hair-trigger.
+     */
+    Tick readmitGraceNs = 0;
+
+    // ---- resilience (see cluster/resilience.hh) ------------------
+    ResilienceConfig resilience;
+    /**
+     * Fraction of arrivals in the Interactive priority class; the
+     * rest are Batch. Drawn from a dedicated seed stream so the
+     * class sequence never perturbs arrival or model draws.
+     */
+    double interactiveFraction = 1.0;
+    /** Per-class SLO bound for attainment stats (0 = untracked). */
+    double sloMs = 0;
 
     /**
      * Optional cluster-level observability (routing, drops,
@@ -122,6 +141,23 @@ struct ClusterResult
     /** Requests served per shard (measurement window). */
     std::vector<std::uint64_t> servedPerShard;
     bool timedOut = false;
+
+    /**
+     * Whole-run resilience accounting. Unlike the windowed counters
+     * above, these cover every generated request, so the conservation
+     * invariant (conservationDelta() == 0) is exact.
+     */
+    ResilienceStats resilience;
+    /** completed / (completed + dropped + failed), whole run. */
+    double availability = 0;
+    /** Per class: SLO-met completions / injected (0 without sloMs). */
+    std::array<double, numPriorityClasses> sloAttainment{};
+    /**
+     * Pristine-release invariant over every live shard at end of
+     * run: no resident kernels, no busy CUs — hedging cancellation
+     * and crash recovery leaked no allocator grants.
+     */
+    bool allocatorsPristine = true;
 };
 
 /** Runs one cluster experiment; a fresh instance per run. */

@@ -92,4 +92,18 @@ GpuShard::watchdogKills() const
     return device_->stats().watchdogKills;
 }
 
+void
+GpuShard::setGrantCapCus(unsigned cap)
+{
+    if (setup_.krisp)
+        setup_.krisp->setGrantCapCus(cap);
+}
+
+bool
+GpuShard::allocatorPristine() const
+{
+    const ResourceMonitor &mon = device_->monitor();
+    return mon.residentKernels() == 0 && mon.busyCus() == 0;
+}
+
 } // namespace krisp

@@ -108,6 +108,21 @@ class GpuShard
     /** Hung kernels force-retired by this shard's GPU watchdog. */
     std::uint64_t watchdogKills() const;
 
+    /**
+     * Brownout degradation: clamp right-size grants to @p cap CUs
+     * (0 = uncapped). No-op for static partition policies.
+     */
+    void setGrantCapCus(unsigned cap);
+
+    /**
+     * True when the device's resource monitor holds no resident
+     * kernels and no busy CUs — the pristine-release invariant: every
+     * grant this shard ever handed out has been returned. Hedge
+     * cancellation and crash recovery must keep this true at end of
+     * run.
+     */
+    bool allocatorPristine() const;
+
   private:
     GpuShardConfig config_;
     std::unique_ptr<ObsContext> obs_;

@@ -1,0 +1,237 @@
+#include "cluster/resilience.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+const char *
+priorityClassName(PriorityClass cls)
+{
+    switch (cls) {
+      case PriorityClass::Interactive:
+        return "interactive";
+      case PriorityClass::Batch:
+        return "batch";
+    }
+    return "unknown";
+}
+
+const char *
+brownoutLevelName(BrownoutLevel level)
+{
+    switch (level) {
+      case BrownoutLevel::Normal:
+        return "normal";
+      case BrownoutLevel::ShedBatch:
+        return "shed-batch";
+      case BrownoutLevel::DegradeGrants:
+        return "degrade-grants";
+      case BrownoutLevel::ShedInteractive:
+        return "shed-interactive";
+    }
+    return "unknown";
+}
+
+ClusterResilience::ClusterResilience(const ResilienceConfig &config,
+                                     unsigned num_shards)
+    : config_(config), num_shards_(num_shards),
+      consecutive_failures_(num_shards, 0),
+      open_until_(num_shards, 0)
+{
+    fatal_if(num_shards == 0,
+             "resilience layer needs at least one shard");
+    fatal_if(config_.brownoutLowWatermark >
+                 config_.brownoutHighWatermark,
+             "brownout low watermark above the high watermark");
+    fatal_if(config_.brownoutSustain == 0 ||
+                 config_.brownoutRelax == 0,
+             "brownout sustain/relax counts must be non-zero");
+    fatal_if(config_.maxAttempts == 0,
+             "resilience needs at least one attempt per request");
+    fatal_if(config_.hedgeQuantile <= 0 || config_.hedgeQuantile >= 1,
+             "hedge quantile must be in (0, 1): ",
+             config_.hedgeQuantile);
+    for (std::size_t c = 0; c < numPriorityClasses; ++c) {
+        fatal_if(config_.admission[c].ratePerSec < 0,
+                 "negative admission rate");
+        // Buckets start full so a run's leading burst is admitted.
+        tokens_[c] = config_.admission[c].burst;
+    }
+}
+
+void
+ClusterResilience::refill(std::size_t cls, Tick now)
+{
+    const TokenBucketConfig &bucket = config_.admission[cls];
+    if (bucket.ratePerSec <= 0)
+        return;
+    if (now > refilled_at_[cls]) {
+        const double elapsed_sec =
+            ticksToSec(now - refilled_at_[cls]);
+        tokens_[cls] = std::min(
+            bucket.burst,
+            tokens_[cls] + elapsed_sec * bucket.ratePerSec);
+    }
+    refilled_at_[cls] = now;
+}
+
+bool
+ClusterResilience::admit(PriorityClass cls, Tick now)
+{
+    if (!config_.enabled)
+        return true;
+
+    // Brownout shedding first: class-level decisions outrank bucket
+    // state, and a shed request must not drain a token.
+    if (cls == PriorityClass::Batch &&
+        level_ >= BrownoutLevel::ShedBatch)
+        return false;
+    if (cls == PriorityClass::Interactive &&
+        level_ >= BrownoutLevel::ShedInteractive)
+        return false;
+
+    const std::size_t c = static_cast<std::size_t>(cls);
+    if (config_.admission[c].ratePerSec <= 0)
+        return true; // unlimited class
+    refill(c, now);
+    if (tokens_[c] < 1.0)
+        return false;
+    tokens_[c] -= 1.0;
+    return true;
+}
+
+void
+ClusterResilience::noteQueueDepth(std::size_t depth)
+{
+    if (!config_.enabled)
+        return;
+    if (depth >= config_.brownoutHighWatermark) {
+        below_low_ = 0;
+        if (++above_high_ >= config_.brownoutSustain &&
+            level_ < BrownoutLevel::ShedInteractive) {
+            level_ = static_cast<BrownoutLevel>(
+                static_cast<std::uint8_t>(level_) + 1);
+            ++brownout_enters_;
+            above_high_ = 0;
+        }
+    } else if (depth <= config_.brownoutLowWatermark) {
+        above_high_ = 0;
+        if (++below_low_ >= config_.brownoutRelax &&
+            level_ > BrownoutLevel::Normal) {
+            level_ = static_cast<BrownoutLevel>(
+                static_cast<std::uint8_t>(level_) - 1);
+            below_low_ = 0;
+        }
+    } else {
+        // Between the watermarks: pressure neither sustained nor
+        // relieved — restart both streaks (hysteresis band).
+        above_high_ = 0;
+        below_low_ = 0;
+    }
+}
+
+unsigned
+ClusterResilience::grantCapCus() const
+{
+    if (!config_.enabled || level_ < BrownoutLevel::DegradeGrants)
+        return 0;
+    return config_.degradedGrantCapCus;
+}
+
+bool
+ClusterResilience::tryChargeRetry()
+{
+    if (!config_.enabled)
+        return false;
+    const double budget =
+        config_.retryBudgetRatio * static_cast<double>(completions_) +
+        static_cast<double>(config_.retryBudgetFloor);
+    if (static_cast<double>(retry_charges_) >= budget)
+        return false;
+    ++retry_charges_;
+    return true;
+}
+
+void
+ClusterResilience::noteCompleted()
+{
+    ++completions_;
+}
+
+void
+ClusterResilience::noteShardFailure(unsigned shard, Tick now)
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    if (!config_.enabled || config_.breakerFailureThreshold == 0)
+        return;
+    if (++consecutive_failures_[shard] >=
+        config_.breakerFailureThreshold) {
+        // Re-trip extends an already-open breaker: still failing.
+        if (open_until_[shard] <= now)
+            ++breaker_opens_;
+        open_until_[shard] = now + config_.breakerCooldownNs;
+        consecutive_failures_[shard] = 0;
+    }
+}
+
+void
+ClusterResilience::noteShardSuccess(unsigned shard)
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    consecutive_failures_[shard] = 0;
+}
+
+bool
+ClusterResilience::breakerOpen(unsigned shard, Tick now) const
+{
+    fatal_if(shard >= num_shards_, "shard out of range");
+    return config_.enabled && open_until_[shard] > now;
+}
+
+void
+ClusterResilience::noteLatencySample(Tick latency_ns)
+{
+    if (!config_.enabled || !config_.hedging)
+        return;
+    if (ring_.size() < ring_capacity_) {
+        ring_.push_back(latency_ns);
+    } else {
+        ring_[ring_next_] = latency_ns;
+        ring_next_ = (ring_next_ + 1) % ring_capacity_;
+    }
+    ++samples_;
+    if (samples_ % recompute_every_ == 0 || cached_delay_ == 0) {
+        // Quantile over the ring's current contents. scratch copy:
+        // nth_element reorders, and the ring must stay insertion-
+        // ordered for deterministic replacement.
+        std::vector<Tick> scratch(ring_);
+        const std::size_t idx = std::min(
+            scratch.size() - 1,
+            static_cast<std::size_t>(config_.hedgeQuantile *
+                                     static_cast<double>(
+                                         scratch.size())));
+        std::nth_element(scratch.begin(),
+                         scratch.begin() +
+                             static_cast<std::ptrdiff_t>(idx),
+                         scratch.end());
+        cached_delay_ = scratch[idx];
+    }
+}
+
+bool
+ClusterResilience::hedgeReady() const
+{
+    return config_.enabled && config_.hedging &&
+           samples_ >= config_.hedgeMinSamples;
+}
+
+Tick
+ClusterResilience::hedgeDelayNs() const
+{
+    return std::max(config_.hedgeMinDelayNs, cached_delay_);
+}
+
+} // namespace krisp

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Cluster-wide overload & failure resilience: decision logic.
+ *
+ * Like the router, this layer is *pure decision state* — it never
+ * touches the event queue, the shards or the streams. ClusterServer
+ * feeds it observations (simulated time, queue depth, completions,
+ * per-shard failures, latency samples) and asks yes/no questions:
+ * admit this request? charge this retry against the budget? hedge
+ * now, and after what delay? is this shard's circuit open? Everything
+ * that *acts* on the answers (shedding, re-routing, duplicate
+ * dispatch, crash recovery) stays in ClusterServer, so the policy is
+ * unit-testable without a cluster.
+ *
+ * Four cooperating mechanisms:
+ *
+ *  - Token-bucket admission per priority class. Buckets refill in
+ *    simulated time; an empty bucket sheds the request at the door
+ *    (counted, never silently lost).
+ *
+ *  - Brownout ladder. Sustained queue growth escalates
+ *    Normal -> ShedBatch -> DegradeGrants -> ShedInteractive, with
+ *    hysteresis (high/low watermarks, sustained-check counts) so one
+ *    burst doesn't flap the mode. DegradeGrants caps right-size
+ *    grants (smaller CU grants, cheaper reconfig) — degrade before
+ *    dropping interactive traffic.
+ *
+ *  - Retry budget + per-shard circuit breakers. Retries (and hedges,
+ *    which are speculative retries) are charged against a global
+ *    budget proportional to successes, so a failing cluster cannot
+ *    melt itself with retry amplification. A shard that fails
+ *    consecutively trips a breaker and is avoided for a cooldown.
+ *
+ *  - Hedging delay estimator. A bounded ring of completion latencies
+ *    with a periodically recomputed quantile; a request older than
+ *    the p99-based delay earns a duplicate dispatch to a second
+ *    shard, first completion wins.
+ *
+ * Determinism: all state advances only on observation calls carrying
+ * simulated time; there is no randomness and no wall clock, so equal
+ * observation sequences give equal decisions.
+ */
+
+#ifndef KRISP_CLUSTER_RESILIENCE_HH
+#define KRISP_CLUSTER_RESILIENCE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace krisp
+{
+
+/**
+ * Request priority classes, highest first. Interactive is user-facing
+ * traffic with an SLO; Batch is throughput work that is shed first
+ * under brownout.
+ */
+enum class PriorityClass : std::uint8_t
+{
+    Interactive = 0,
+    Batch = 1,
+};
+
+constexpr std::size_t numPriorityClasses = 2;
+
+const char *priorityClassName(PriorityClass cls);
+
+/** Brownout escalation ladder, mildest first. */
+enum class BrownoutLevel : std::uint8_t
+{
+    Normal = 0,        ///< serve everything
+    ShedBatch = 1,     ///< shed the Batch class at the door
+    DegradeGrants = 2, ///< also cap right-size grants
+    ShedInteractive = 3, ///< last resort: shed Interactive too
+};
+
+const char *brownoutLevelName(BrownoutLevel level);
+
+/** One priority class's admission token bucket. */
+struct TokenBucketConfig
+{
+    /** Sustained admission rate; 0 = unlimited (no bucket). */
+    double ratePerSec = 0;
+    /** Bucket capacity: how large a burst is admitted at once. */
+    double burst = 32;
+};
+
+/** Knobs for the whole resilience layer. */
+struct ResilienceConfig
+{
+    /**
+     * Master switch. Disabled (the default) means no admission
+     * control, no retries, no hedging, no brownout — the pre-
+     * resilience cluster behaviour; conservation accounting in the
+     * server runs either way.
+     */
+    bool enabled = false;
+
+    // ---- admission ----------------------------------------------
+    /** Per-class admission buckets, indexed by PriorityClass. */
+    std::array<TokenBucketConfig, numPriorityClasses> admission{};
+
+    // ---- brownout -----------------------------------------------
+    /** Queued requests (cluster-wide) that count as overload. */
+    std::size_t brownoutHighWatermark = 64;
+    /** Depth at or below which pressure is considered relieved. */
+    std::size_t brownoutLowWatermark = 16;
+    /** Consecutive over-high checks before escalating one level. */
+    unsigned brownoutSustain = 3;
+    /** Consecutive under-low checks before de-escalating one level. */
+    unsigned brownoutRelax = 3;
+    /** Spacing of the server's brownout checks. */
+    Tick brownoutCheckNs = ticksFromMs(10.0);
+    /** Grant cap installed at DegradeGrants and above (CUs). */
+    unsigned degradedGrantCapCus = 16;
+
+    // ---- retry budget + breakers --------------------------------
+    /** Retries+hedges allowed per success (token per completion). */
+    double retryBudgetRatio = 0.2;
+    /** Budget floor so a cold start can retry at all. */
+    unsigned retryBudgetFloor = 8;
+    /** Total attempts per request (first try included). */
+    unsigned maxAttempts = 3;
+    /** Consecutive failures that trip a shard's breaker. */
+    unsigned breakerFailureThreshold = 4;
+    /** How long a tripped breaker rejects traffic. */
+    Tick breakerCooldownNs = ticksFromMs(100.0);
+    /**
+     * When a retry finds no routable shard (crash + drain overlap),
+     * the request is parked and re-routed after this backoff instead
+     * of failing outright; each hop spends one attempt and one
+     * budget charge, so parking stays bounded by maxAttempts.
+     */
+    Tick rerouteBackoffNs = ticksFromMs(10.0);
+
+    // ---- hedging ------------------------------------------------
+    /** Duplicate slow requests to a second shard. */
+    bool hedging = false;
+    /** Latency quantile that defines "slow". */
+    double hedgeQuantile = 0.99;
+    /** Completions observed before hedging activates. */
+    std::size_t hedgeMinSamples = 32;
+    /** Lower bound on the hedge delay (guards a cold estimator). */
+    Tick hedgeMinDelayNs = ticksFromMs(1.0);
+};
+
+/**
+ * End-of-run resilience accounting, filled by ClusterServer. The
+ * first six fields partition every injected request's fate; their
+ * conservation delta is the run's no-silent-loss invariant and must
+ * be exactly zero.
+ */
+struct ResilienceStats
+{
+    std::uint64_t injected = 0;  ///< generated arrivals (whole run)
+    std::uint64_t completed = 0; ///< finished (incl. after retry)
+    std::uint64_t shed = 0;      ///< admission-rejected at the door
+    std::uint64_t dropped = 0;   ///< unroutable / queue overflow
+    std::uint64_t failed = 0;    ///< lost after admission, no retry
+    std::uint64_t inFlight = 0;  ///< still live when the run ended
+
+    std::uint64_t retries = 0;       ///< re-dispatches charged
+    std::uint64_t retriesDenied = 0; ///< budget/attempts exhausted
+    std::uint64_t hedges = 0;        ///< duplicate dispatches issued
+    std::uint64_t hedgesWon = 0;     ///< hedge finished first
+    std::uint64_t hedgesLost = 0;    ///< primary finished first
+    std::uint64_t crashes = 0;       ///< shard crash events
+    std::uint64_t recoveries = 0;    ///< warm restarts completed
+    std::uint64_t crashLostRequests = 0; ///< in-flight at crash time
+    std::uint64_t breakerOpens = 0;  ///< circuit-breaker trips
+    std::uint64_t brownoutEnters = 0; ///< escalations above Normal
+    std::uint64_t cappedGrants = 0;  ///< launches clamped (all shards)
+
+    std::array<std::uint64_t, numPriorityClasses> injectedByClass{};
+    std::array<std::uint64_t, numPriorityClasses> completedByClass{};
+    std::array<std::uint64_t, numPriorityClasses> shedByClass{};
+    /** Completions within the per-class SLO (ClusterConfig::sloMs). */
+    std::array<std::uint64_t, numPriorityClasses> sloOkByClass{};
+
+    /** injected - (completed + shed + dropped + failed + inFlight). */
+    std::int64_t
+    conservationDelta() const
+    {
+        return static_cast<std::int64_t>(injected) -
+               static_cast<std::int64_t>(completed + shed + dropped +
+                                         failed + inFlight);
+    }
+};
+
+/** The decision engine (see file comment). */
+class ClusterResilience
+{
+  public:
+    ClusterResilience(const ResilienceConfig &config,
+                      unsigned num_shards);
+
+    const ResilienceConfig &config() const { return config_; }
+
+    // ---- admission ----------------------------------------------
+    /**
+     * Admit or shed one @p cls request arriving at @p now. Consumes a
+     * token when admitted. Shedding (false) is the caller's cue to
+     * count the request shed — admission never loses it silently.
+     * Always true when the layer is disabled.
+     */
+    bool admit(PriorityClass cls, Tick now);
+
+    /** Feed one brownout check: cluster-wide queued requests. */
+    void noteQueueDepth(std::size_t depth);
+    BrownoutLevel brownout() const { return level_; }
+    /** Escalations above Normal so far (for stats). */
+    std::uint64_t brownoutEnters() const { return brownout_enters_; }
+    /**
+     * Grant cap the current brownout level asks for; 0 = uncapped.
+     * The server pushes this into every shard's KrispRuntime.
+     */
+    unsigned grantCapCus() const;
+
+    // ---- retry budget -------------------------------------------
+    /**
+     * Charge one retry (or hedge — both are extra dispatches) against
+     * the global budget: allowed while charges < ratio * completions
+     * + floor. False when the layer is disabled or the budget is
+     * spent; the caller then fails the request permanently.
+     */
+    bool tryChargeRetry();
+    /** A request completed: grows the retry budget. */
+    void noteCompleted();
+    std::uint64_t retryCharges() const { return retry_charges_; }
+
+    // ---- circuit breakers ---------------------------------------
+    /** A dispatch on @p shard failed (watchdog, deadline, crash). */
+    void noteShardFailure(unsigned shard, Tick now);
+    /** A dispatch on @p shard succeeded: close/clear its breaker. */
+    void noteShardSuccess(unsigned shard);
+    /** True while @p shard's breaker rejects traffic at @p now. */
+    bool breakerOpen(unsigned shard, Tick now) const;
+    std::uint64_t breakerOpens() const { return breaker_opens_; }
+
+    // ---- hedging ------------------------------------------------
+    /** Feed one completion latency into the delay estimator. */
+    void noteLatencySample(Tick latency_ns);
+    /** True when hedging is on and the estimator has warmed up. */
+    bool hedgeReady() const;
+    /**
+     * Delay after dispatch at which a still-unfinished request earns
+     * a hedge: the configured quantile of observed completion
+     * latencies, floored at hedgeMinDelayNs.
+     */
+    Tick hedgeDelayNs() const;
+
+  private:
+    /** Refill bucket @p cls up to @p now (simulated time). */
+    void refill(std::size_t cls, Tick now);
+
+    ResilienceConfig config_;
+    unsigned num_shards_;
+
+    // Admission buckets: level + last refill time per class.
+    std::array<double, numPriorityClasses> tokens_{};
+    std::array<Tick, numPriorityClasses> refilled_at_{};
+
+    // Brownout ladder with hysteresis.
+    BrownoutLevel level_ = BrownoutLevel::Normal;
+    unsigned above_high_ = 0;
+    unsigned below_low_ = 0;
+    std::uint64_t brownout_enters_ = 0;
+
+    // Retry budget.
+    std::uint64_t retry_charges_ = 0;
+    std::uint64_t completions_ = 0;
+
+    // Breakers: consecutive failures + open-until per shard.
+    std::vector<unsigned> consecutive_failures_;
+    std::vector<Tick> open_until_;
+    std::uint64_t breaker_opens_ = 0;
+
+    // Hedge delay estimator: bounded latency ring, quantile cached
+    // and recomputed every recomputeEvery_ samples (nth_element), so
+    // neither memory nor per-sample cost grows with run length.
+    static constexpr std::size_t ring_capacity_ = 256;
+    static constexpr std::size_t recompute_every_ = 32;
+    std::vector<Tick> ring_;
+    std::size_t ring_next_ = 0;
+    std::size_t samples_ = 0;
+    Tick cached_delay_ = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_CLUSTER_RESILIENCE_HH

@@ -66,6 +66,7 @@ KrispRuntime::KrispRuntime(HipRuntime &hip, const KernelSizer &sizer,
     reconfig_launches_ = &reg.counter("krisp.reconfig_launches");
     reconfig_elisions_ = &reg.counter("krisp.reconfig_elisions");
     grouped_launches_ = &reg.counter("krisp.grouped_launches");
+    capped_grants_ = &reg.counter("krisp.capped_grants");
     requested_cus_ = &reg.accumulator("krisp.requested_cus");
     if (obs != nullptr) {
         trace_ = &obs->trace;
@@ -108,7 +109,14 @@ KrispRuntime::stats() const
     s.reconfigLaunches = reconfig_launches_->value();
     s.reconfigElisions = reconfig_elisions_->value();
     s.groupedLaunches = grouped_launches_->value();
+    s.cappedGrants = capped_grants_->value();
     return s;
+}
+
+unsigned
+KrispRuntime::cappedCus(unsigned cus) const
+{
+    return grant_cap_ != 0 && cus > grant_cap_ ? grant_cap_ : cus;
 }
 
 void
@@ -116,6 +124,11 @@ KrispRuntime::accountLaunch(const KernelDescriptor &kernel,
                             unsigned cus)
 {
     launches_->inc();
+    // Natural size recomputed (cheap lookup) so every launched kernel
+    // counts its clamp exactly once, no matter which dispatch path or
+    // group-run membership delivered it.
+    if (grant_cap_ != 0 && sizer_.rightSize(kernel) > grant_cap_)
+        capped_grants_->inc();
     requested_cus_total_->inc(cus);
     requested_cus_->add(static_cast<double>(cus));
     KRISP_TRACE_EVENT(trace_, rightSize(kernel.name, cus,
@@ -138,7 +151,7 @@ KrispRuntime::launch(Stream &stream, KernelDescPtr kernel,
                      HsaSignalPtr completion)
 {
     fatal_if(!kernel, "KRISP launch of a null kernel");
-    const unsigned cus = sizer_.rightSize(*kernel);
+    const unsigned cus = cappedCus(sizer_.rightSize(*kernel));
     panic_if(cus == 0, "sizer returned zero CUs");
     accountLaunch(*kernel, cus);
 
@@ -172,13 +185,15 @@ KrispRuntime::launchGroup(Stream &stream,
     std::size_t i = 0;
     while (i < kernels.size()) {
         fatal_if(!kernels[i], "KRISP launch of a null kernel");
-        const unsigned cus = sizer_.rightSize(*kernels[i]);
+        const unsigned cus = cappedCus(sizer_.rightSize(*kernels[i]));
         panic_if(cus == 0, "sizer returned zero CUs");
 
-        // A run is a maximal stretch of equal right-sizes...
+        // A run is a maximal stretch of equal right-sizes (after the
+        // grant cap: capping makes sizes *more* equal, so brownout
+        // degradation composes with grouping rather than breaking it).
         std::size_t j = i + 1;
         while (j < kernels.size() && kernels[j] &&
-               sizer_.rightSize(*kernels[j]) == cus)
+               cappedCus(sizer_.rightSize(*kernels[j])) == cus)
             ++j;
         std::size_t count = j - i;
 

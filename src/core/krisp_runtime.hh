@@ -123,6 +123,8 @@ struct KrispRuntimeStats
     std::uint64_t reconfigElisions = 0;
     /** Emulated launches that rode a group leader's reconfig. */
     std::uint64_t groupedLaunches = 0;
+    /** Launches whose right-size was clamped by the grant cap. */
+    std::uint64_t cappedGrants = 0;
 };
 
 /** The programmer-transparent launch interceptor. */
@@ -161,6 +163,18 @@ class KrispRuntime
     void setIoctlRetryPolicy(IoctlRetryPolicy policy);
     const IoctlRetryPolicy &ioctlRetryPolicy() const { return retry_; }
 
+    /**
+     * Brownout degradation knob: clamp every right-size grant to at
+     * most @p cap CUs (0 = uncapped, the default). Smaller grants
+     * mean cheaper reconfigurations and more co-location headroom at
+     * the cost of per-kernel latency — the resilience layer's middle
+     * ground between serving normally and shedding traffic. Clamped
+     * launches are counted under "krisp.capped_grants". Takes effect
+     * from the next launch; applies to both enforcement modes.
+     */
+    void setGrantCapCus(unsigned cap) { grant_cap_ = cap; }
+    unsigned grantCapCus() const { return grant_cap_; }
+
     /** Counter snapshot (values live in the metrics registry). */
     KrispRuntimeStats stats() const;
 
@@ -193,6 +207,8 @@ class KrispRuntime
                         HsaSignalPtr completion, unsigned cus);
     /** Per-launch bookkeeping shared by every dispatch path. */
     void accountLaunch(const KernelDescriptor &kernel, unsigned cus);
+    /** @p cus clamped to the grant cap (identity when uncapped). */
+    unsigned cappedCus(unsigned cus) const;
     /** True when this emulated launch may skip the protocol. */
     bool canElide(const Stream &stream, unsigned cus) const;
     /** Launch directly under the already-installed mask. */
@@ -234,6 +250,7 @@ class KrispRuntime
     EnforcementMode mode_;
     ReconfigPolicy policy_ = ReconfigPolicy::Always;
     IoctlRetryPolicy retry_;
+    unsigned grant_cap_ = 0;
 
     /** Fallback registry when no ObsContext is supplied. */
     MetricsRegistry own_metrics_;
@@ -248,6 +265,7 @@ class KrispRuntime
     Counter *reconfig_launches_ = nullptr;
     Counter *reconfig_elisions_ = nullptr;
     Counter *grouped_launches_ = nullptr;
+    Counter *capped_grants_ = nullptr;
     Accumulator *requested_cus_ = nullptr;
 };
 

@@ -265,6 +265,68 @@ renderUtilization(std::ostringstream &os, const json::Value &metrics,
     os << "\n";
 }
 
+/**
+ * Cluster resilience accounting (cluster.resilience.* gauges): the
+ * request-fate partition with its conservation check, plus the
+ * recovery-machinery counters. Single-GPU snapshots have none of
+ * these gauges and get a placeholder line.
+ */
+void
+renderResilience(std::ostringstream &os, const json::Value &metrics)
+{
+    os << "== resilience ==\n";
+    const json::Value *gauges = metrics.find("gauges");
+    const json::Value *injected =
+        gauges != nullptr
+            ? gauges->find("cluster.resilience.injected")
+            : nullptr;
+    if (injected == nullptr) {
+        os << "  (no cluster.resilience.* gauges — single-GPU "
+              "snapshot)\n\n";
+        return;
+    }
+    const auto num = [gauges](const char *name) {
+        const json::Value *v =
+            gauges->find(std::string("cluster.resilience.") + name);
+        return v != nullptr ? v->numberOr(0) : 0.0;
+    };
+    TextTable fate({"fate", "requests"});
+    fate.row().cell("injected").cell(num("injected"), 0);
+    fate.row().cell("completed").cell(num("completed"), 0);
+    fate.row().cell("shed (admission)").cell(num("shed"), 0);
+    fate.row().cell("dropped").cell(num("dropped"), 0);
+    fate.row().cell("failed").cell(num("failed"), 0);
+    fate.row().cell("in flight at end").cell(num("in_flight"), 0);
+    os << fate.render();
+    const double delta = num("conservation_delta");
+    os << "  conservation: "
+       << (delta == 0 ? "OK (delta 0)"
+                      : "VIOLATED (delta " +
+                            formatFixed(delta, 0) + ")")
+       << "\n"
+       << "  availability " << formatFixed(num("availability"), 4)
+       << ", shed by class: interactive "
+       << formatFixed(num("shed_interactive"), 0) << ", batch "
+       << formatFixed(num("shed_batch"), 0) << "\n";
+    TextTable mech({"mechanism", "count"});
+    mech.row().cell("retries").cell(num("retries"), 0);
+    mech.row().cell("retries denied").cell(num("retries_denied"), 0);
+    mech.row().cell("hedges").cell(num("hedges"), 0);
+    mech.row().cell("hedges won").cell(num("hedges_won"), 0);
+    mech.row().cell("hedges lost").cell(num("hedges_lost"), 0);
+    mech.row().cell("shard crashes").cell(num("crashes"), 0);
+    mech.row().cell("warm restarts").cell(num("recoveries"), 0);
+    mech.row()
+        .cell("crash-lost requests")
+        .cell(num("crash_lost_requests"), 0);
+    mech.row().cell("breaker opens").cell(num("breaker_opens"), 0);
+    mech.row()
+        .cell("brownout escalations")
+        .cell(num("brownout_enters"), 0);
+    mech.row().cell("capped grants").cell(num("capped_grants"), 0);
+    os << mech.render() << "\n";
+}
+
 void
 renderTopKernels(std::ostringstream &os, const json::Value &metrics,
                  unsigned topK)
@@ -371,6 +433,7 @@ generateReport(
     renderSlo(os, metrics, opts.sloMs);
     renderPhases(os, metrics);
     renderUtilization(os, metrics, timeline);
+    renderResilience(os, metrics);
     renderTopKernels(os, metrics, opts.topK);
     renderBenches(os, benches);
     return os.str();

@@ -380,6 +380,8 @@ InferenceServer::run()
     st.allocator = std::move(policy_setup.allocator);
     st.sizer = std::move(policy_setup.sizer);
     st.krisp = std::move(policy_setup.krisp);
+    if (st.krisp && config_.grantCapCus != 0)
+        st.krisp->setGrantCapCus(config_.grantCapCus);
 
     // Closed-loop load: every worker always has a request waiting.
     for (auto &w : st.workers)

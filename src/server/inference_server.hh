@@ -87,6 +87,12 @@ struct ServerConfig
      * Always, the paper's per-launch protocol, when unset).
      */
     ReconfigPolicy reconfig = reconfigPolicyFromEnv();
+    /**
+     * Clamp right-size grants to this many CUs (0 = uncapped); the
+     * resilience layer's brownout degradation knob. Clamped launches
+     * count under "krisp.capped_grants".
+     */
+    unsigned grantCapCus = 0;
 
     /**
      * Optional observability context (owned by the caller, must

@@ -446,6 +446,8 @@ OpenLoopServer::run()
     st.allocator = std::move(policy_setup.allocator);
     st.sizer = std::move(policy_setup.sizer);
     st.krisp = std::move(policy_setup.krisp);
+    if (st.krisp && config_.grantCapCus != 0)
+        st.krisp->setGrantCapCus(config_.grantCapCus);
 
     st.arrive();
     st.eq.run(config_.maxSimNs);

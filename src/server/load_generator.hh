@@ -82,6 +82,8 @@ struct OpenLoopConfig
     IoctlRetryPolicy ioctlRetry;
     /** Reconfiguration-elision policy (see ServerConfig::reconfig). */
     ReconfigPolicy reconfig = reconfigPolicyFromEnv();
+    /** Grant-cap brownout knob (see ServerConfig::grantCapCus). */
+    unsigned grantCapCus = 0;
 
     /**
      * Optional observability context (owned by the caller, must

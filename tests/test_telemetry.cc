@@ -520,6 +520,46 @@ TEST(SloAttainment, InterpolatesInsideTheStraddlingBin)
     EXPECT_LT(sloAttainment(empty, 0.5), 0.0);
 }
 
+TEST(ReportResilience, RendersClusterAccountingWhenPresent)
+{
+    // A resilient cluster run's snapshot gets the full section:
+    // fate partition, conservation verdict, recovery counters.
+    ObsContext obs;
+    ClusterConfig cfg;
+    cfg.numShards = 2;
+    cfg.models = {"squeezenet"};
+    cfg.workersPerShard = 2;
+    cfg.arrivalRatePerSec = 400.0;
+    cfg.warmupNs = ticksFromMs(50);
+    cfg.measureNs = ticksFromMs(300);
+    cfg.obs = &obs;
+    cfg.resilience.enabled = true;
+    cfg.faults.shardCrashRatePerSec = 4.0;
+    cfg.faults.shardRestartNs = ticksFromMs(15.0);
+    ClusterServer(cfg).run();
+
+    json::Value metrics;
+    std::string err;
+    ASSERT_TRUE(json::parse(obs.metrics.toJson(), metrics, err))
+        << err;
+    const std::string report =
+        generateReport(metrics, nullptr, {}, ReportOptions{});
+    EXPECT_NE(report.find("== resilience =="), std::string::npos);
+    EXPECT_NE(report.find("conservation: OK"), std::string::npos);
+    EXPECT_NE(report.find("shard crashes"), std::string::npos);
+    EXPECT_NE(report.find("warm restarts"), std::string::npos);
+    EXPECT_EQ(report.find("single-GPU snapshot"), std::string::npos);
+
+    // A single-GPU snapshot (no cluster.resilience.* gauges) gets
+    // the placeholder instead of a fabricated table.
+    json::Value empty;
+    ASSERT_TRUE(json::parse(R"({"gauges":{}})", empty, err)) << err;
+    const std::string placeholder =
+        generateReport(empty, nullptr, {}, ReportOptions{});
+    EXPECT_NE(placeholder.find("single-GPU snapshot"),
+              std::string::npos);
+}
+
 // ---- golden krisp-report ------------------------------------------
 
 void
