@@ -42,22 +42,46 @@ GpuShard::GpuShard(EventQueue &eq, GpuShardConfig config)
         streams_.push_back(&hip_->createStream());
 
     // Right-size basis per worker: workers cycle over the resident
-    // models, each sized for the largest batch it can be handed.
+    // models, each sized for the largest batch it can be handed. An
+    // LLM resident's basis is its heaviest decode step — the steady
+    // state the worker spends almost all its time in.
     KernelProfiler kprof(config_.gpu, config_.profiler);
     std::vector<PartitionWorker> workers;
     for (unsigned i = 0; i < config_.numWorkers; ++i) {
         const std::string &model =
             config_.models[i % config_.models.size()];
-        workers.push_back(PartitionWorker{
-            streams_[i], &zoo_->kernels(model, config_.maxBatch)});
+        const std::vector<KernelDescPtr> *basis =
+            ModelZoo::isLlm(model)
+                ? &zoo_->llmDecodeKernels(
+                      model, config_.llmMaxDecodeBatch,
+                      ModelZoo::llmInfo(model).maxContext)
+                : &zoo_->kernels(model, config_.maxBatch);
+        workers.push_back(PartitionWorker{streams_[i], basis});
     }
-    // KRISP perf database: every (resident model, batch size) pair
-    // the frontend can assemble — this is what "masks resident on
-    // the shard" means for affinity routing.
+    // KRISP perf database: every kernel the frontend can assemble for
+    // a resident model — (model, batch) pairs for CNNs; for LLMs the
+    // full serving envelope: each decode batch at each context bucket
+    // plus each prefill chunk position. Misses on the serving path
+    // would silently fall back to full-GPU grants, so cover it all.
     std::vector<const std::vector<KernelDescPtr> *> profile_seqs;
-    for (const std::string &model : config_.models)
-        for (unsigned b = 1; b <= config_.maxBatch; ++b)
-            profile_seqs.push_back(&zoo_->kernels(model, b));
+    for (const std::string &model : config_.models) {
+        if (ModelZoo::isLlm(model)) {
+            const LlmParams &p = ModelZoo::llmInfo(model);
+            const unsigned granule = ModelZoo::contextBucket(1);
+            for (unsigned past = 0; past < p.maxContext;
+                 past += granule)
+                profile_seqs.push_back(&zoo_->llmPrefillKernels(
+                    model, config_.llmPrefillChunkTokens, past));
+            for (unsigned b = 1; b <= config_.llmMaxDecodeBatch; ++b)
+                for (unsigned ctx = granule; ctx <= p.maxContext;
+                     ctx += granule)
+                    profile_seqs.push_back(
+                        &zoo_->llmDecodeKernels(model, b, ctx));
+        } else {
+            for (unsigned b = 1; b <= config_.maxBatch; ++b)
+                profile_seqs.push_back(&zoo_->kernels(model, b));
+        }
+    }
 
     setup_ = setupPartitionPolicy(
         *hip_, config_.policy, config_.enforcement, kprof, workers,

@@ -49,6 +49,15 @@ struct GpuShardConfig
     unsigned numWorkers = 2;
     unsigned maxBatch = 8;
     /**
+     * Profiling envelope for resident LLM models (ignored for CNNs):
+     * the shard pre-profiles every decode step up to this batch and
+     * every prefill chunk of this many tokens across the model's
+     * context buckets, so right-sizing never has to fall back to the
+     * full GPU on the serving path.
+     */
+    unsigned llmMaxDecodeBatch = 8;
+    unsigned llmPrefillChunkTokens = 256;
+    /**
      * Models this shard profiles and right-sizes for (its "resident"
      * models). Under affinity routing this is the shard's home set;
      * other routing policies make every model resident everywhere.

@@ -126,13 +126,15 @@ PercentileTracker::percentile(double q) const
     panic_if(samples_.empty(), "percentile on empty tracker");
     panic_if(q < 0.0 || q > 1.0, "quantile out of range: ", q);
     ensureSorted();
-    if (samples_.size() == 1)
+    // Nearest-rank (as the header promises): the smallest sample with
+    // at least ceil(q * n) samples <= it. Every result is a value that
+    // was actually observed; nothing is interpolated into existence.
+    if (q == 0.0)
         return samples_.front();
-    const double rank = q * static_cast<double>(samples_.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const auto hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    const auto n = static_cast<double>(samples_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), samples_.size());
+    return samples_[rank - 1];
 }
 
 double

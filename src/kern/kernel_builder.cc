@@ -66,6 +66,16 @@ classProfile(KernelClass klass)
         return {0.10, 1.00, 8, 2048, 0.6};
       case KernelClass::Transpose:
         return {0.12, 2.00, 8, 2048, 1.2};
+      case KernelClass::DecodeGemv:
+        // Decode-phase streaming: long contiguous weight / KV-cache
+        // reads issue near peak per-CU bandwidth (issueFactor 5), so
+        // ~6 CUs saturate the kernel's DRAM share; a single resident
+        // WG keeps a CU busy. High FLOP efficiency keeps low-intensity
+        // launches (KV attention, small-batch GEMV) memory-bound; at
+        // larger decode batches the amortised weight stream turns
+        // compute-limited through the roofline max(), as on real
+        // hardware.
+        return {0.85, 1.00, 1, 4096, 5.0};
     }
     panic("unknown kernel class");
 }
@@ -344,6 +354,45 @@ makeTranspose(const ArchParams &arch, std::uint64_t elems)
                   kernelClassName(KernelClass::Transpose), flops,
                   bytes, e * bytesPerElem,
                   wgsFor(e, prof.elemsPerWg), 256);
+}
+
+KernelDescriptor
+makeDecodeGemv(const ArchParams &arch, std::uint32_t rows,
+               std::uint32_t n, std::uint32_t k,
+               std::uint32_t batch_count)
+{
+    fatal_if(rows == 0 || n == 0 || k == 0 || batch_count == 0,
+             "decode GEMV dimensions must be non-zero");
+    const double flops = 2.0 * rows * n * k * batch_count;
+    // The weight matrix streams once for the whole decode batch; the
+    // activation rows and outputs are noise next to it.
+    const double weight_b = double(k) * n * batch_count * bytesPerElem;
+    const double act_b =
+        (double(rows) * k + double(rows) * n) * batch_count *
+        bytesPerElem;
+    // One WG per 64-column slab keeps the grid wide enough to spread
+    // over a small CU grant without serialising.
+    const std::uint32_t wgs = ((n + 63) / 64) * batch_count;
+    return finish(arch, KernelClass::DecodeGemv,
+                  kernelClassName(KernelClass::DecodeGemv), flops,
+                  weight_b + act_b, weight_b + act_b, wgs, 256);
+}
+
+KernelDescriptor
+makeAttentionDecode(const ArchParams &arch, std::uint32_t batch,
+                    std::uint32_t heads, std::uint32_t head_dim,
+                    std::uint32_t context)
+{
+    fatal_if(batch == 0 || heads == 0 || head_dim == 0 || context == 0,
+             "attention decode dimensions must be non-zero");
+    // Scores (q . K) and mix (p . V): 2 MACs per cached element.
+    const double kv_elems =
+        2.0 * batch * context * heads * head_dim;
+    const double flops = 2.0 * kv_elems;
+    const double kv_bytes = kv_elems * bytesPerElem;
+    return finish(arch, KernelClass::DecodeGemv,
+                  "paged_attention_decode_fp32", flops, kv_bytes,
+                  kv_bytes, batch * heads, 256);
 }
 
 } // namespace krisp

@@ -96,6 +96,30 @@ KernelDescriptor makeGather(const ArchParams &arch, std::uint64_t rows,
 KernelDescriptor makeTranspose(const ArchParams &arch,
                                std::uint64_t elems);
 
+/**
+ * Decode-phase batched matrix-vector product: @p rows activation rows
+ * (one per sequence in the decode batch) against a [k x n] weight
+ * matrix streamed once from DRAM. The weight stream dominates traffic,
+ * so small decode batches are memory-bound with a tiny min-CU.
+ */
+KernelDescriptor makeDecodeGemv(const ArchParams &arch,
+                                std::uint32_t rows, std::uint32_t n,
+                                std::uint32_t k,
+                                std::uint32_t batch_count = 1);
+
+/**
+ * Single-token attention over the KV cache: each of @p batch requests
+ * streams its whole [2 x context x heads x headDim] cache to score and
+ * mix one new token. Arithmetic intensity is ~0.5 FLOP/byte at any
+ * batch size, so this kernel stays bandwidth-bound however decode is
+ * batched — the paper-faithful source of tiny decode min-CUs.
+ */
+KernelDescriptor makeAttentionDecode(const ArchParams &arch,
+                                     std::uint32_t batch,
+                                     std::uint32_t heads,
+                                     std::uint32_t head_dim,
+                                     std::uint32_t context);
+
 } // namespace krisp
 
 #endif // KRISP_KERN_KERNEL_BUILDER_HH

@@ -37,6 +37,8 @@ kernelClassName(KernelClass klass)
         return "EmbeddingGatherKernel";
       case KernelClass::Transpose:
         return "MIOpenIm2Col";
+      case KernelClass::DecodeGemv:
+        return "rocblas_gemvN_batched_decode";
     }
     panic("unknown kernel class");
 }

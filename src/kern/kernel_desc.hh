@@ -58,13 +58,20 @@ enum class KernelClass
     Gather,
     /** Im2col / tensor reshuffling copies. */
     Transpose,
+    /**
+     * Autoregressive decode-phase matrix-vector products streaming
+     * weights or the KV cache: almost no compute per byte, perfectly
+     * coalesced streaming, so a handful of CUs saturates the kernel's
+     * bandwidth share — the tiny-min-CU regime LLM decode adds.
+     */
+    DecodeGemv,
 };
 
 /** Human-readable library-style kernel name for a class. */
 const char *kernelClassName(KernelClass klass);
 
 /** Number of distinct kernel classes (for iteration in tests). */
-constexpr int numKernelClasses = 14;
+constexpr int numKernelClasses = 15;
 
 /** All classes, in declaration order. */
 KernelClass kernelClassAt(int index);

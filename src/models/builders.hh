@@ -18,6 +18,9 @@
 
 namespace krisp
 {
+
+struct LlmParams; // see model_zoo.hh
+
 namespace models
 {
 
@@ -102,6 +105,20 @@ class Seq
 
     void transpose(std::uint64_t e) { add(makeTranspose(arch_, e)); }
 
+    void
+    decodeGemv(std::uint32_t rows, std::uint32_t n, std::uint32_t k)
+    {
+        add(makeDecodeGemv(arch_, rows, n, k));
+    }
+
+    void
+    attnDecode(std::uint32_t batch, std::uint32_t heads,
+               std::uint32_t head_dim, std::uint32_t context)
+    {
+        add(makeAttentionDecode(arch_, batch, heads, head_dim,
+                                context));
+    }
+
     std::vector<KernelDescPtr> take() { return std::move(kernels_); }
 
     std::size_t size() const { return kernels_.size(); }
@@ -124,6 +141,26 @@ std::vector<KernelDescPtr> buildShufflenet(const ArchParams &,
 std::vector<KernelDescPtr> buildSqueezenet(const ArchParams &,
                                            unsigned batch);
 std::vector<KernelDescPtr> buildAlbert(const ArchParams &, unsigned batch);
+
+/**
+ * Prefill chunk: @p tokens new prompt tokens attended against
+ * @p past_tokens already-cached ones (0 for the first chunk). Wide,
+ * compute-bound kernels — GEMMs with M = tokens.
+ */
+std::vector<KernelDescPtr> buildLlmPrefill(const ArchParams &,
+                                           const LlmParams &params,
+                                           unsigned tokens,
+                                           unsigned past_tokens);
+
+/**
+ * One decode step for a batch of @p batch sequences whose longest
+ * context is @p context tokens: weight-streaming GEMVs plus KV-cache
+ * attention — memory-bound, tiny min-CU.
+ */
+std::vector<KernelDescPtr> buildLlmDecode(const ArchParams &,
+                                          const LlmParams &params,
+                                          unsigned batch,
+                                          unsigned context);
 
 } // namespace models
 } // namespace krisp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Autoregressive transformer lowering: prefill chunks and decode
+ * steps (ROADMAP item: the LLM serving workload).
+ *
+ * A chat request is not one fixed kernel sequence like the CNN zoo:
+ * it is a compute-wide prompt *prefill* (GEMMs with M = tokens, the
+ * whole chunk processed at once) followed by one memory-bound *decode*
+ * step per generated token (weight-streaming GEMVs plus attention over
+ * the per-request KV cache). KernelSight-LM and Revati show this
+ * kernel-level decomposition is what a GPU-free simulation needs to
+ * stay faithful; the compute/memory character of each phase — and
+ * with it the tiny decode min-CU KRISP can harvest — emerges from the
+ * same roofline timing model the CNN kernels use.
+ */
+
+#include "common/logging.hh"
+#include "models/builders.hh"
+#include "models/model_zoo.hh"
+
+namespace krisp
+{
+namespace models
+{
+
+namespace
+{
+
+/** Shared transformer-block epilogue: residual + layernorm. */
+void
+addResidualNorm(Seq &seq, std::uint64_t elems)
+{
+    seq.addTensors(elems);
+    seq.norm(elems, "layernorm");
+}
+
+} // namespace
+
+std::vector<KernelDescPtr>
+buildLlmPrefill(const ArchParams &arch, const LlmParams &p,
+                unsigned tokens, unsigned past_tokens)
+{
+    fatal_if(tokens == 0, "prefill chunk of zero tokens");
+    Seq seq(arch);
+    const unsigned t = tokens;
+    const unsigned ctx = past_tokens + tokens;
+    const std::uint64_t th = std::uint64_t(t) * p.hidden;
+
+    // Token + position embedding lookup for the new chunk.
+    seq.gather(t, p.hidden);
+
+    for (unsigned layer = 0; layer < p.layers; ++layer) {
+        // Fused QKV projection, wide in M = chunk tokens.
+        seq.gemm(t, 3 * p.hidden, p.hidden);
+        seq.elementwise(3 * th, "rope");
+        // Scores against the full cached context, per head.
+        seq.batchedGemm(t, ctx, p.headDim, p.heads);
+        seq.softmax(std::uint64_t(p.heads) * t, ctx);
+        // Context mix back to head dim.
+        seq.batchedGemm(t, p.headDim, ctx, p.heads);
+        seq.gemm(t, p.hidden, p.hidden);
+        addResidualNorm(seq, th);
+        seq.gemm(t, p.ffnHidden, p.hidden);
+        seq.gelu(std::uint64_t(t) * p.ffnHidden);
+        seq.gemm(t, p.hidden, p.ffnHidden);
+        addResidualNorm(seq, th);
+    }
+
+    // First-token logits: the final chunk of a prompt produces the
+    // first output token, so the prefill sequence ends with the
+    // lm_head projection of the last position.
+    seq.norm(th, "layernorm");
+    seq.decodeGemv(1, p.vocab, p.hidden);
+    return seq.take();
+}
+
+std::vector<KernelDescPtr>
+buildLlmDecode(const ArchParams &arch, const LlmParams &p,
+               unsigned batch, unsigned context)
+{
+    fatal_if(batch == 0, "decode step with empty batch");
+    fatal_if(context == 0, "decode step with zero context");
+    Seq seq(arch);
+    const std::uint64_t bh = std::uint64_t(batch) * p.hidden;
+
+    for (unsigned layer = 0; layer < p.layers; ++layer) {
+        // One new token per sequence: every projection is a batched
+        // GEMV streaming its weight matrix once for the whole batch.
+        seq.decodeGemv(batch, 3 * p.hidden, p.hidden);
+        seq.attnDecode(batch, p.heads, p.headDim, context);
+        seq.decodeGemv(batch, p.hidden, p.hidden);
+        addResidualNorm(seq, bh);
+        seq.decodeGemv(batch, p.ffnHidden, p.hidden);
+        seq.gelu(std::uint64_t(batch) * p.ffnHidden);
+        seq.decodeGemv(batch, p.hidden, p.ffnHidden);
+        addResidualNorm(seq, bh);
+    }
+
+    seq.norm(bh, "layernorm");
+    seq.decodeGemv(batch, p.vocab, p.hidden);
+    return seq.take();
+}
+
+} // namespace models
+
+const std::vector<LlmParams> &
+ModelZoo::llmWorkloads()
+{
+    // Two compact decoder-only configurations: "small" keeps tests
+    // and smoke runs fast, "medium" is the bench workload. Vocabs are
+    // compact sentencepiece-style; KV per token is kvBytesPerToken().
+    static const std::vector<LlmParams> table = {
+        {"llm-small", 4, 512, 8, 64, 2048, 8192, 2048},
+        {"llm-medium", 8, 1024, 16, 64, 4096, 16384, 4096},
+    };
+    return table;
+}
+
+bool
+ModelZoo::isLlm(const std::string &name)
+{
+    for (const auto &p : llmWorkloads())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+const LlmParams &
+ModelZoo::llmInfo(const std::string &name)
+{
+    for (const auto &p : llmWorkloads())
+        if (p.name == name)
+            return p;
+    fatal("unknown LLM model: ", name);
+}
+
+unsigned
+ModelZoo::contextBucket(unsigned tokens)
+{
+    constexpr unsigned granule = 256;
+    if (tokens <= granule)
+        return granule;
+    return ((tokens + granule - 1) / granule) * granule;
+}
+
+const std::vector<KernelDescPtr> &
+ModelZoo::llmPrefillKernels(const std::string &name, unsigned tokens,
+                            unsigned past_tokens) const
+{
+    const LlmParams &p = llmInfo(name);
+    fatal_if(tokens == 0, "prefill chunk of zero tokens");
+    const unsigned chunk = contextBucket(tokens);
+    const unsigned past =
+        past_tokens == 0 ? 0 : contextBucket(past_tokens);
+    // Sequence-cache key reusing the CNN cache: the encoded name
+    // carries the phase and the context bucket, the batch slot the
+    // chunk size.
+    const auto key = std::make_pair(
+        name + "#prefill@" + std::to_string(past), chunk);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    return cache_
+        .emplace(key,
+                 models::buildLlmPrefill(arch_, p, chunk, past))
+        .first->second;
+}
+
+const std::vector<KernelDescPtr> &
+ModelZoo::llmDecodeKernels(const std::string &name, unsigned batch,
+                           unsigned context) const
+{
+    const LlmParams &p = llmInfo(name);
+    fatal_if(batch == 0, "decode step with empty batch");
+    const unsigned bucket = contextBucket(context);
+    const auto key = std::make_pair(
+        name + "#decode@" + std::to_string(bucket), batch);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    return cache_
+        .emplace(key, models::buildLlmDecode(arch_, p, batch, bucket))
+        .first->second;
+}
+
+} // namespace krisp

@@ -35,6 +35,33 @@ struct WorkloadInfo
     double paperP95Ms;
 };
 
+/**
+ * Static description of one autoregressive LLM configuration. Unlike
+ * the CNN workloads a request is not one fixed kernel sequence: it is
+ * a prompt prefill (chunked, compute-wide) followed by one decode
+ * step per generated token (memory-bound), with a per-request KV
+ * cache that grows by kvBytesPerToken() for every cached token.
+ */
+struct LlmParams
+{
+    std::string name;
+    unsigned layers = 0;
+    unsigned hidden = 0;
+    unsigned heads = 0;
+    unsigned headDim = 0;
+    unsigned ffnHidden = 0;
+    unsigned vocab = 0;
+    /** Longest prompt + generation the KV layout supports. */
+    unsigned maxContext = 0;
+
+    /** fp32 K+V appended per cached token, summed over layers. */
+    double
+    kvBytesPerToken() const
+    {
+        return 2.0 * layers * hidden * 4.0;
+    }
+};
+
 /** Builds and caches per-model kernel sequences. */
 class ModelZoo
 {
@@ -49,12 +76,46 @@ class ModelZoo
 
     static bool isModel(const std::string &name);
 
+    /** The autoregressive LLM configurations this zoo can lower. */
+    static const std::vector<LlmParams> &llmWorkloads();
+
+    static bool isLlm(const std::string &name);
+
+    /** LLM parameters for @p name (fatal if unknown). */
+    static const LlmParams &llmInfo(const std::string &name);
+
+    /**
+     * Round a token count up to its cache/profile bucket. Prefill and
+     * decode sequences are built per bucket, not per exact context,
+     * so the sequence cache and the profiled Required-CUs table stay
+     * bounded; the rounding slightly overestimates work, never the
+     * reverse.
+     */
+    static unsigned contextBucket(unsigned tokens);
+
     /**
      * The kernel sequence of one inference request of @p name at
      * @p batch. Cached; descriptors are shared between callers.
      */
     const std::vector<KernelDescPtr> &kernels(const std::string &name,
                                               unsigned batch) const;
+
+    /**
+     * Prefill chunk of @p tokens prompt tokens attending over
+     * @p past_tokens cached ones. Both are bucketed via
+     * contextBucket(); cached per (model, buckets).
+     */
+    const std::vector<KernelDescPtr> &
+    llmPrefillKernels(const std::string &name, unsigned tokens,
+                      unsigned past_tokens) const;
+
+    /**
+     * One decode step for @p batch sequences whose longest context is
+     * @p context tokens (bucketed); cached per (model, batch, bucket).
+     */
+    const std::vector<KernelDescPtr> &
+    llmDecodeKernels(const std::string &name, unsigned batch,
+                     unsigned context) const;
 
     const ArchParams &arch() const { return arch_; }
 

@@ -327,6 +327,67 @@ renderResilience(std::ostringstream &os, const json::Value &metrics)
     os << mech.render() << "\n";
 }
 
+/**
+ * LLM serving summary (server.llm.* gauges + percentiles): token
+ * throughput and goodput, the streaming latency triplet (TTFT,
+ * inter-token, end-to-end) and KV-cache pressure. Non-LLM snapshots
+ * have none of these and get a placeholder line.
+ */
+void
+renderLlm(std::ostringstream &os, const json::Value &metrics)
+{
+    os << "== LLM serving ==\n";
+    const json::Value *tps =
+        findGauge(metrics, "llm.tokens_per_sec");
+    if (tps == nullptr) {
+        os << "  (no server.llm.* gauges — not an LLM snapshot)\n\n";
+        return;
+    }
+    const auto num = [&metrics](const char *suffix) {
+        const json::Value *v =
+            findGauge(metrics, std::string("llm.") + suffix);
+        return v != nullptr ? v->numberOr(0) : 0.0;
+    };
+    os << "  tokens/s " << formatFixed(tps->numberOr(0), 0)
+       << ", goodput " << formatFixed(num("goodput_rps"), 1)
+       << " rps of " << formatFixed(num("offered_rps"), 1)
+       << " offered, mean decode batch "
+       << formatFixed(num("mean_decode_batch"), 2) << "\n"
+       << "  kv peak "
+       << formatFixed(num("kv_peak_bytes") / (1024.0 * 1024.0), 1)
+       << " MiB, decode steps "
+       << formatFixed(num("decode_steps"), 0)
+       << ", prefill chunks "
+       << formatFixed(num("prefill_chunks"), 0) << "\n";
+    static const struct
+    {
+        const char *label;
+        const char *name;
+    } lat[] = {
+        {"ttft", "server.llm.ttft_ms"},
+        {"inter-token", "server.llm.itl_ms"},
+        {"e2e", "server.llm.e2e_ms"},
+    };
+    TextTable t({"latency", "mean_ms", "p50_ms", "p99_ms", "count"});
+    for (const auto &l : lat) {
+        const json::Value *p = findPercentiles(metrics, l.name);
+        if (p == nullptr)
+            continue;
+        t.row()
+            .cell(l.label)
+            .cell(p->find("mean") ? p->find("mean")->numberOr(0) : 0,
+                  3)
+            .cell(p->find("p50") ? p->find("p50")->numberOr(0) : 0, 3)
+            .cell(p->find("p99") ? p->find("p99")->numberOr(0) : 0, 3)
+            .cell(p->find("count") ? p->find("count")->numberOr(0)
+                                   : 0,
+                  0);
+    }
+    if (t.rows() != 0)
+        os << t.render();
+    os << "\n";
+}
+
 void
 renderTopKernels(std::ostringstream &os, const json::Value &metrics,
                  unsigned topK)
@@ -434,6 +495,7 @@ generateReport(
     renderPhases(os, metrics);
     renderUtilization(os, metrics, timeline);
     renderResilience(os, metrics);
+    renderLlm(os, metrics);
     renderTopKernels(os, metrics, opts.topK);
     renderBenches(os, benches);
     return os.str();

@@ -1,0 +1,129 @@
+#include "server/dynamic_batcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace krisp
+{
+
+DynamicBatcher::DynamicBatcher(EventQueue &eq,
+                               DynamicBatcherConfig cfg,
+                               IdleProbe idle, DispatchFn dispatch)
+    : eq_(eq), cfg_(cfg), idle_(std::move(idle)),
+      dispatch_(std::move(dispatch))
+{
+    fatal_if(cfg_.maxBatch == 0, "max batch must be non-zero");
+    fatal_if(!idle_ || !dispatch_,
+             "DynamicBatcher needs idle and dispatch hooks");
+}
+
+DynamicBatcher::~DynamicBatcher()
+{
+    if (timer_ != invalidEventId)
+        eq_.deschedule(timer_);
+}
+
+bool
+DynamicBatcher::add(BatchRequest r)
+{
+    if (cfg_.queueCapacity != 0 &&
+        pending_.size() >= cfg_.queueCapacity)
+        return false;
+    pending_.push_back(r);
+    pump();
+    return true;
+}
+
+void
+DynamicBatcher::pump()
+{
+    shedExpired();
+    // Serve every idle worker the queue can fill. Each dispatch
+    // removes at least one pending request, so the loop terminates
+    // even if the owner's idle probe misbehaves.
+    while (!pending_.empty() && idle_()) {
+        if (pending_.size() >= cfg_.maxBatch) {
+            dispatch(cfg_.maxBatch);
+            continue;
+        }
+        // Partial batch: dispatch only once the batching timeout,
+        // measured from the oldest pending request, has expired.
+        const Tick deadline =
+            pending_.front().arrival + cfg_.batchTimeoutNs;
+        if (eq_.now() >= deadline) {
+            dispatch(static_cast<unsigned>(pending_.size()));
+            continue;
+        }
+        break; // wait out the timeout; syncTimer arms the wake-up
+    }
+    syncTimer();
+}
+
+void
+DynamicBatcher::shedExpired()
+{
+    if (cfg_.requestDeadlineNs == 0)
+        return;
+    while (!pending_.empty() &&
+           pending_.front().arrival + cfg_.requestDeadlineNs <=
+               eq_.now()) {
+        const BatchRequest r = pending_.front();
+        pending_.pop_front();
+        if (shed_)
+            shed_(r);
+    }
+}
+
+void
+DynamicBatcher::syncTimer()
+{
+    // The timer exists to wake a waiting partial batch; it must
+    // always reflect the CURRENT oldest request. Anything else —
+    // empty queue, deadline already passed (a pump on the next
+    // worker-free event dispatches immediately) — keeps it disarmed.
+    Tick want = 0;
+    if (!pending_.empty()) {
+        const Tick deadline =
+            pending_.front().arrival + cfg_.batchTimeoutNs;
+        if (eq_.now() < deadline)
+            want = deadline;
+    }
+    if (want == armed_deadline_)
+        return;
+    if (timer_ != invalidEventId) {
+        eq_.deschedule(timer_);
+        timer_ = invalidEventId;
+    }
+    armed_deadline_ = want;
+    if (want != 0) {
+        timer_ = eq_.schedule(want, [this] {
+            timer_ = invalidEventId;
+            armed_deadline_ = 0;
+            pump();
+        });
+    }
+}
+
+void
+DynamicBatcher::dispatch(unsigned size)
+{
+    size = std::min<unsigned>(
+        size, static_cast<unsigned>(pending_.size()));
+    panic_if(size == 0, "dispatching an empty batch");
+    std::vector<BatchRequest> batch;
+    batch.reserve(size);
+    for (unsigned i = 0; i < size; ++i) {
+        BatchRequest r = pending_.front();
+        pending_.pop_front();
+        r.dequeued = eq_.now();
+        batch.push_back(r);
+    }
+    dispatch_(std::move(batch));
+    // Shedding is lazy "at dispatch opportunities": re-check after
+    // each dispatch so a slow dispatch hook cannot let the next
+    // batch's head rot unnoticed.
+    shedExpired();
+}
+
+} // namespace krisp

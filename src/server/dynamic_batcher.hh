@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Frontend batch assembly shared by the serving layers: a FIFO of
+ * pending requests, lazy deadline shedding, and the partial-batch
+ * timeout timer, factored out of the open-loop server so the dispatch
+ * policy is unit-testable and reusable.
+ *
+ * Two historical bugs live here fixed:
+ *
+ *  - pump() drains EVERY idle worker it can fill, not just the first.
+ *    A wake that frees several workers at once (or an owner whose
+ *    idle set grew while the queue was deep) dispatches until either
+ *    the workers or the work runs out; previously queued requests
+ *    could sit waiting for the next arrival with idle capacity.
+ *
+ *  - The partial-batch timer is cancelled / re-armed whenever the
+ *    oldest pending request changes — dispatched in a full batch,
+ *    shed past its deadline, or the queue draining entirely.
+ *    Previously the timer armed for an old front outlived it, firing
+ *    spuriously and leaving a stale event pending on the queue.
+ */
+
+#ifndef KRISP_SERVER_DYNAMIC_BATCHER_HH
+#define KRISP_SERVER_DYNAMIC_BATCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace krisp
+{
+
+/** One queued request as the batcher tracks it. */
+struct BatchRequest
+{
+    std::uint64_t id = 0;
+    Tick arrival = 0;
+    /** Stamped by the batcher when the request leaves the queue. */
+    Tick dequeued = 0;
+};
+
+struct DynamicBatcherConfig
+{
+    /** Largest batch a single dispatch hands out. */
+    unsigned maxBatch = 1;
+    /** add() refuses requests beyond this backlog (0 = unbounded). */
+    std::size_t queueCapacity = 0;
+    /** Partial batches dispatch this long after the oldest arrival. */
+    Tick batchTimeoutNs = 0;
+    /**
+     * Queued requests older than this are shed at the next dispatch
+     * opportunity. 0 disables deadline shedding.
+     */
+    Tick requestDeadlineNs = 0;
+};
+
+/**
+ * Batch assembly policy. The owner supplies two hooks:
+ *
+ *  - idle():     does an idle worker exist right now?
+ *  - dispatch(): take a batch; MUST consume one idle worker
+ *                synchronously (otherwise pump() would spin).
+ *
+ * The batcher owns the pending queue and the partial-batch timer on
+ * the owner's EventQueue; every mutation re-syncs the timer to the
+ * current oldest request, so exactly one timer event is pending iff a
+ * partial batch is waiting out its timeout.
+ */
+class DynamicBatcher
+{
+  public:
+    using IdleProbe = std::function<bool()>;
+    using DispatchFn = std::function<void(std::vector<BatchRequest> &&)>;
+    /** Called for each request shed past its deadline. */
+    using ShedFn = std::function<void(const BatchRequest &)>;
+
+    DynamicBatcher(EventQueue &eq, DynamicBatcherConfig cfg,
+                   IdleProbe idle, DispatchFn dispatch);
+    ~DynamicBatcher();
+
+    DynamicBatcher(const DynamicBatcher &) = delete;
+    DynamicBatcher &operator=(const DynamicBatcher &) = delete;
+
+    void setShedHook(ShedFn shed) { shed_ = std::move(shed); }
+
+    /**
+     * Enqueue a request and pump. @return false if the queue was at
+     * capacity (the request was refused; the caller owns the drop).
+     */
+    bool add(BatchRequest r);
+
+    /**
+     * Dispatch as much as the idle workers and the batching policy
+     * allow: full batches immediately, partial batches once their
+     * timeout has expired, then re-sync the timer.
+     */
+    void pump();
+
+    std::size_t pendingCount() const { return pending_.size(); }
+    bool empty() const { return pending_.empty(); }
+
+    /** True iff a partial-batch timer event is currently armed. */
+    bool timerArmed() const { return timer_ != invalidEventId; }
+    /** Absolute deadline of the armed timer (0 when disarmed). */
+    Tick armedDeadline() const { return armed_deadline_; }
+
+  private:
+    /** Shed queued requests that aged past the request deadline. */
+    void shedExpired();
+    /** Cancel / re-arm the timer to match the current front. */
+    void syncTimer();
+    /** Pop @p size requests, stamp dequeue time, hand them out. */
+    void dispatch(unsigned size);
+
+    EventQueue &eq_;
+    DynamicBatcherConfig cfg_;
+    IdleProbe idle_;
+    DispatchFn dispatch_;
+    ShedFn shed_;
+    std::deque<BatchRequest> pending_;
+    EventId timer_ = invalidEventId;
+    Tick armed_deadline_ = 0;
+};
+
+} // namespace krisp
+
+#endif // KRISP_SERVER_DYNAMIC_BATCHER_HH

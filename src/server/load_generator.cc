@@ -10,6 +10,7 @@
 #include "fault/fault_injector.hh"
 #include "gpu/gpu_device.hh"
 #include "models/model_zoo.hh"
+#include "server/dynamic_batcher.hh"
 #include "server/partition_setup.hh"
 #include "sim/event_queue.hh"
 
@@ -19,17 +20,10 @@ namespace krisp
 namespace
 {
 
-struct Request
-{
-    std::uint64_t id = 0;
-    Tick arrival = 0;
-    Tick dequeued = 0;
-};
-
 /** One in-flight batch plus its phase stamps. */
 struct Batch
 {
-    std::vector<Request> reqs;
+    std::vector<BatchRequest> reqs;
     /** Kernels handed to the stream (preprocess done). */
     Tick launched = 0;
     /** Completion signal hit zero. */
@@ -64,9 +58,9 @@ struct OpenState
     std::unique_ptr<FaultInjector> fault;
     Rng rng{1};
 
-    std::deque<Request> pending;
+    /** Queue + partial-batch timer + deadline shedding (shared). */
+    std::unique_ptr<DynamicBatcher> batcher;
     std::vector<OpenWorker> workers;
-    EventId batch_timer = invalidEventId;
     std::uint64_t nextRequestId = 0;
 
     ObsContext *obs = nullptr;
@@ -122,7 +116,15 @@ struct OpenState
             return; // stop injecting; in-flight work drains
         }
         const std::uint64_t rid = ++nextRequestId;
-        if (pending.size() >= cfg.queueCapacity) {
+        if (batcher->add(BatchRequest{rid, t, 0})) {
+            if (measuring)
+                ++arrivals;
+            if (obs != nullptr) {
+                KRISP_TRACE_EVENT(&obs->trace,
+                                  requestEnqueue(frontendTid(),
+                                                 cfg.model, rid));
+            }
+        } else {
             if (measuring)
                 ++dropped;
             if (droppedMetric != nullptr)
@@ -133,16 +135,6 @@ struct OpenState
                                               rid, "backlog"));
                 obs->timeline.recordDrop(t);
             }
-        } else {
-            pending.push_back(Request{rid, t});
-            if (measuring)
-                ++arrivals;
-            if (obs != nullptr) {
-                KRISP_TRACE_EVENT(&obs->trace,
-                                  requestEnqueue(frontendTid(),
-                                                 cfg.model, rid));
-            }
-            maybeDispatch();
         }
         // Next Poisson arrival.
         const double gap_s =
@@ -160,78 +152,34 @@ struct OpenState
         return nullptr;
     }
 
-    /**
-     * Deadline shedding (lazy, at dispatch opportunities): requests
-     * that aged past the deadline while queued are dropped from the
-     * head instead of being served uselessly late.
-     */
+    /** Deadline-shed accounting (the batcher drops lazily). */
     void
-    shedExpired()
+    onShed(const BatchRequest &r)
     {
-        if (cfg.requestDeadlineNs == 0)
-            return;
-        while (!pending.empty() &&
-               pending.front().arrival + cfg.requestDeadlineNs <=
-                   eq.now()) {
-            const Request r = pending.front();
-            pending.pop_front();
-            if (measuring && r.arrival >= measureStart)
-                ++shedDeadline;
-            if (shedMetric != nullptr)
-                shedMetric->inc();
-            if (obs != nullptr) {
-                KRISP_TRACE_EVENT(&obs->trace,
-                                  requestDrop(frontendTid(), cfg.model,
-                                              r.id, "deadline"));
-                obs->timeline.recordDrop(eq.now());
-            }
+        if (measuring && r.arrival >= measureStart)
+            ++shedDeadline;
+        if (shedMetric != nullptr)
+            shedMetric->inc();
+        if (obs != nullptr) {
+            KRISP_TRACE_EVENT(&obs->trace,
+                              requestDrop(frontendTid(), cfg.model,
+                                          r.id, "deadline"));
+            obs->timeline.recordDrop(eq.now());
         }
     }
 
+    /** Batcher dispatch hook: consume one idle worker synchronously. */
     void
-    maybeDispatch()
+    startBatch(std::vector<BatchRequest> &&reqs)
     {
-        shedExpired();
-        OpenWorker *w = idleWorker();
-        if (!w || pending.empty())
-            return;
-        if (pending.size() >= cfg.maxBatch) {
-            dispatchBatch(*w, cfg.maxBatch);
-            return;
-        }
-        // Partial batch: wait for the batching timeout measured from
-        // the oldest pending request.
-        const Tick oldest = pending.front().arrival;
-        const Tick deadline = oldest + cfg.batchTimeoutNs;
-        if (eq.now() >= deadline) {
-            dispatchBatch(*w,
-                          static_cast<unsigned>(pending.size()));
-            return;
-        }
-        if (batch_timer == invalidEventId) {
-            batch_timer =
-                eq.schedule(deadline, [this] {
-                    batch_timer = invalidEventId;
-                    maybeDispatch();
-                });
-        }
-    }
-
-    void
-    dispatchBatch(OpenWorker &w, unsigned size)
-    {
-        size = std::min<unsigned>(
-            size, static_cast<unsigned>(pending.size()));
-        panic_if(size == 0, "dispatching an empty batch");
+        OpenWorker *wp = idleWorker();
+        panic_if(wp == nullptr, "dispatch with no idle worker");
+        OpenWorker &w = *wp;
+        const auto size = static_cast<unsigned>(reqs.size());
         w.busy = true;
         const std::uint64_t gen = w.generation;
         auto batch = std::make_shared<Batch>();
-        for (unsigned i = 0; i < size; ++i) {
-            Request r = pending.front();
-            pending.pop_front();
-            r.dequeued = eq.now();
-            batch->reqs.push_back(r);
-        }
+        batch->reqs = std::move(reqs);
         if (measuring)
             batchSizes.add(static_cast<double>(size));
 
@@ -293,7 +241,7 @@ struct OpenState
      * watchdog — ahead of the next batch's.
      */
     void
-    watchdogFire(OpenWorker &w, const std::vector<Request> &batch)
+    watchdogFire(OpenWorker &w, const std::vector<BatchRequest> &batch)
     {
         w.watchdogEv = invalidEventId;
         ++w.generation;
@@ -302,7 +250,7 @@ struct OpenState
              " on worker ", w.id, " after ", cfg.batchWatchdogNs,
              " ns");
         if (obs != nullptr) {
-            for (const Request &r : batch) {
+            for (const BatchRequest &r : batch) {
                 KRISP_TRACE_EVENT(&obs->trace,
                                   requestDrop(w.id, cfg.model, r.id,
                                               "timeout"));
@@ -310,7 +258,7 @@ struct OpenState
             }
         }
         w.busy = false;
-        maybeDispatch();
+        batcher->pump();
     }
 
     void
@@ -319,7 +267,7 @@ struct OpenState
         disarmWatchdog(w);
         const Tick t = eq.now();
         const double reconfig_ms = ticksToMs(batch.protoWaitNs);
-        for (const Request &r : batch.reqs) {
+        for (const BatchRequest &r : batch.reqs) {
             const double latency_ms = ticksToMs(t - r.arrival);
             if (measuring && r.arrival >= measureStart) {
                 ++served;
@@ -364,7 +312,7 @@ struct OpenState
             }
         }
         w.busy = false;
-        maybeDispatch();
+        batcher->pump();
     }
 };
 
@@ -425,6 +373,20 @@ OpenLoopServer::run()
         st.workers[i].id = i;
         st.workers[i].stream = &st.hip->createStream();
     }
+
+    DynamicBatcherConfig bcfg;
+    bcfg.maxBatch = config_.maxBatch;
+    bcfg.queueCapacity = config_.queueCapacity;
+    bcfg.batchTimeoutNs = config_.batchTimeoutNs;
+    bcfg.requestDeadlineNs = config_.requestDeadlineNs;
+    st.batcher = std::make_unique<DynamicBatcher>(
+        st.eq, bcfg,
+        [&st] { return st.idleWorker() != nullptr; },
+        [&st](std::vector<BatchRequest> &&reqs) {
+            st.startBatch(std::move(reqs));
+        });
+    st.batcher->setShedHook(
+        [&st](const BatchRequest &r) { st.onShed(r); });
 
     // Policy setup mirrors the closed-loop server (shared helper).
     KernelProfiler kprof(config_.gpu, config_.profiler);

@@ -77,16 +77,62 @@ TEST(Accumulator, NegativeValues)
     EXPECT_DOUBLE_EQ(acc.min(), -3.0);
 }
 
-TEST(PercentileTracker, NearestRankInterpolation)
+TEST(PercentileTracker, NearestRank)
 {
+    // The header promises nearest-rank: the smallest sample with at
+    // least ceil(q*n) samples at or below it. Every result must be a
+    // value that was actually observed — nothing interpolated.
     PercentileTracker t;
     for (int i = 1; i <= 100; ++i)
         t.add(static_cast<double>(i));
     EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(t.percentile(1.0), 100.0);
-    EXPECT_NEAR(t.percentile(0.5), 50.5, 1e-9);
-    EXPECT_NEAR(t.percentile(0.95), 95.05, 1e-9);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.99), 99.0);
     EXPECT_NEAR(t.mean(), 50.5, 1e-9);
+}
+
+TEST(PercentileTracker, NearestRankExactRankHits)
+{
+    // ceil(q*n) landing exactly on an integer rank must pick that
+    // sample, not the next one: with n=4, q=0.25 -> rank 1, q=0.5 ->
+    // rank 2, q=0.75 -> rank 3.
+    PercentileTracker t;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        t.add(x);
+    EXPECT_DOUBLE_EQ(t.percentile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.75), 30.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.76), 40.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 40.0);
+}
+
+TEST(PercentileTracker, NearestRankTwoSamples)
+{
+    PercentileTracker t;
+    t.add(1.0);
+    t.add(2.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
+    // ceil(0.5 * 2) = 1: the median of two samples is the lower one.
+    EXPECT_DOUBLE_EQ(t.percentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.51), 2.0);
+    EXPECT_DOUBLE_EQ(t.percentile(1.0), 2.0);
+}
+
+TEST(PercentileTracker, NearestRankAlwaysReturnsObservedSample)
+{
+    Rng rng(0xbeefULL);
+    PercentileTracker t;
+    std::set<double> seen;
+    for (int i = 0; i < 37; ++i) {
+        const double x = rng.uniform(0.0, 1000.0);
+        t.add(x);
+        seen.insert(x);
+    }
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+        EXPECT_TRUE(seen.count(t.percentile(q)))
+            << "q=" << q << " fabricated " << t.percentile(q);
 }
 
 TEST(PercentileTracker, UnsortedInput)
@@ -325,6 +371,106 @@ TEST(Histogram, OutOfRangeCountedNotClamped)
     EXPECT_EQ(h.binCount(4), 0u);
     EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.overflow(), 2u);
+}
+
+// ---- merge-vs-sequential property tests ------------------------
+//
+// The cluster layer folds per-shard statistics into cluster-wide
+// ones with merge(); the result must be indistinguishable from
+// having fed every sample into one instance sequentially.
+
+TEST(Accumulator, MergeOfPartsEqualsSequentialFeed)
+{
+    Rng rng(0x51a75ULL);
+    std::vector<double> samples;
+    for (int i = 0; i < 257; ++i)
+        samples.push_back(rng.uniform(-50.0, 150.0));
+
+    Accumulator whole;
+    for (double x : samples)
+        whole.add(x);
+
+    // Split into three uneven parts, merge back together.
+    Accumulator parts[3];
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        parts[i % 2 == 0 ? 0 : (i % 3 == 0 ? 1 : 2)].add(samples[i]);
+    Accumulator merged;
+    for (const Accumulator &p : parts)
+        merged.merge(p);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+}
+
+TEST(Accumulator, MergeEmptySides)
+{
+    Accumulator filled;
+    for (double x : {3.0, 1.0, 4.0})
+        filled.add(x);
+    Accumulator empty;
+
+    Accumulator a = filled;
+    a.merge(empty); // empty right side: no change
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+
+    Accumulator b;
+    b.merge(filled); // empty left side: adopt other wholesale
+    EXPECT_EQ(b.count(), 3u);
+    EXPECT_DOUBLE_EQ(b.min(), 1.0);
+    EXPECT_DOUBLE_EQ(b.max(), 4.0);
+    EXPECT_NEAR(b.variance(), filled.variance(), 1e-12);
+}
+
+TEST(PercentileTracker, MergeOfPartsEqualsSequentialFeed)
+{
+    Rng rng(0x9e47cULL);
+    PercentileTracker whole;
+    PercentileTracker left;
+    PercentileTracker right;
+    for (int i = 0; i < 101; ++i) {
+        const double x = rng.uniform(0.0, 10.0);
+        whole.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    // Query a part first: merging must include samples regardless of
+    // the lazily-sorted state of either side.
+    (void)left.percentile(0.5);
+
+    PercentileTracker merged;
+    merged.merge(left);
+    merged.merge(right);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(merged.percentile(q), whole.percentile(q))
+            << "q=" << q;
+}
+
+TEST(Histogram, MergeOfPartsEqualsSequentialFeed)
+{
+    Rng rng(0x4157ULL);
+    Histogram whole(0.0, 100.0, 10);
+    Histogram left(0.0, 100.0, 10);
+    Histogram right(0.0, 100.0, 10);
+    for (int i = 0; i < 500; ++i) {
+        // Deliberately wider than the range: under/overflow counters
+        // must merge exactly too.
+        const double x = rng.uniform(-20.0, 140.0);
+        whole.add(x);
+        (i % 3 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.total(), whole.total());
+    EXPECT_EQ(left.underflow(), whole.underflow());
+    EXPECT_EQ(left.overflow(), whole.overflow());
+    for (std::size_t b = 0; b < whole.bins(); ++b)
+        EXPECT_EQ(left.binCount(b), whole.binCount(b)) << "bin " << b;
 }
 
 TEST(Logging, ThresholdFiltersLevels)
