@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Extension experiment: parallel cluster-engine scaling. One
+ * 64-shard open-loop cluster run (about a million requests at full
+ * scale) executed by the sequential oracle and then by the windowed
+ * parallel engine at 1/2/4/8 workers, reporting wall time, simulated
+ * events per second and speedup over the oracle per worker count.
+ *
+ * Two gates ride along:
+ *  - correctness (always enforced): the parallel run's metrics JSON
+ *    and routing hash must be byte-identical to the sequential
+ *    oracle's — the same differential the test suite sweeps, here at
+ *    bench scale;
+ *  - speedup (enforced only when the host has >= 4 hardware threads,
+ *    reported as gate.speedup_enforced): the 4-worker run must beat
+ *    the oracle by >= 2x. On smaller hosts the sweep still runs and
+ *    reports, so the numbers stay comparable across machines.
+ *
+ * KRISP_BENCH_QUICK=1 shrinks the run for CI smokes; the gates apply
+ * to the quick configuration too.
+ */
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "cluster/cluster_server.hh"
+#include "common/table.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+constexpr unsigned kShards = 64;
+
+ClusterConfig
+benchConfig()
+{
+    ClusterConfig cfg;
+    cfg.numShards = kShards;
+    cfg.routing = RoutingPolicy::LeastOutstanding;
+    cfg.models = {"squeezenet", "shufflenet"};
+    cfg.workersPerShard = 2;
+    cfg.maxBatch = 8;
+    // Full scale: ~16k rps x 64 s of simulated time ~= 1M requests.
+    // Quick mode trades request count for CI latency, same shape.
+    cfg.arrivalRatePerSec = 250.0 * kShards;
+    cfg.warmupNs = ticksFromMs(50);
+    cfg.measureNs = bench::quickMode() ? ticksFromMs(400.0)
+                                       : ticksFromSec(64.0);
+    return cfg;
+}
+
+EngineConfig
+engineOf(ClusterEngine engine, unsigned workers)
+{
+    EngineConfig e;
+    e.engine = engine;
+    e.workers = workers;
+    e.windowNs = 0;
+    return e;
+}
+
+struct TimedRun
+{
+    double wallSec = 0;
+    ClusterResult result;
+};
+
+TimedRun
+timedRun(ClusterConfig cfg, const EngineConfig &engine)
+{
+    cfg.engine = engine;
+    const auto t0 = std::chrono::steady_clock::now();
+    TimedRun out;
+    out.result = ClusterServer(cfg).run();
+    out.wallSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::BenchReport report(
+        "ext_parallel_engine",
+        "extension: windowed parallel cluster engine vs sequential "
+        "oracle — 64-shard scaling sweep with byte-identity gate");
+
+    const ClusterConfig cfg = benchConfig();
+    const unsigned hw = std::thread::hardware_concurrency();
+    report.set("hardware_threads", static_cast<double>(hw));
+    report.set("shards", static_cast<double>(kShards));
+
+    // Byte-identity gate first, with observability attached (the
+    // metrics registry is the comparison artifact). Timed runs below
+    // go without obs so the clock sees the engines, not the metrics.
+    bool bytes_ok = true;
+    {
+        auto withObs = [&cfg](const EngineConfig &engine,
+                              std::string *json,
+                              std::uint64_t *hash) {
+            ObsContext obs;
+            ClusterConfig c = cfg;
+            c.obs = &obs;
+            c.engine = engine;
+            const ClusterResult r = ClusterServer(c).run();
+            *json = obs.metrics.toJson();
+            *hash = r.routingHash;
+        };
+        std::string seq_json, par_json;
+        std::uint64_t seq_hash = 0, par_hash = 0;
+        ClusterConfig small = cfg;
+        // The identity probe does not need the full duration.
+        small.measureNs = ticksFromMs(200.0);
+        withObs(engineOf(ClusterEngine::Sequential, 1), &seq_json,
+                &seq_hash);
+        withObs(engineOf(ClusterEngine::Parallel, 4), &par_json,
+                &par_hash);
+        bytes_ok = seq_json == par_json && seq_hash == par_hash;
+        report.set("gate.bytes_identical", bytes_ok ? 1.0 : 0.0);
+        if (!bytes_ok)
+            std::printf("FAIL: parallel metrics diverge from the "
+                        "sequential oracle\n");
+    }
+
+    const TimedRun seq =
+        timedRun(cfg, engineOf(ClusterEngine::Sequential, 1));
+    const double events =
+        static_cast<double>(seq.result.engine.eventsFired);
+    report.set("sequential.wall_s", seq.wallSec);
+    report.set("sequential.events_per_s",
+               seq.wallSec > 0 ? events / seq.wallSec : 0);
+    report.set("requests_served",
+               static_cast<double>(seq.result.served));
+
+    TextTable table({"engine", "workers", "wall_s", "events_per_s",
+                     "speedup", "windows"});
+    table.row()
+        .cell("sequential")
+        .cell(1, 0)
+        .cell(seq.wallSec, 2)
+        .cell(seq.wallSec > 0 ? events / seq.wallSec : 0, 0)
+        .cell(1.0, 2)
+        .cell(0, 0);
+
+    double speedup4 = 0;
+    for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+        const TimedRun par =
+            timedRun(cfg, engineOf(ClusterEngine::Parallel, workers));
+        const double speedup =
+            par.wallSec > 0 ? seq.wallSec / par.wallSec : 0;
+        if (workers == 4)
+            speedup4 = speedup;
+        const std::string prefix =
+            "parallel.workers" + std::to_string(workers);
+        report.set(prefix + ".wall_s", par.wallSec);
+        report.set(prefix + ".events_per_s",
+                   par.wallSec > 0 ? events / par.wallSec : 0);
+        report.set(prefix + ".speedup", speedup);
+        report.set(prefix + ".windows",
+                   static_cast<double>(par.result.engine.windows));
+        table.row()
+            .cell("parallel")
+            .cell(workers, 0)
+            .cell(par.wallSec, 2)
+            .cell(par.wallSec > 0 ? events / par.wallSec : 0, 0)
+            .cell(speedup, 2)
+            .cell(static_cast<double>(par.result.engine.windows), 0);
+    }
+    table.print("parallel engine scaling, 64 shards "
+                "(least-outstanding, squeezenet+shufflenet)");
+
+    // The speedup gate needs real cores: a 4-worker phase cannot
+    // beat the oracle on a 1- or 2-thread host, so there the sweep
+    // only reports. CI runners with >= 4 threads enforce it.
+    const bool enforce_speedup = hw >= 4;
+    report.set("gate.speedup_enforced", enforce_speedup ? 1.0 : 0.0);
+    report.set("gate.speedup_4workers", speedup4);
+    bool speedup_ok = true;
+    if (enforce_speedup && speedup4 < 2.0) {
+        speedup_ok = false;
+        std::printf("FAIL: 4-worker speedup %.2fx < 2x on a %u-thread "
+                    "host\n",
+                    speedup4, hw);
+    }
+
+    report.write();
+    return bytes_ok && speedup_ok ? 0 : 1;
+}

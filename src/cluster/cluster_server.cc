@@ -1,5 +1,6 @@
 #include "cluster/cluster_server.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <deque>
@@ -9,6 +10,41 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "sim/event_queue.hh"
+
+/*
+ * Execution model (see DESIGN.md §14). The run is split into logical
+ * processes executed by a ClusterFabric: LP 0 (the *control plane*)
+ * owns arrivals, routing, frontend queues, batching, watchdogs,
+ * hedging, resilience, failover and crash bookkeeping; LP 1+i (the
+ * *device plane* of shard i) owns that shard's GPU stack — streams,
+ * kernel timing, signals, fault draws, power integration. The two
+ * planes interact only through fabric messages:
+ *
+ *   control -> shard : batch launch (preprocess done), grant-cap
+ *                      updates, crash-restart stack rebuilds
+ *   shard -> control : batch completion, postprocessNs after the
+ *                      completion signal hits zero — the cluster's
+ *                      minimum shard-to-control latency, i.e. the
+ *                      conservative lookahead
+ *
+ * Everything downstream of this file is engine-agnostic: the same
+ * message protocol executes on one thread (sequential fabric, the
+ * oracle) or on per-shard queues advanced in conservative windows
+ * (parallel fabric), and both must produce byte-identical metrics.
+ *
+ * Cross-plane determinism rules used below:
+ *  - A worker generation is checked when the completion *message is
+ *    delivered* on the control plane, never from the device plane.
+ *  - A device-plane launch consults its LaunchGate: the control
+ *    plane stamps the tick a batch was abandoned (watchdog, crash),
+ *    and the launch aborts iff that stamp is strictly before the
+ *    launch tick — an order-free rule both engines evaluate alike.
+ *  - Health checks read the reconfig-fallback count snapshotted into
+ *    the completion message at signal-zero time, not the live shard
+ *    counter.
+ *  - Energy is sampled by per-shard events at fixed ticks, not by
+ *    control-plane reads at arrival ticks.
+ */
 
 namespace krisp
 {
@@ -49,6 +85,20 @@ struct Request
     std::shared_ptr<HedgeState> hedge;
 };
 
+/**
+ * Control-plane abort stamp for one dispatched batch. The control
+ * plane records WHEN it abandoned the batch; the device plane aborts
+ * its launch iff that happened strictly before the launch tick. The
+ * strict comparison makes the equal-tick case (abandon and launch on
+ * the same tick) engine-independent: both engines let the launch
+ * proceed, and the completion is discarded at delivery by the
+ * generation check.
+ */
+struct LaunchGate
+{
+    Tick abortedAt = maxTick;
+};
+
 /** One in-flight batch plus its phase stamps. */
 struct Batch
 {
@@ -60,16 +110,20 @@ struct Batch
     /** Stream protocol-wait total at launch (delta = this batch). */
     Tick protoBase = 0;
     Tick protoWaitNs = 0;
+    /** Shard reconfig-fallback counter snapshot at signal zero;
+     *  carried to the control plane for health checks. */
+    std::uint64_t fallbacksSeen = 0;
 };
 
 struct ClusterWorker
 {
     WorkerId id = 0;
-    Stream *stream = nullptr;
     bool busy = false;
     /** Abandonment guard: bumped when the watchdog fails a batch. */
     std::uint64_t generation = 0;
     EventId watchdogEv = invalidEventId;
+    /** Abort stamp shared with the in-flight device-plane launch. */
+    std::shared_ptr<LaunchGate> gate;
     /** The batch being served, so a crash can recover its requests. */
     std::shared_ptr<Batch> inFlight;
 };
@@ -85,8 +139,10 @@ struct ShardState
     // ---- health since the last re-admission ----------------------
     std::uint64_t hungBatches = 0;
     std::uint64_t fallbackBaseline = 0;
+    /** Highest fallback count any completion message reported. */
+    std::uint64_t lastFallbacksSeen = 0;
     bool draining = false;
-    /** Crashed and awaiting warm restart (shard is null while set). */
+    /** Crashed and awaiting warm restart. */
     bool down = false;
     /** Health monitor holds fire until this tick (post-readmit). */
     Tick graceUntil = 0;
@@ -103,7 +159,9 @@ struct ShardState
 struct ClusterState
 {
     ClusterConfig cfg;
-    EventQueue eq;
+    /** Owns the LP event queues; declared first so every shard stack
+     *  (which references its queue) is destroyed before it. */
+    std::unique_ptr<ClusterFabric> fab;
     std::vector<std::unique_ptr<ShardState>> shards;
     std::unique_ptr<ClusterRouter> router;
     std::unique_ptr<ClusterResilience> resilience;
@@ -118,8 +176,11 @@ struct ClusterState
     bool stopped = false;
     Tick measureStart = 0;
     Tick measureEnd = 0;
-    double energyStart = 0;
-    double energyEnd = 0;
+    /** Per-shard energy readings taken by device-plane events at the
+     *  fixed ticks warmupNs and warmupNs + measureNs. */
+    std::vector<double> energyStartShard;
+    std::vector<double> energyEndShard;
+    std::vector<char> energyEndSampled;
 
     std::uint64_t arrivals = 0;
     std::uint64_t served = 0;
@@ -146,7 +207,9 @@ struct ClusterState
 
     /** Crashed shard stacks, kept so in-flight simulated work (and
      *  end-of-run metric merging) stays valid after a warm restart
-     *  replaced them. */
+     *  replaced them. Only the control plane mutates this (crash
+     *  ticks); device-plane energy samples may read it, which is
+     *  safe because fabric phases never overlap. */
     std::vector<std::pair<unsigned, std::unique_ptr<GpuShard>>>
         graveyard;
     /** Per-shard bring-up templates for warm restarts. */
@@ -162,16 +225,62 @@ struct ClusterState
     PercentileTracker *latencyAllMs = nullptr;
     Histogram *latencyHistMs = nullptr;
 
+    /** Control-plane event queue (LP 0). */
+    EventQueue &
+    ctl()
+    {
+        return fab->lpQueue(0);
+    }
+
+    /** Device-plane event queue of shard @p i (LP 1 + i). */
+    EventQueue &
+    shardQueue(unsigned i)
+    {
+        return fab->lpQueue(1 + i);
+    }
+
+    /**
+     * Delay between a crash-restart stack rebuild (device plane) and
+     * the control plane re-admitting the shard. Must be at least the
+     * fabric lookahead so the rebuild has executed before the first
+     * re-admitted dispatch reads the new stack; never zero so the
+     * rebuild message sorts strictly before the readmit.
+     */
+    Tick
+    readmitLagNs() const
+    {
+        return std::max<Tick>(cfg.postprocessNs, 1);
+    }
+
+    /**
+     * Energy attributable to shard @p i: its live stack plus any of
+     * its crashed stacks in the graveyard. The sum is independent of
+     * which container currently holds a stack, so control-plane
+     * graveyard moves inside the sampling window cannot skew it.
+     */
+    double
+    shardEnergy(unsigned i) const
+    {
+        double joules = 0;
+        const ShardState &ss = *shards[i];
+        if (ss.shard != nullptr)
+            joules += ss.shard->device().power().energyJoules();
+        for (const auto &dead : graveyard)
+            if (dead.first == i)
+                joules +=
+                    dead.second->device().power().energyJoules();
+        return joules;
+    }
+
+    /** End-of-run fallback when the fixed-tick end samples did not
+     *  fire (maxSimNs truncation): single-threaded, every LP clock
+     *  already settled at its final event. */
     double
     totalEnergy() const
     {
         double joules = 0;
-        for (const auto &ss : shards)
-            if (ss->shard != nullptr)
-                joules +=
-                    ss->shard->device().power().energyJoules();
-        for (const auto &dead : graveyard)
-            joules += dead.second->device().power().energyJoules();
+        for (unsigned i = 0; i < shards.size(); ++i)
+            joules += shardEnergy(i);
         return joules;
     }
 
@@ -228,7 +337,7 @@ struct ClusterState
     cancelHedgeTimer(const Request &r)
     {
         if (r.hedge && r.hedge->timerEv != invalidEventId) {
-            eq.deschedule(r.hedge->timerEv);
+            ctl().deschedule(r.hedge->timerEv);
             r.hedge->timerEv = invalidEventId;
         }
     }
@@ -270,7 +379,7 @@ struct ClusterState
             KRISP_TRACE_EVENT(&obs->trace,
                               requestDrop(tid, modelName(r.model),
                                           r.id, reason));
-            obs->timeline.recordDrop(eq.now());
+            obs->timeline.recordDrop(ctl().now());
         }
         terminalDrop();
     }
@@ -284,7 +393,7 @@ struct ClusterState
         if (bad < avoid.size())
             avoid[bad] = true;
         for (unsigned s = 0; s < cfg.numShards; ++s)
-            if (resilience->breakerOpen(s, eq.now()))
+            if (resilience->breakerOpen(s, ctl().now()))
                 avoid[s] = true;
         return avoid;
     }
@@ -306,9 +415,10 @@ struct ClusterState
                 r.attempts += 1;
                 r.hedge.reset();
                 r.isHedge = false;
-                r.deadlineAt = cfg.requestDeadlineNs > 0
-                                   ? eq.now() + cfg.requestDeadlineNs
-                                   : 0;
+                r.deadlineAt =
+                    cfg.requestDeadlineNs > 0
+                        ? ctl().now() + cfg.requestDeadlineNs
+                        : 0;
                 const std::vector<bool> avoid =
                     avoidFor(failed_shard);
                 const int target =
@@ -330,7 +440,7 @@ struct ClusterState
                 // backoff. Each hop re-enters here, spending one
                 // attempt, so parking is bounded by maxAttempts.
                 const Request parked = r;
-                eq.scheduleIn(rc.rerouteBackoffNs, [this, parked] {
+                ctl().scheduleIn(rc.rerouteBackoffNs, [this, parked] {
                     handleLostRequest(parked, cfg.numShards,
                                       "reroute");
                 });
@@ -384,12 +494,12 @@ struct ClusterState
     haltPeriodicTimers()
     {
         if (brownoutEv != invalidEventId) {
-            eq.deschedule(brownoutEv);
+            ctl().deschedule(brownoutEv);
             brownoutEv = invalidEventId;
         }
         for (auto &ss : shards) {
             if (ss->crashEv != invalidEventId) {
-                eq.deschedule(ss->crashEv);
+                ctl().deschedule(ss->crashEv);
                 ss->crashEv = invalidEventId;
             }
         }
@@ -400,16 +510,14 @@ struct ClusterState
     {
         if (stopped)
             return;
-        const Tick t = eq.now();
+        const Tick t = ctl().now();
         if (t >= cfg.warmupNs && !measuring) {
             measuring = true;
             measureStart = t;
-            energyStart = totalEnergy();
         }
         if (measuring && t >= cfg.warmupNs + cfg.measureNs) {
             stopped = true;
             measureEnd = t;
-            energyEnd = totalEnergy();
             haltPeriodicTimers();
             return; // stop injecting; in-flight work drains
         }
@@ -465,7 +573,7 @@ struct ClusterState
                     ++arrivals;
                 if (r.hedge) {
                     r.hedge->primaryShard = target;
-                    r.hedge->timerEv = eq.scheduleIn(
+                    r.hedge->timerEv = ctl().scheduleIn(
                         resilience->hedgeDelayNs(),
                         [this, r] { hedgeFire(r); });
                 }
@@ -475,8 +583,8 @@ struct ClusterState
         // Next Poisson arrival (cluster-wide process).
         const double gap_s = -std::log(1.0 - rng.uniform()) /
                              cfg.arrivalRatePerSec;
-        eq.scheduleIn(std::max<Tick>(ticksFromSec(gap_s), 1),
-                      [this] { arrive(); });
+        ctl().scheduleIn(std::max<Tick>(ticksFromSec(gap_s), 1),
+                         [this] { arrive(); });
     }
 
     /**
@@ -549,7 +657,7 @@ struct ClusterState
             return;
         while (!ss.pending.empty() &&
                ss.pending.front().deadlineAt != 0 &&
-               ss.pending.front().deadlineAt <= eq.now()) {
+               ss.pending.front().deadlineAt <= ctl().now()) {
             const Request r = ss.pending.front();
             ss.pending.pop_front();
             const unsigned idx = shardTid(ss);
@@ -563,7 +671,7 @@ struct ClusterState
                                   requestDrop(idx,
                                               modelName(r.model),
                                               r.id, "deadline"));
-                obs->timeline.recordDrop(eq.now());
+                obs->timeline.recordDrop(ctl().now());
             }
             loseRequest(r, idx, "deadline");
         }
@@ -600,12 +708,12 @@ struct ClusterState
         }
         const Tick oldest = ss.pending.front().arrival;
         const Tick deadline = oldest + cfg.batchTimeoutNs;
-        if (eq.now() >= deadline) {
+        if (ctl().now() >= deadline) {
             dispatchBatch(ss, *w, ready);
             return;
         }
         if (ss.batchTimer == invalidEventId) {
-            ss.batchTimer = eq.schedule(deadline, [this, &ss] {
+            ss.batchTimer = ctl().schedule(deadline, [this, &ss] {
                 ss.batchTimer = invalidEventId;
                 maybeDispatch(ss);
             });
@@ -617,6 +725,7 @@ struct ClusterState
     {
         panic_if(size == 0, "dispatching an empty batch");
         w.busy = true;
+        w.gate = std::make_shared<LaunchGate>();
         const std::uint64_t gen = w.generation;
         // Single-model batches: collect up to @p size requests for
         // the head's model, leaving other models queued in order.
@@ -626,7 +735,7 @@ struct ClusterState
              it != ss.pending.end() && batch->reqs.size() < size;) {
             if (it->model == model) {
                 Request r = *it;
-                r.dequeued = eq.now();
+                r.dequeued = ctl().now();
                 batch->reqs.push_back(r);
                 it = ss.pending.erase(it);
             } else {
@@ -637,45 +746,66 @@ struct ClusterState
         if (measuring)
             batchSizes.add(static_cast<double>(batch->reqs.size()));
 
+        // Preprocess runs on the control plane: the stall draw comes
+        // from the fault injector's dedicated stall stream, which
+        // only this plane consumes, and the kernel-sequence lookup is
+        // a pure cache hit (the shard pre-profiled every (model,
+        // batch <= maxBatch) pair at bring-up).
         Tick preprocess = cfg.preprocessNs;
         if (ss.shard->fault() != nullptr)
             preprocess += ss.shard->fault()->preprocessStall();
         const auto *seq_ptr = &ss.shard->zoo().kernels(
             modelName(model),
             static_cast<unsigned>(batch->reqs.size()));
-        eq.scheduleIn(preprocess,
-                      [this, &ss, &w, gen, batch, seq_ptr] {
-            if (gen != w.generation)
-                return;
-            batch->launched = eq.now();
-            batch->protoBase = w.stream->protocolWaitNs();
+        const unsigned idx = shardTid(ss);
+        const unsigned wid = w.id;
+        GpuShard *stack = ss.shard.get();
+        std::shared_ptr<LaunchGate> gate = w.gate;
+        const Tick post = cfg.postprocessNs;
+
+        // Device plane: launch at preprocess-done, then post the
+        // completion back postprocessNs after signal zero (the
+        // fabric lookahead).
+        fab->post(0, 1 + idx, ctl().now() + preprocess,
+                  [this, idx, wid, gen, gate, batch, seq_ptr, stack,
+                   post] {
+            EventQueue &sq = shardQueue(idx);
+            const Tick launch_tick = sq.now();
+            if (gate->abortedAt < launch_tick)
+                return; // abandoned before the kernels went out
+            batch->launched = launch_tick;
+            Stream &stream = stack->workerStream(wid);
+            batch->protoBase = stream.protocolWaitNs();
             const auto &seq = *seq_ptr;
             auto sig = HsaSignal::create(
                 static_cast<std::int64_t>(seq.size()));
-            sig->waitZero([this, &ss, &w, gen, batch] {
-                if (gen != w.generation)
-                    return;
-                batch->execDone = eq.now();
+            sig->waitZero([this, idx, wid, gen, gate, batch, stack,
+                           post] {
+                EventQueue &sq2 = shardQueue(idx);
+                const Tick exec_done = sq2.now();
+                if (gate->abortedAt < exec_done)
+                    return; // abandoned mid-flight: no completion
+                batch->execDone = exec_done;
                 batch->protoWaitNs =
-                    w.stream->protocolWaitNs() - batch->protoBase;
-                eq.scheduleIn(cfg.postprocessNs,
-                              [this, &ss, &w, gen, batch] {
-                    if (gen != w.generation)
-                        return;
-                    finishBatch(ss, w, *batch);
+                    stack->workerStream(wid).protocolWaitNs() -
+                    batch->protoBase;
+                batch->fallbacksSeen = stack->reconfigFallbacks();
+                fab->post(1 + idx, 0, exec_done + post,
+                          [this, idx, wid, gen, batch] {
+                    completeBatch(idx, wid, gen, *batch);
                 });
             });
-            if (ss.shard->krisp() != nullptr) {
+            if (stack->krisp() != nullptr) {
                 // Group-aware whole-batch launch (one reconfig per
                 // equal-right-size run under ReconfigPolicy::Group).
-                ss.shard->krisp()->launchGroup(*w.stream, seq, sig);
+                stack->krisp()->launchGroup(stream, seq, sig);
             } else {
                 for (const auto &k : seq)
-                    w.stream->launchWithSignal(k, sig);
+                    stream.launchWithSignal(k, sig);
             }
         });
         if (cfg.batchWatchdogNs > 0) {
-            w.watchdogEv = eq.scheduleIn(
+            w.watchdogEv = ctl().scheduleIn(
                 cfg.batchWatchdogNs,
                 [this, &ss, &w, batch] {
                     watchdogFire(ss, w, batch->reqs);
@@ -687,9 +817,18 @@ struct ClusterState
     disarmWatchdog(ClusterWorker &w)
     {
         if (w.watchdogEv != invalidEventId) {
-            eq.deschedule(w.watchdogEv);
+            ctl().deschedule(w.watchdogEv);
             w.watchdogEv = invalidEventId;
         }
+    }
+
+    /** Stamp the control-plane tick a batch was abandoned at. */
+    void
+    abandonBatch(ClusterWorker &w)
+    {
+        ++w.generation;
+        if (w.gate && ctl().now() < w.gate->abortedAt)
+            w.gate->abortedAt = ctl().now();
     }
 
     void
@@ -698,7 +837,7 @@ struct ClusterState
     {
         const unsigned idx = shardTid(ss);
         w.watchdogEv = invalidEventId;
-        ++w.generation;
+        abandonBatch(w);
         ++failedBatches;
         ++ss.hungBatches;
         router->addOutstanding(
@@ -711,12 +850,12 @@ struct ClusterState
                                   requestDrop(idx,
                                               modelName(r.model),
                                               r.id, "timeout"));
-                obs->timeline.recordDrop(eq.now());
+                obs->timeline.recordDrop(ctl().now());
             }
         }
         w.busy = false;
         w.inFlight.reset();
-        resilience->noteShardFailure(idx, eq.now());
+        resilience->noteShardFailure(idx, ctl().now());
         for (const Request &r : batch)
             loseRequest(r, idx, "watchdog");
         checkHealth(ss);
@@ -724,11 +863,25 @@ struct ClusterState
             maybeDispatch(ss);
     }
 
+    /** Completion message delivered on the control plane. */
+    void
+    completeBatch(unsigned idx, unsigned wid, std::uint64_t gen,
+                  const Batch &batch)
+    {
+        ShardState &ss = *shards[idx];
+        ClusterWorker &w = ss.workers[wid];
+        if (gen != w.generation)
+            return; // watchdog or crash already reclaimed the batch
+        ss.lastFallbacksSeen =
+            std::max(ss.lastFallbacksSeen, batch.fallbacksSeen);
+        finishBatch(ss, w, batch);
+    }
+
     void
     finishBatch(ShardState &ss, ClusterWorker &w, const Batch &batch)
     {
         disarmWatchdog(w);
-        const Tick t = eq.now();
+        const Tick t = ctl().now();
         const unsigned idx = shardTid(ss);
         const double reconfig_ms = ticksToMs(batch.protoWaitNs);
         router->addOutstanding(
@@ -807,16 +960,22 @@ struct ClusterState
             maybeDispatch(ss);
     }
 
-    /** Drain the shard when its fault budget is spent. */
+    /**
+     * Drain the shard when its fault budget is spent. Fallback
+     * counts come from the completion-message snapshots, never from
+     * the live shard counter: the control plane would otherwise
+     * observe device-plane progress mid-window and the two engines
+     * would disagree.
+     */
     void
     checkHealth(ShardState &ss)
     {
         if (ss.draining || ss.down)
             return;
-        if (eq.now() < ss.graceUntil)
+        if (ctl().now() < ss.graceUntil)
             return; // post-readmit grace: let it warm up
         const std::uint64_t fallbacks =
-            ss.shard->reconfigFallbacks() - ss.fallbackBaseline;
+            ss.lastFallbacksSeen - ss.fallbackBaseline;
         const bool hang_storm =
             cfg.failoverHangThreshold > 0 &&
             ss.hungBatches >= cfg.failoverHangThreshold;
@@ -848,7 +1007,7 @@ struct ClusterState
         std::deque<Request> backlog;
         backlog.swap(ss.pending);
         if (ss.batchTimer != invalidEventId) {
-            eq.deschedule(ss.batchTimer);
+            ctl().deschedule(ss.batchTimer);
             ss.batchTimer = invalidEventId;
         }
         for (const Request &r : backlog) {
@@ -870,7 +1029,8 @@ struct ClusterState
             }
         }
         if (cfg.drainNs > 0)
-            eq.scheduleIn(cfg.drainNs, [this, &ss] { readmit(ss); });
+            ctl().scheduleIn(cfg.drainNs,
+                             [this, &ss] { readmit(ss); });
     }
 
     void
@@ -879,9 +1039,9 @@ struct ClusterState
         if (ss.down)
             return; // crash superseded the drain; restart re-admits
         ss.hungBatches = 0;
-        ss.fallbackBaseline = ss.shard->reconfigFallbacks();
+        ss.fallbackBaseline = ss.lastFallbacksSeen;
         ss.draining = false;
-        ss.graceUntil = eq.now() + cfg.readmitGraceNs;
+        ss.graceUntil = ctl().now() + cfg.readmitGraceNs;
         const unsigned idx = shardTid(ss);
         router->setHealthy(idx, true);
         ++readmits;
@@ -905,7 +1065,7 @@ struct ClusterState
         ShardState &ss = *shards[idx];
         const double gap_s =
             -std::log(1.0 - ss.crashRng.uniform()) / rate;
-        ss.crashEv = eq.scheduleIn(
+        ss.crashEv = ctl().scheduleIn(
             std::max<Tick>(ticksFromSec(gap_s), 1), [this, idx] {
                 ShardState &s = *shards[idx];
                 s.crashEv = invalidEventId;
@@ -924,7 +1084,11 @@ struct ClusterState
      * restart rebuilds the whole KRISP stack. The dead stack moves to
      * the graveyard so already-scheduled simulated work (kernel
      * retirements, signal callbacks) still lands on live objects;
-     * worker generations are bumped so batch callbacks become no-ops.
+     * batch gates are stamped so device-plane launches become no-ops.
+     * The rebuild itself runs on the device plane (the new stack
+     * belongs to the shard's queue); the control plane re-admits the
+     * shard readmitLagNs after that, so no dispatch can read a stack
+     * that does not exist yet.
      */
     void
     crashShard(ShardState &ss)
@@ -944,7 +1108,7 @@ struct ClusterState
         ss.draining = false;
         router->setHealthy(idx, false);
         if (ss.batchTimer != invalidEventId) {
-            eq.deschedule(ss.batchTimer);
+            ctl().deschedule(ss.batchTimer);
             ss.batchTimer = invalidEventId;
         }
 
@@ -957,7 +1121,7 @@ struct ClusterState
         }
         for (auto &w : ss.workers) {
             disarmWatchdog(w);
-            ++w.generation; // abandon preprocess/signal callbacks
+            abandonBatch(w); // device-plane callbacks become no-ops
             if (w.busy) {
                 ++failedBatches;
                 if (w.inFlight) {
@@ -970,42 +1134,57 @@ struct ClusterState
                 }
                 w.busy = false;
             }
-            w.stream = nullptr; // dangling into the dead stack
         }
         res.crashLostRequests += lost.size();
-        resilience->noteShardFailure(idx, eq.now());
+        resilience->noteShardFailure(idx, ctl().now());
 
         graveyard.emplace_back(idx, std::move(ss.shard));
         for (const Request &r : lost)
             loseRequest(r, idx, "crash");
 
         if (!stopped) {
-            eq.scheduleIn(cfg.faults.shardRestartNs,
-                          [this, &ss, idx] {
-                              if (!stopped)
-                                  restartShard(ss, idx);
-                          });
+            const Tick restart_at =
+                ctl().now() + cfg.faults.shardRestartNs;
+            fab->post(0, 1 + idx, restart_at,
+                      [this, idx] { rebuildShardStack(idx); });
+            ctl().schedule(restart_at + readmitLagNs(),
+                           [this, idx] {
+                               if (!stopped)
+                                   restartShard(*shards[idx], idx);
+                           });
         }
     }
 
-    /** Warm restart: rebuild the KRISP stack via setupPartitionPolicy
-     *  (inside the GpuShard constructor) and re-admit the shard. */
+    /** Device-plane half of a warm restart: rebuild the KRISP stack
+     *  (setupPartitionPolicy inside the GpuShard constructor) against
+     *  the shard's own queue. */
+    void
+    rebuildShardStack(unsigned idx)
+    {
+        ShardState &ss = *shards[idx];
+        GpuShardConfig shard_cfg = shardCfgs[idx];
+        ss.shard = std::make_unique<GpuShard>(shardQueue(idx),
+                                              std::move(shard_cfg));
+    }
+
+    /** Control-plane half of a warm restart: re-admit the shard. */
     void
     restartShard(ShardState &ss, unsigned idx)
     {
-        GpuShardConfig shard_cfg = shardCfgs[idx];
-        ss.shard = std::make_unique<GpuShard>(eq,
-                                              std::move(shard_cfg));
+        panic_if(ss.shard == nullptr,
+                 "re-admitting shard ", idx,
+                 " before its stack rebuild");
         for (auto &w : ss.workers) {
-            w.stream = &ss.shard->workerStream(w.id);
             w.busy = false;
             w.inFlight.reset();
+            w.gate.reset();
         }
         ss.hungBatches = 0;
-        ss.fallbackBaseline = ss.shard->reconfigFallbacks();
+        ss.lastFallbacksSeen = 0;
+        ss.fallbackBaseline = 0;
         ss.down = false;
         ss.draining = false;
-        ss.graceUntil = eq.now() + cfg.readmitGraceNs;
+        ss.graceUntil = ctl().now() + cfg.readmitGraceNs;
         router->setHealthy(idx, true);
         ++res.recoveries;
         if (obs != nullptr) {
@@ -1015,7 +1194,10 @@ struct ClusterState
                          "shard" + std::to_string(idx),
                          res.recoveries));
         }
-        // Brownout may have moved while the shard was down.
+        // Brownout may have moved while the shard was down. The new
+        // stack has no in-flight work, so the direct write is safe:
+        // nothing on the device plane reads the cap before the first
+        // re-admitted dispatch.
         ss.shard->setGrantCapCus(currentGrantCap);
         maybeDispatch(ss);
     }
@@ -1037,9 +1219,17 @@ struct ClusterState
         const unsigned cap = resilience->grantCapCus();
         if (cap != currentGrantCap) {
             currentGrantCap = cap;
-            for (auto &ss : shards)
-                if (!ss->down)
-                    ss->shard->setGrantCapCus(cap);
+            // Deliver as same-tick device-plane messages so the cap
+            // lands between shard events in tick order — a direct
+            // write would expose control-plane progress mid-window.
+            const Tick t = ctl().now();
+            for (unsigned s = 0; s < shards.size(); ++s) {
+                if (shards[s]->down)
+                    continue;
+                GpuShard *stack = shards[s]->shard.get();
+                fab->post(0, 1 + s, t,
+                          [stack, cap] { stack->setGrantCapCus(cap); });
+            }
         }
         if (after != before && obs != nullptr) {
             KRISP_TRACE_EVENT(
@@ -1048,8 +1238,8 @@ struct ClusterState
                          static_cast<std::uint64_t>(after)));
         }
         brownoutEv =
-            eq.scheduleIn(resilience->config().brownoutCheckNs,
-                          [this] { brownoutTick(); });
+            ctl().scheduleIn(resilience->config().brownoutCheckNs,
+                             [this] { brownoutTick(); });
     }
 };
 
@@ -1079,6 +1269,10 @@ ClusterServer::run()
 {
     ClusterState st;
     st.cfg = config_;
+    // The only shard-to-control channel is batch completion, posted
+    // postprocessNs after signal zero: that is the lookahead.
+    st.fab = makeClusterFabric(config_.engine, config_.numShards,
+                               config_.postprocessNs);
     st.rng = Rng(config_.seed);
     // Dedicated stream so the class sequence is identical whether or
     // not resilience is enabled (fair on/off comparisons) and never
@@ -1088,7 +1282,7 @@ ClusterServer::run()
     st.hedging = config_.resilience.enabled &&
                  config_.resilience.hedging;
     if (st.obs != nullptr) {
-        st.obs->trace.setClock(&st.eq);
+        st.obs->trace.setClock(&st.ctl());
         // Environment timeline opt-in must precede shard
         // construction (shards mirror the cluster window width so
         // per-shard timelines merge into the cluster-wide one).
@@ -1149,18 +1343,37 @@ ClusterServer::run()
         st.shardCfgs.push_back(shard_cfg);
 
         auto ss = std::make_unique<ShardState>();
-        ss->shard = std::make_unique<GpuShard>(st.eq,
-                                               std::move(shard_cfg));
+        // Each shard stack lives on its own device-plane queue.
+        ss->shard = std::make_unique<GpuShard>(
+            st.shardQueue(s), std::move(shard_cfg));
         // Crash gaps draw from the shard-derived fault seed: the
         // schedule depends only on (plan seed, shard index).
         ss->crashRng =
             Rng(st.shardCfgs.back().faults.seed ^ 0xC4A54ULL);
         ss->workers.resize(config_.workersPerShard);
-        for (unsigned w = 0; w < config_.workersPerShard; ++w) {
+        for (unsigned w = 0; w < config_.workersPerShard; ++w)
             ss->workers[w].id = w;
-            ss->workers[w].stream = &ss->shard->workerStream(w);
-        }
         st.shards.push_back(std::move(ss));
+    }
+
+    // Fixed-tick energy sampling on the device plane: each shard
+    // reads its own integrator at warmupNs and warmupNs + measureNs,
+    // so the reading never depends on how far another plane has run.
+    st.energyStartShard.assign(config_.numShards, 0.0);
+    st.energyEndShard.assign(config_.numShards, 0.0);
+    st.energyEndSampled.assign(config_.numShards, 0);
+    {
+        ClusterState *stp = &st;
+        for (unsigned s = 0; s < config_.numShards; ++s) {
+            st.shardQueue(s).schedule(config_.warmupNs, [stp, s] {
+                stp->energyStartShard[s] = stp->shardEnergy(s);
+            });
+            st.shardQueue(s).schedule(
+                config_.warmupNs + config_.measureNs, [stp, s] {
+                    stp->energyEndShard[s] = stp->shardEnergy(s);
+                    stp->energyEndSampled[s] = 1;
+                });
+        }
     }
 
     st.arrive();
@@ -1169,10 +1382,12 @@ ClusterServer::run()
     if (config_.faults.shardCrashRatePerSec > 0)
         for (unsigned s = 0; s < config_.numShards; ++s)
             st.scheduleNextCrash(s);
-    st.eq.run(config_.maxSimNs);
+    st.fab->run(config_.maxSimNs);
 
     ClusterResult result;
-    if (st.eq.pendingCount() > 0) {
+    result.engine = st.fab->stats();
+    result.engine.eventsFired = st.fab->firedTotal();
+    if (st.fab->pendingEvents() > 0) {
         warn("cluster run hit the maxSimNs cap (",
              ticksToSec(config_.maxSimNs),
              " s) with work still in flight; results cover a "
@@ -1180,9 +1395,24 @@ ClusterServer::run()
         result.timedOut = true;
     }
     fatal_if(!st.measuring, "no measurement window reached");
-    if (st.measureEnd == 0) {
-        st.measureEnd = st.eq.now();
-        st.energyEnd = st.totalEnergy();
+    const Tick final_tick = st.fab->finalTick();
+    if (st.measureEnd == 0)
+        st.measureEnd = final_tick;
+    double energy_start = 0;
+    for (const double j : st.energyStartShard)
+        energy_start += j;
+    bool end_sampled = true;
+    for (const char s : st.energyEndSampled)
+        end_sampled = end_sampled && s != 0;
+    double energy_end = 0;
+    if (end_sampled) {
+        for (const double j : st.energyEndShard)
+            energy_end += j;
+    } else {
+        // Truncated before the fixed end tick: read the integrators
+        // now. Single-threaded, and every LP clock has settled at
+        // its own final event in either engine.
+        energy_end = st.totalEnergy();
     }
 
     const double seconds =
@@ -1217,7 +1447,7 @@ ClusterServer::run()
     result.p95Ms = lat.p95Ms;
     result.p99Ms = lat.p99Ms;
     result.energyPerRequestJ =
-        st.served > 0 ? (st.energyEnd - st.energyStart) /
+        st.served > 0 ? (energy_end - energy_start) /
                             static_cast<double>(st.served)
                       : 0;
     for (const auto &ss : st.shards)
@@ -1273,7 +1503,7 @@ ClusterServer::run()
             publishObsHealth(*sobs);
             if (sobs->timeline.enabled() &&
                 st.obs->timeline.enabled()) {
-                sobs->timeline.finish(st.eq.now());
+                sobs->timeline.finish(final_tick);
                 sobs->timeline.mergeInto(st.obs->timeline);
             }
             const std::string prefix =
@@ -1296,7 +1526,7 @@ ClusterServer::run()
             // the cluster timeline, which holds the request feed.
             if (sobs->timeline.enabled() &&
                 st.obs->timeline.enabled()) {
-                sobs->timeline.finish(st.eq.now());
+                sobs->timeline.finish(final_tick);
                 sobs->timeline.mergeInto(st.obs->timeline);
             }
             const std::string prefix =
@@ -1305,9 +1535,19 @@ ClusterServer::run()
             m.gauge(prefix + "served")
                 .set(static_cast<double>(ss->served));
         }
-        st.obs->timeline.finish(st.eq.now());
+        st.obs->timeline.finish(final_tick);
         publishObsHealth(*st.obs);
-        snapshotEventQueue(st.eq, m);
+        // Fabric-wide event accounting (the multi-queue analogue of
+        // snapshotEventQueue): identical sums under either engine,
+        // because both execute the same events and messages.
+        m.gauge("sim.events_scheduled")
+            .set(static_cast<double>(st.fab->scheduledTotal()));
+        m.gauge("sim.events_fired")
+            .set(static_cast<double>(st.fab->firedTotal()));
+        m.gauge("sim.events_cancelled")
+            .set(static_cast<double>(st.fab->cancelledTotal()));
+        m.gauge("sim.final_tick_ns")
+            .set(static_cast<double>(final_tick));
         m.label("cluster.routing")
             .set(routingPolicyName(config_.routing));
         m.label("cluster.policy")

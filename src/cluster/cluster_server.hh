@@ -3,12 +3,15 @@
  * Multi-GPU open-loop serving: Poisson client arrivals routed across
  * N simulated GPU shards, with fault-aware failover.
  *
- * Scaling model. One EventQueue drives every shard (single simulated
- * clock); one Poisson process generates cluster-wide arrivals at
- * arrivalRatePerSec; the ClusterRouter picks a shard per request and
- * each shard then runs the familiar open-loop pipeline — frontend
- * queue, dynamic batching, preprocess / launch / postprocess, batch
- * watchdog — against its own device.
+ * Scaling model. The run decomposes into logical processes executed
+ * by a ClusterFabric (cluster/parallel_engine.hh): a control plane
+ * (LP 0) owns the Poisson arrival process at arrivalRatePerSec, the
+ * ClusterRouter, frontend queues, batching and watchdogs, and each
+ * shard's device plane (LP 1+i) runs the familiar open-loop pipeline
+ * — preprocess / launch / postprocess — against its own device on its
+ * own event queue. The planes interact only through fabric messages,
+ * so the same run executes sequentially (the oracle) or in
+ * conservative parallel windows with byte-identical results.
  *
  * Failover. A shard that keeps hanging batches (watchdog strikes) or
  * keeps degrading launches to its static mask (ioctl-fallback storm)
@@ -32,6 +35,7 @@
 
 #include "cluster/cluster_router.hh"
 #include "cluster/gpu_shard.hh"
+#include "cluster/parallel_engine.hh"
 #include "cluster/resilience.hh"
 
 namespace krisp
@@ -101,6 +105,16 @@ struct ClusterConfig
     double sloMs = 0;
 
     /**
+     * Execution engine (sequential oracle vs windowed parallel, see
+     * cluster/parallel_engine.hh). Either engine produces
+     * byte-identical metrics, routing hashes and results for equal
+     * configs; the engine only decides how the LP queues execute.
+     * Defaults honour KRISP_ENGINE / KRISP_ENGINE_WORKERS /
+     * KRISP_ENGINE_WINDOW_NS.
+     */
+    EngineConfig engine;
+
+    /**
      * Optional cluster-level observability (routing, drops,
      * failover). With one attached, every shard also builds its own
      * context and its metrics merge in under "cluster.shard<i>.".
@@ -158,6 +172,14 @@ struct ClusterResult
      * and crash recovery leaked no allocator grants.
      */
     bool allocatorsPristine = true;
+
+    /**
+     * What the fabric did (windows, cross-LP messages, fallback).
+     * Deliberately NOT published into the metrics registry: metrics
+     * JSON must stay byte-identical across engines, and window
+     * counts are engine-specific by nature.
+     */
+    EngineStats engine;
 };
 
 /** Runs one cluster experiment; a fresh instance per run. */

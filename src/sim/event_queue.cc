@@ -48,7 +48,7 @@ EventQueue::release(std::uint32_t slot)
 }
 
 EventId
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::scheduleBanded(Tick when, EventBand band, Callback cb)
 {
     panic_if(when < now_, "scheduling event in the past: ", when,
              " < now ", now_);
@@ -66,11 +66,23 @@ EventQueue::schedule(Tick when, Callback cb)
     s.live = true;
     s.cb = std::move(cb);
     const EventId id = makeId(slot, s.gen);
-    heap_.push_back(Entry{when, next_seq_++, id});
+    heap_.push_back(Entry{when, next_seq_++, id, band});
     std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
     ++live_;
     ++scheduled_;
     return id;
+}
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    return scheduleBanded(when, EventBand::Local, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleMessage(Tick when, Callback cb)
+{
+    return scheduleBanded(when, EventBand::Message, std::move(cb));
 }
 
 EventId
@@ -142,6 +154,26 @@ EventQueue::step()
         return true;
     }
     return false;
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    while (!heap_.empty() && find(heap_.front().id) == nullptr) {
+        std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+        heap_.pop_back();
+        if (stale_ > 0)
+            --stale_;
+    }
+    return heap_.empty() ? maxTick : heap_.front().when;
+}
+
+Tick
+EventQueue::runBefore(Tick end)
+{
+    while (nextEventTick() < end)
+        step();
+    return now_;
 }
 
 Tick

@@ -35,6 +35,22 @@ using EventId = std::uint64_t;
 constexpr EventId invalidEventId = 0;
 
 /**
+ * Intra-tick ordering class. At equal ticks, Message events (cross-LP
+ * deliveries posted through a ClusterFabric) run before Local events
+ * (work the logical process scheduled for itself). This makes the
+ * equal-tick interleaving of a delivery and a local event independent
+ * of *when* the delivery was posted, which is what lets the windowed
+ * parallel engine reproduce the sequential engine byte-for-byte: a
+ * mailbox drained at a window barrier sorts exactly where an
+ * immediately-scheduled message would have.
+ */
+enum class EventBand : std::uint8_t
+{
+    Message = 0,
+    Local = 1,
+};
+
+/**
  * The central event queue and simulated clock.
  *
  * Typical use:
@@ -62,6 +78,12 @@ class EventQueue
      * @return a handle usable with deschedule().
      */
     EventId schedule(Tick when, Callback cb);
+
+    /**
+     * Schedule a cross-LP message delivery at absolute tick @p when.
+     * Sorts before same-tick Local events (see EventBand).
+     */
+    EventId scheduleMessage(Tick when, Callback cb);
 
     /** Schedule @p cb to run @p delta ticks from now. */
     EventId scheduleIn(Tick delta, Callback cb);
@@ -97,6 +119,24 @@ class EventQueue
      */
     Tick run(Tick limit = maxTick);
 
+    /**
+     * Run events strictly before tick @p end, then stop. Unlike
+     * run(), the clock is left at the last fired event (or wherever
+     * it already was), NOT advanced to @p end: the windowed parallel
+     * engine calls this once per conservative window and needs every
+     * logical process's clock to read "time of my last event" so
+     * lazy integrators (e.g. the power model) observe identical
+     * clocks under both the sequential and parallel engines.
+     * @return the final simulated time.
+     */
+    Tick runBefore(Tick end);
+
+    /**
+     * Tick of the next live (non-cancelled) event, or maxTick when
+     * the queue is drained. Pops stale heap heads as a side effect.
+     */
+    Tick nextEventTick();
+
     /** Run at most one event. @return false if the queue was empty. */
     bool step();
 
@@ -113,12 +153,16 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         EventId id;
+        EventBand band;
 
         bool
         operator>(const Entry &other) const
         {
-            return when != other.when ? when > other.when
-                                      : seq > other.seq;
+            if (when != other.when)
+                return when > other.when;
+            if (band != other.band)
+                return band > other.band;
+            return seq > other.seq;
         }
     };
 
@@ -148,6 +192,8 @@ class EventQueue
         return (static_cast<EventId>(gen) << 32) |
                (static_cast<EventId>(slot) + 1);
     }
+
+    EventId scheduleBanded(Tick when, EventBand band, Callback cb);
 
     /** @return the slot for a live handle, or nullptr. */
     const Slot *find(EventId id) const;
