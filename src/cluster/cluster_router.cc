@@ -1,5 +1,6 @@
 #include "cluster/cluster_router.hh"
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 
 namespace krisp
@@ -9,16 +10,6 @@ namespace
 {
 
 const std::vector<unsigned> kNoHomes;
-
-std::uint64_t
-fnv1aStep(std::uint64_t hash, std::uint64_t value)
-{
-    for (unsigned i = 0; i < 8; ++i) {
-        hash ^= (value >> (i * 8)) & 0xffULL;
-        hash *= 0x100000001b3ULL; // FNV prime
-    }
-    return hash;
-}
 
 } // namespace
 
@@ -163,10 +154,10 @@ ClusterRouter::route(const std::string &model,
       }
     }
     ++decisions_;
-    hash_ = fnv1aStep(hash_, request_id);
-    hash_ = fnv1aStep(hash_,
-                      static_cast<std::uint64_t>(
-                          static_cast<std::int64_t>(shard)));
+    hash_ = fnv1aStepU64(hash_, request_id);
+    hash_ = fnv1aStepU64(hash_,
+                         static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(shard)));
     return shard;
 }
 

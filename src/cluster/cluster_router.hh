@@ -101,7 +101,7 @@ class ClusterRouter
     std::unordered_map<std::string, std::vector<unsigned>> homes_;
     unsigned rr_next_ = 0;
     std::uint64_t decisions_ = 0;
-    std::uint64_t hash_ = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL; // fnv1aOffsetBasis
 };
 
 } // namespace krisp

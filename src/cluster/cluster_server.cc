@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "sim/event_queue.hh"
@@ -201,9 +202,27 @@ struct ClusterState
     std::uint64_t live = 0;
     /** Shed hedging cost gate: resilience.enabled && hedging. */
     bool hedging = false;
-    /** Grant cap currently pushed into the shards. */
+    /** Brownout grant cap currently pushed into the shards. */
     unsigned currentGrantCap = 0;
     EventId brownoutEv = invalidEventId;
+
+    /**
+     * Cap shard @p s should run under right now: the tighter of its
+     * static placement cap (cfg.shardGrantCapCus) and the cluster-
+     * wide brownout cap, where 0 means uncapped on either side.
+     */
+    unsigned
+    effectiveCap(unsigned s) const
+    {
+        const unsigned base = cfg.shardGrantCapCus.empty()
+                                  ? 0
+                                  : cfg.shardGrantCapCus[s];
+        if (base == 0)
+            return currentGrantCap;
+        if (currentGrantCap == 0)
+            return base;
+        return std::min(base, currentGrantCap);
+    }
 
     /** Crashed shard stacks, kept so in-flight simulated work (and
      *  end-of-run metric merging) stays valid after a warm restart
@@ -214,6 +233,10 @@ struct ClusterState
         graveyard;
     /** Per-shard bring-up templates for warm restarts. */
     std::vector<GpuShardConfig> shardCfgs;
+
+    /** canonicalModel[i]: first index in cfg.models with the same
+     *  name as entry i — identity unless the list has duplicates. */
+    std::vector<unsigned> canonicalModel;
 
     Counter *droppedMetric = nullptr;
     Counter *shedMetric = nullptr;
@@ -524,10 +547,16 @@ struct ClusterState
         Request r;
         r.id = ++nextRequestId;
         r.arrival = t;
-        r.model = cfg.models.size() > 1
-                      ? static_cast<unsigned>(
-                            rng.below(cfg.models.size()))
-                      : 0;
+        // The draw spans the full (possibly duplicated) model list —
+        // duplicate entries are how weighted mixes are expressed —
+        // but the stored index is canonical, so same-name requests
+        // batch together no matter which duplicate they drew.
+        const unsigned draw =
+            cfg.models.size() > 1
+                ? static_cast<unsigned>(
+                      rng.below(cfg.models.size()))
+                : 0;
+        r.model = canonicalModel[draw];
         r.cls = classRng.uniform() < cfg.interactiveFraction
                     ? PriorityClass::Interactive
                     : PriorityClass::Batch;
@@ -1198,7 +1227,7 @@ struct ClusterState
         // stack has no in-flight work, so the direct write is safe:
         // nothing on the device plane reads the cap before the first
         // re-admitted dispatch.
-        ss.shard->setGrantCapCus(currentGrantCap);
+        ss.shard->setGrantCapCus(effectiveCap(idx));
         maybeDispatch(ss);
     }
 
@@ -1222,13 +1251,16 @@ struct ClusterState
             // Deliver as same-tick device-plane messages so the cap
             // lands between shard events in tick order — a direct
             // write would expose control-plane progress mid-window.
+            // Each shard composes the brownout cap with its own
+            // static placement cap.
             const Tick t = ctl().now();
             for (unsigned s = 0; s < shards.size(); ++s) {
                 if (shards[s]->down)
                     continue;
                 GpuShard *stack = shards[s]->shard.get();
+                const unsigned eff = effectiveCap(s);
                 fab->post(0, 1 + s, t,
-                          [stack, cap] { stack->setGrantCapCus(cap); });
+                          [stack, eff] { stack->setGrantCapCus(eff); });
             }
         }
         if (after != before && obs != nullptr) {
@@ -1262,6 +1294,19 @@ ClusterServer::ClusterServer(ClusterConfig config)
     fatal_if(config_.sloMs < 0, "negative SLO bound");
     for (const auto &m : config_.models)
         fatal_if(!ModelZoo::isModel(m), "unknown model: ", m);
+    fatal_if(!config_.modelHomes.empty() &&
+                 config_.modelHomes.size() != config_.models.size(),
+             "modelHomes must be empty or one entry per model");
+    for (const auto &homes : config_.modelHomes)
+        for (const unsigned s : homes)
+            fatal_if(s >= config_.numShards,
+                     "home shard out of range: ", s);
+    fatal_if(!config_.shardGrantCapCus.empty() &&
+                 config_.shardGrantCapCus.size() != config_.numShards,
+             "shardGrantCapCus must be empty or one entry per shard");
+    for (const unsigned cap : config_.shardGrantCapCus)
+        fatal_if(cap > config_.gpu.arch.totalCus(),
+                 "shard grant cap exceeds device CUs: ", cap);
 }
 
 ClusterResult
@@ -1304,20 +1349,48 @@ ClusterServer::run()
             &m.histogram("server.latency_hist_ms", 0.0, 500.0, 100);
     }
 
+    st.canonicalModel.resize(config_.models.size());
+    for (unsigned i = 0; i < config_.models.size(); ++i) {
+        unsigned canon = i;
+        for (unsigned j = 0; j < i; ++j)
+            if (config_.models[j] == config_.models[i]) {
+                canon = j;
+                break;
+            }
+        st.canonicalModel[i] = canon;
+    }
+
     st.router = std::make_unique<ClusterRouter>(config_.routing,
                                                 config_.numShards);
     st.resilience = std::make_unique<ClusterResilience>(
         config_.resilience, config_.numShards);
-    // Model homes: model m lives on every shard s with
-    // s % models == m, so homes stay balanced for any shard count.
-    // Under affinity routing only the home set is profiled/resident;
-    // otherwise every shard profiles every model.
+    // Model homes. With config_.modelHomes empty, model m lives on
+    // every shard s with s % models == m, so homes stay balanced for
+    // any shard count; an explicit modelHomes (placement search
+    // output) overrides that scheme. Under affinity routing only the
+    // home set is profiled/resident; otherwise every shard profiles
+    // every model. A shard left with no homed model stays a
+    // full-resident overflow target.
     const bool affinity =
         config_.routing == RoutingPolicy::ModelAffinity;
+    std::vector<std::vector<std::string>> homed(config_.numShards);
+    if (config_.modelHomes.empty()) {
+        for (unsigned s = 0; s < config_.numShards; ++s)
+            homed[s].push_back(
+                config_.models[s % config_.models.size()]);
+    } else {
+        for (unsigned m = 0; m < config_.modelHomes.size(); ++m)
+            for (const unsigned s : config_.modelHomes[m]) {
+                // Duplicate model entries (traffic weighting) may
+                // home the same name twice; keep one copy.
+                if (std::find(homed[s].begin(), homed[s].end(),
+                              config_.models[m]) == homed[s].end())
+                    homed[s].push_back(config_.models[m]);
+            }
+    }
     for (unsigned s = 0; s < config_.numShards; ++s) {
-        const unsigned home = static_cast<unsigned>(
-            s % config_.models.size());
-        st.router->addHomeShard(config_.models[home], s);
+        for (const std::string &model : homed[s])
+            st.router->addHomeShard(model, s);
 
         GpuShardConfig shard_cfg;
         shard_cfg.index = s;
@@ -1328,10 +1401,9 @@ ClusterServer::run()
         shard_cfg.enforcement = config_.enforcement;
         shard_cfg.numWorkers = config_.workersPerShard;
         shard_cfg.maxBatch = config_.maxBatch;
-        shard_cfg.models =
-            affinity ? std::vector<std::string>{
-                           config_.models[home]}
-                     : config_.models;
+        shard_cfg.models = affinity && !homed[s].empty()
+                               ? homed[s]
+                               : config_.models;
         shard_cfg.faults = config_.faults.forShard(s);
         shard_cfg.ioctlRetry = config_.ioctlRetry;
         shard_cfg.reconfig = config_.reconfig;
@@ -1346,6 +1418,11 @@ ClusterServer::run()
         // Each shard stack lives on its own device-plane queue.
         ss->shard = std::make_unique<GpuShard>(
             st.shardQueue(s), std::move(shard_cfg));
+        // Static placement cap, installed before any event runs (no
+        // in-flight work yet, so the direct write is safe).
+        if (!config_.shardGrantCapCus.empty() &&
+            config_.shardGrantCapCus[s] != 0)
+            ss->shard->setGrantCapCus(config_.shardGrantCapCus[s]);
         // Crash gaps draw from the shard-derived fault seed: the
         // schedule depends only on (plan seed, shard index).
         ss->crashRng =
@@ -1571,11 +1648,8 @@ ClusterServer::run()
             .set(static_cast<double>(result.routingDecisions));
         // 64-bit hash: a double gauge would round it, so publish the
         // exact value as a hex label.
-        char hash_hex[19];
-        std::snprintf(hash_hex, sizeof(hash_hex), "0x%016llx",
-                      static_cast<unsigned long long>(
-                          result.routingHash));
-        m.label("cluster.routing_hash").set(hash_hex);
+        m.label("cluster.routing_hash")
+            .set(fnvHex(result.routingHash));
         m.gauge("sim.timed_out").set(result.timedOut ? 1.0 : 0.0);
 
         // ---- cluster.resilience.* -------------------------------

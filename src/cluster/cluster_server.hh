@@ -48,6 +48,15 @@ struct ClusterConfig
     RoutingPolicy routing = RoutingPolicy::LeastOutstanding;
     /** Workload mix; each request picks uniformly (seeded). */
     std::vector<std::string> models = {"resnet152"};
+    /**
+     * Optional explicit placement: modelHomes[m] lists the home
+     * shards of models[m]. Empty means the legacy implicit scheme
+     * (shard s homes models[s % models.size()]), which stays
+     * byte-identical for existing configs. Home shards are what
+     * ModelAffinity routes to; with KRISP partitioning they are also
+     * the shards that keep the model's profiled masks resident.
+     */
+    std::vector<std::vector<unsigned>> modelHomes;
     unsigned workersPerShard = 2;
     PartitionPolicy policy = PartitionPolicy::KrispIsolated;
     EnforcementMode enforcement = EnforcementMode::Native;
@@ -77,6 +86,24 @@ struct ClusterConfig
     IoctlRetryPolicy ioctlRetry;
     /** Reconfiguration-elision policy (see ServerConfig::reconfig). */
     ReconfigPolicy reconfig = reconfigPolicyFromEnv();
+    /**
+     * Optional per-shard CU grant caps (shardGrantCapCus[s] caps
+     * shard s, 0 = uncapped). Empty means no static caps. Brownout
+     * composes with these: the effective cap is the tighter of the
+     * static cap and the cluster-wide brownout cap.
+     */
+    std::vector<unsigned> shardGrantCapCus;
+
+    /**
+     * Canonical shard-order-invariant FNV-1a fingerprint over every
+     * serving-relevant field. Two configs that describe the same
+     * serving behaviour up to a relabeling of shard indices (same
+     * per-shard cap + homed-model sets, same global knobs) hash
+     * equal; the engine choice is excluded because either engine
+     * produces byte-identical results. Used as the evaluation-cache
+     * key of the placement search and by determinism tests.
+     */
+    std::uint64_t fingerprint() const;
 
     // ---- failover policy -----------------------------------------
     /** Drain a shard after this many watchdog-failed batches. */

@@ -429,10 +429,19 @@ makeClusterFabric(const EngineConfig &config, unsigned numShards,
             fabric->markFellBack(lookaheadNs);
             return fabric;
         }
-        const unsigned workers =
-            config.workers != 0
-                ? config.workers
-                : std::max(1u, std::thread::hardware_concurrency());
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        unsigned workers = config.workers != 0 ? config.workers : hw;
+        // Oversubscribing the phase-B pool only adds context-switch
+        // overhead inside a fixed conservative window, so clamp a
+        // too-large request (KRISP_ENGINE_WORKERS or explicit
+        // config) to the hardware instead of honouring it silently.
+        if (workers > hw) {
+            warn("engine workers ", workers,
+                 " exceed hardware concurrency ", hw,
+                 "; clamping to ", hw);
+            workers = hw;
+        }
         return std::make_unique<WindowedFabric>(numShards, window,
                                                 lookaheadNs, workers);
     }

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Canonical FNV-1a hashing.
+ *
+ * One definition of the 64-bit FNV-1a fold used everywhere a
+ * deterministic, platform-independent hash is needed: the routing
+ * decision oracle, trace sampling, config fingerprints and the
+ * placement-search evaluation cache. Integers always hash their
+ * 8 little-endian bytes and doubles hash their IEEE-754 bit pattern,
+ * so a hash computed on one build is comparable with one persisted
+ * by another.
+ */
+
+#ifndef KRISP_COMMON_FNV_HH
+#define KRISP_COMMON_FNV_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace krisp
+{
+
+constexpr std::uint64_t fnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t fnv1aPrime = 0x100000001b3ULL;
+
+/** One FNV-1a step over the 8 little-endian bytes of @p value. */
+constexpr std::uint64_t
+fnv1aStepU64(std::uint64_t hash, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xffULL;
+        hash *= fnv1aPrime;
+    }
+    return hash;
+}
+
+/** Running 64-bit FNV-1a accumulator. */
+class Fnv1a
+{
+  public:
+    Fnv1a() = default;
+    explicit Fnv1a(std::uint64_t basis) : hash_(basis) {}
+
+    std::uint64_t value() const { return hash_; }
+
+    Fnv1a &
+    add(std::uint64_t v)
+    {
+        hash_ = fnv1aStepU64(hash_, v);
+        return *this;
+    }
+
+    /** Hash a double by bit pattern (exact, no rounding). */
+    Fnv1a &
+    add(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        return add(bits);
+    }
+
+    /** Hash a string byte-wise, then its length (unambiguous). */
+    Fnv1a &
+    add(const std::string &s)
+    {
+        for (const char c : s) {
+            hash_ ^= static_cast<unsigned char>(c);
+            hash_ *= fnv1aPrime;
+        }
+        return add(static_cast<std::uint64_t>(s.size()));
+    }
+
+  private:
+    std::uint64_t hash_ = fnv1aOffsetBasis;
+};
+
+/** "0x%016x" rendering for labels, file keys and logs. */
+inline std::string
+fnvHex(std::uint64_t hash)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace krisp
+
+#endif // KRISP_COMMON_FNV_HH

@@ -388,6 +388,90 @@ renderLlm(std::ostringstream &os, const json::Value &metrics)
     os << "\n";
 }
 
+/**
+ * Placement-search summary (placement.* gauges + labels): the
+ * winning configuration with its cost breakdown, the evaluation
+ * funnel (generated vs pruned vs simulated vs cache-served) and
+ * per-chain convergence. Snapshots without a search get a
+ * placeholder line.
+ */
+void
+renderPlacement(std::ostringstream &os, const json::Value &metrics)
+{
+    os << "== placement search ==\n";
+    const json::Value *winner =
+        findGauge(metrics, "placement.winner_cost");
+    if (winner == nullptr) {
+        os << "  (no placement.* gauges — not a search snapshot)\n\n";
+        return;
+    }
+    const auto num = [&metrics](const char *suffix) {
+        const json::Value *v =
+            findGauge(metrics, std::string("placement.") + suffix);
+        return v != nullptr ? v->numberOr(0) : 0.0;
+    };
+    const auto lbl = [&metrics](const char *name) -> std::string {
+        const json::Value *labels = metrics.find("labels");
+        const json::Value *v =
+            labels != nullptr
+                ? labels->find(std::string("placement.") + name)
+                : nullptr;
+        return v != nullptr ? v->stringOr("?") : "?";
+    };
+    os << "  winner: " << lbl("winner_config") << "\n"
+       << "  fingerprint " << lbl("winner_fingerprint") << ", cost "
+       << formatFixed(winner->numberOr(0), 4) << " (p99 "
+       << formatFixed(num("winner_latency_p99_ms"), 3) << " ms, "
+       << formatFixed(num("winner_energy_j"), 3) << " J/req, drops "
+       << formatFixed(num("winner_drop_rate"), 4) << ")\n";
+    if (findGauge(metrics, "placement.baseline_best_cost") !=
+        nullptr) {
+        os << "  best static baseline "
+           << formatFixed(num("baseline_best_cost"), 4)
+           << " -> improvement "
+           << formatFixed(num("improvement_pct"), 1) << "%\n";
+    }
+    TextTable funnel({"evaluation tier", "count"});
+    funnel.row().cell("generated").cell(num("evals.generated"), 0);
+    funnel.row()
+        .cell("pruned (surrogate)")
+        .cell(num("evals.pruned"), 0);
+    funnel.row()
+        .cell("sim requests")
+        .cell(num("evals.sim_requests"), 0);
+    funnel.row()
+        .cell("sims executed")
+        .cell(num("evals.sim_executed"), 0);
+    funnel.row()
+        .cell("warm cache hits")
+        .cell(num("evals.warm_hits"), 0);
+    funnel.row()
+        .cell("cross-chain hits")
+        .cell(num("evals.cross_chain_hits"), 0);
+    os << funnel.render();
+    os << "  prune rate " << formatFixed(num("prune_rate"), 3)
+       << ", cache hit rate "
+       << formatFixed(num("cache_hit_rate"), 3) << "\n";
+    const unsigned chains =
+        static_cast<unsigned>(num("chains"));
+    if (chains != 0) {
+        TextTable t({"chain", "best_cost", "accepted", "pruned",
+                     "sim_requests"});
+        for (unsigned c = 0; c < chains; ++c) {
+            const std::string prefix =
+                "chain" + std::to_string(c) + ".";
+            t.row()
+                .cell("chain " + std::to_string(c))
+                .cell(num((prefix + "best_cost").c_str()), 4)
+                .cell(num((prefix + "accepted").c_str()), 0)
+                .cell(num((prefix + "pruned").c_str()), 0)
+                .cell(num((prefix + "sim_requests").c_str()), 0);
+        }
+        os << t.render();
+    }
+    os << "\n";
+}
+
 void
 renderTopKernels(std::ostringstream &os, const json::Value &metrics,
                  unsigned topK)
@@ -496,6 +580,7 @@ generateReport(
     renderUtilization(os, metrics, timeline);
     renderResilience(os, metrics);
     renderLlm(os, metrics);
+    renderPlacement(os, metrics);
     renderTopKernels(os, metrics, opts.topK);
     renderBenches(os, benches);
     return os.str();

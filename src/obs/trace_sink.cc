@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -113,12 +114,7 @@ threadName(std::uint32_t pid, std::uint32_t tid)
 std::uint64_t
 hashRequestId(std::uint64_t id)
 {
-    std::uint64_t h = 14695981039346656037ull;
-    for (int i = 0; i < 8; ++i) {
-        h ^= (id >> (i * 8)) & 0xffu;
-        h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1aStepU64(fnv1aOffsetBasis, id);
 }
 
 /** Microseconds with nanosecond precision, stable formatting. */

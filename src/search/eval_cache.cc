@@ -1,0 +1,138 @@
+#include "search/eval_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/fnv.hh"
+#include "common/logging.hh"
+#include "obs/json_parse.hh"
+
+namespace krisp
+{
+
+namespace
+{
+
+/** Shortest-exact double rendering (%.17g round-trips IEEE-754). */
+std::string
+exactDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+SimOutcome
+EvalCache::getOrCompute(std::uint64_t fingerprint,
+                        const std::function<SimOutcome()> &compute)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    ++stats_.requests;
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+        if (warm_.count(fingerprint) != 0)
+            ++stats_.warmHits;
+        else
+            ++stats_.crossChainHits;
+        // Another chain may still be computing this entry; wait for
+        // its promise rather than duplicating the sim.
+        cv_.wait(lock, [&] { return it->second.ready; });
+        return it->second.outcome;
+    }
+    ++stats_.executed;
+    Entry &entry = entries_[fingerprint];
+    lock.unlock();
+    const SimOutcome outcome = compute();
+    lock.lock();
+    entry.outcome = outcome;
+    entry.ready = true;
+    cv_.notify_all();
+    return outcome;
+}
+
+bool
+EvalCache::loadJson(const std::string &path)
+{
+    json::Value root;
+    std::string error;
+    if (!json::parseFile(path, root, error))
+        return false;
+    const json::Value *entries = root.find("entries");
+    if (entries == nullptr || !entries->isArray()) {
+        warn("eval cache ", path, ": no entries array; ignoring");
+        return false;
+    }
+    std::unique_lock<std::mutex> lock(m_);
+    for (const json::Value &e : entries->arr) {
+        const json::Value *fp = e.find("fp");
+        if (fp == nullptr || !fp->isString())
+            continue;
+        const std::uint64_t key = std::strtoull(
+            fp->str.c_str(), nullptr, 16);
+        Entry &entry = entries_[key];
+        auto field = [&e](const char *name, double fallback) {
+            const json::Value *v = e.find(name);
+            return v != nullptr ? v->numberOr(fallback) : fallback;
+        };
+        entry.outcome.p50Ms = field("p50_ms", 0);
+        entry.outcome.p95Ms = field("p95_ms", 0);
+        entry.outcome.p99Ms = field("p99_ms", 0);
+        entry.outcome.energyPerRequestJ = field("energy_j", 0);
+        entry.outcome.dropRate = field("drop_rate", 0);
+        entry.outcome.availability = field("availability", 1.0);
+        entry.ready = true;
+        warm_.insert(key);
+    }
+    return true;
+}
+
+void
+EvalCache::saveJson(const std::string &path) const
+{
+    std::unique_lock<std::mutex> lock(m_);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write eval cache: ", path);
+        return;
+    }
+    out << "{\n  \"version\": 1,\n  \"entries\": [";
+    bool first = true;
+    // std::map iterates fingerprints ascending: the snapshot is
+    // byte-stable for a given entry set regardless of insert order.
+    for (const auto &[fp, entry] : entries_) {
+        if (!entry.ready)
+            continue;
+        out << (first ? "\n" : ",\n");
+        first = false;
+        const SimOutcome &o = entry.outcome;
+        out << "    {\"fp\": \"" << fnvHex(fp) << "\""
+            << ", \"p50_ms\": " << exactDouble(o.p50Ms)
+            << ", \"p95_ms\": " << exactDouble(o.p95Ms)
+            << ", \"p99_ms\": " << exactDouble(o.p99Ms)
+            << ", \"energy_j\": "
+            << exactDouble(o.energyPerRequestJ)
+            << ", \"drop_rate\": " << exactDouble(o.dropRate)
+            << ", \"availability\": "
+            << exactDouble(o.availability) << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+EvalCache::Stats
+EvalCache::stats() const
+{
+    std::unique_lock<std::mutex> lock(m_);
+    return stats_;
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::unique_lock<std::mutex> lock(m_);
+    return entries_.size();
+}
+
+} // namespace krisp

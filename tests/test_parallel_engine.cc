@@ -11,9 +11,11 @@
  * horizon and exactly-once cross-LP delivery on random schedules.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -368,7 +370,11 @@ TEST(EngineDifferential, SixtyFourShardsAgree)
         runCluster(cfg, engineOf(ClusterEngine::Parallel, 4));
     EXPECT_EQ(seq.metricsJson, par.metricsJson);
     EXPECT_EQ(seq.routingHash, par.routingHash);
-    EXPECT_EQ(par.engine.workersUsed, 4u);
+    // Requested workers, clamped to the host: oversubscribing a
+    // conservative-window barrier only adds context switches.
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_EQ(par.engine.workersUsed, std::min(4u, hw));
 }
 
 TEST(EngineDifferential, WindowSizeCannotBeObserved)

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Placement-search test suite (search/): shard-order invariance of
+ * the canonical ClusterConfig fingerprint, candidate
+ * canonicalisation, the two dedup layers of the eval cache
+ * (cross-chain promise sharing + warm JSON snapshots), cold-vs-warm
+ * search equivalence, --jobs byte-identity of the annealer, the
+ * engine worker clamp, and the krisp-report placement section.
+ *
+ * Ground truth is injected (setSimFn) wherever the property under
+ * test is about the search machinery, so the suite stays fast and
+ * the expected values are exact.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_server.hh"
+#include "cluster/parallel_engine.hh"
+#include "obs/json_parse.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "search/annealer.hh"
+
+namespace krisp
+{
+namespace
+{
+
+/** Two-model, three-shard problem used across the suite. */
+PlacementProblem
+smallProblem()
+{
+    PlacementProblem problem;
+    problem.models = {"resnet152", "squeezenet"};
+    problem.weights = {1, 2};
+    problem.numShards = 3;
+    problem.base.arrivalRatePerSec = 200.0;
+    problem.base.warmupNs = ticksFromMs(20);
+    problem.base.measureNs = ticksFromMs(100);
+    problem.base.maxSimNs = ticksFromSec(10.0);
+    problem.base.seed = 11;
+    return problem;
+}
+
+/**
+ * Deterministic stand-in for ClusterServer: a pure function of the
+ * canonical fingerprint, so permutation-equal configs get equal
+ * outcomes and distinct configs (almost surely) do not.
+ */
+SimOutcome
+fakeSim(const ClusterConfig &config)
+{
+    const std::uint64_t fp = config.fingerprint();
+    SimOutcome out;
+    out.p50Ms = 1.0 + static_cast<double>(fp % 97) * 0.1;
+    out.p95Ms = out.p50Ms * 2.0;
+    out.p99Ms = out.p50Ms * 3.0;
+    out.energyPerRequestJ =
+        0.2 + static_cast<double>(fp % 13) * 0.01;
+    return out;
+}
+
+// ---- fingerprint ---------------------------------------------------
+
+TEST(Fingerprint, ShardOrderInvariant)
+{
+    PlacementProblem problem = smallProblem();
+
+    // resnet on shards {0,2}, squeezenet on {1}; caps 16/0/32.
+    ClusterConfig a = problem.base;
+    a.numShards = 3;
+    a.models = {"resnet152", "squeezenet"};
+    a.modelHomes = {{0, 2}, {1}};
+    a.shardGrantCapCus = {16, 0, 32};
+
+    // Relabel shards by the cycle old->new: 0->1, 1->2, 2->0. The
+    // same physical cluster, different indices.
+    ClusterConfig b = a;
+    b.modelHomes = {{1, 0}, {2}};
+    b.shardGrantCapCus = {32, 16, 0};
+
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    // Home-list order within one model is immaterial too.
+    ClusterConfig c = a;
+    c.modelHomes = {{2, 0}, {1}};
+    EXPECT_EQ(a.fingerprint(), c.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToEveryKnob)
+{
+    PlacementProblem problem = smallProblem();
+    ClusterConfig base = problem.base;
+    base.numShards = 3;
+    base.models = {"resnet152", "squeezenet"};
+    base.modelHomes = {{0, 2}, {1}};
+    base.shardGrantCapCus = {16, 0, 32};
+    const std::uint64_t fp = base.fingerprint();
+
+    ClusterConfig moved = base;
+    moved.modelHomes = {{0, 1}, {1}};
+    EXPECT_NE(fp, moved.fingerprint());
+
+    ClusterConfig capped = base;
+    capped.shardGrantCapCus = {16, 0, 40};
+    EXPECT_NE(fp, capped.fingerprint());
+
+    ClusterConfig routed = base;
+    ASSERT_NE(routed.routing, RoutingPolicy::RoundRobin);
+    routed.routing = RoutingPolicy::RoundRobin;
+    EXPECT_NE(fp, routed.fingerprint());
+
+    ClusterConfig reconf = base;
+    reconf.reconfig = ReconfigPolicy::Group;
+    EXPECT_NE(fp, reconf.fingerprint());
+
+    ClusterConfig rated = base;
+    rated.arrivalRatePerSec += 1.0;
+    EXPECT_NE(fp, rated.fingerprint());
+}
+
+TEST(Fingerprint, EngineSelectionIsExcluded)
+{
+    // The engine executes the run; it does not define the workload.
+    // A parallel-engine replay must hit the cache entries written by
+    // a sequential run.
+    PlacementProblem problem = smallProblem();
+    ClusterConfig a = problem.base;
+    ClusterConfig b = a;
+    b.engine.engine = ClusterEngine::Parallel;
+    b.engine.workers = 7;
+    b.engine.windowNs = 123;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+// ---- candidate canonicalisation ------------------------------------
+
+TEST(Candidate, PermutedCandidatesCanonicaliseIdentically)
+{
+    PlacementProblem problem = smallProblem();
+
+    PlacementCandidate a;
+    a.homes = {0b101, 0b010}; // resnet {0,2}, squeeze {1}
+    a.grantCapCus = {16, 0, 32};
+    a.routing = RoutingPolicy::ModelAffinity;
+    a.reconfig = ReconfigPolicy::Elide;
+
+    // Same cluster under the relabeling 0->1, 1->2, 2->0.
+    PlacementCandidate b = a;
+    b.homes = {0b011, 0b100}; // resnet {1,0}, squeeze {2}
+    b.grantCapCus = {32, 16, 0};
+
+    const PlacementCandidate ca = a.canonical(problem);
+    const PlacementCandidate cb = b.canonical(problem);
+    EXPECT_EQ(ca.homes, cb.homes);
+    EXPECT_EQ(ca.grantCapCus, cb.grantCapCus);
+    EXPECT_EQ(a.fingerprint(problem), b.fingerprint(problem));
+
+    // Identical canonical operands => bit-equal surrogate scores.
+    SurrogateModel surrogate(problem);
+    EXPECT_EQ(surrogate.score(a), surrogate.score(b));
+}
+
+// ---- eval cache ----------------------------------------------------
+
+TEST(EvalCache, PermutationsShareOneComputation)
+{
+    PlacementProblem problem = smallProblem();
+
+    PlacementCandidate a;
+    a.homes = {0b101, 0b010};
+    a.grantCapCus = {16, 0, 32};
+    PlacementCandidate b = a;
+    b.homes = {0b011, 0b100};
+    b.grantCapCus = {32, 16, 0};
+
+    EvalCache cache;
+    std::atomic<int> computed{0};
+    const auto compute = [&] {
+        ++computed;
+        return fakeSim(a.toClusterConfig(problem));
+    };
+    const SimOutcome oa =
+        cache.getOrCompute(a.fingerprint(problem), compute);
+    const SimOutcome ob =
+        cache.getOrCompute(b.fingerprint(problem), compute);
+
+    EXPECT_EQ(computed.load(), 1);
+    EXPECT_EQ(oa.p99Ms, ob.p99Ms);
+    EXPECT_EQ(oa.energyPerRequestJ, ob.energyPerRequestJ);
+    const EvalCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.crossChainHits, 1u);
+    EXPECT_EQ(stats.warmHits, 0u);
+}
+
+TEST(EvalCache, JsonRoundTripPreservesOutcomes)
+{
+    const std::string path =
+        testing::TempDir() + "krisp_eval_cache_roundtrip.json";
+    std::remove(path.c_str());
+
+    EvalCache cold;
+    SimOutcome out;
+    out.p50Ms = 1.25;
+    out.p95Ms = 7.5;
+    out.p99Ms = 12.125;
+    out.energyPerRequestJ = 0.4375;
+    out.dropRate = 0.03125;
+    out.availability = 0.96875;
+    cold.getOrCompute(0xdeadbeefULL, [&] { return out; });
+    cold.getOrCompute(0x42ULL, [&] { return SimOutcome{}; });
+    cold.saveJson(path);
+
+    EvalCache warm;
+    ASSERT_TRUE(warm.loadJson(path));
+    EXPECT_EQ(warm.size(), 2u);
+    bool computed = false;
+    const SimOutcome back =
+        warm.getOrCompute(0xdeadbeefULL, [&] {
+            computed = true;
+            return SimOutcome{};
+        });
+    EXPECT_FALSE(computed);
+    EXPECT_EQ(back.p50Ms, out.p50Ms);
+    EXPECT_EQ(back.p95Ms, out.p95Ms);
+    EXPECT_EQ(back.p99Ms, out.p99Ms);
+    EXPECT_EQ(back.energyPerRequestJ, out.energyPerRequestJ);
+    EXPECT_EQ(back.dropRate, out.dropRate);
+    EXPECT_EQ(back.availability, out.availability);
+    EXPECT_EQ(warm.stats().warmHits, 1u);
+    std::remove(path.c_str());
+}
+
+// ---- annealer ------------------------------------------------------
+
+SearchConfig
+smallSearch(const std::string &cache_path = "")
+{
+    SearchConfig search;
+    search.chains = 3;
+    search.stepsPerChain = 10;
+    search.seed = 5;
+    search.cachePath = cache_path;
+    return search;
+}
+
+TEST(Search, WarmRerunExecutesZeroSimsAndAgrees)
+{
+    PlacementProblem problem = smallProblem();
+    const std::string path =
+        testing::TempDir() + "krisp_search_warm.json";
+    std::remove(path.c_str());
+
+    PlacementSearch cold_search(problem, smallSearch(path));
+    std::atomic<int> cold_sims{0};
+    cold_search.setSimFn([&](const ClusterConfig &cfg) {
+        ++cold_sims;
+        return fakeSim(cfg);
+    });
+    const SearchResult cold = cold_search.run(2);
+    EXPECT_GT(cold_sims.load(), 0);
+    EXPECT_EQ(cold.cache.warmHits, 0u);
+    EXPECT_EQ(static_cast<int>(cold.cache.executed),
+              cold_sims.load());
+
+    PlacementSearch warm_search(problem, smallSearch(path));
+    std::atomic<int> warm_sims{0};
+    warm_search.setSimFn([&](const ClusterConfig &cfg) {
+        ++warm_sims;
+        return fakeSim(cfg);
+    });
+    const SearchResult warm = warm_search.run(2);
+    EXPECT_EQ(warm_sims.load(), 0);
+    EXPECT_EQ(warm.cache.executed, 0u);
+    EXPECT_GT(warm.cache.warmHits, 0u);
+    EXPECT_EQ(warm.winnerFingerprint, cold.winnerFingerprint);
+    EXPECT_EQ(warm.winnerCost, cold.winnerCost);
+    EXPECT_EQ(warm.generated, cold.generated);
+    EXPECT_EQ(warm.pruned, cold.pruned);
+    std::remove(path.c_str());
+}
+
+TEST(Search, ResultIsJobsInvariant)
+{
+    PlacementProblem problem = smallProblem();
+
+    SearchResult results[2];
+    const unsigned jobs[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        PlacementSearch search(problem, smallSearch());
+        search.setSimFn(fakeSim);
+        results[i] = search.run(jobs[i]);
+    }
+    EXPECT_EQ(results[0].winnerFingerprint,
+              results[1].winnerFingerprint);
+    EXPECT_EQ(results[0].winnerCost, results[1].winnerCost);
+    EXPECT_EQ(results[0].generated, results[1].generated);
+    EXPECT_EQ(results[0].pruned, results[1].pruned);
+    EXPECT_EQ(results[0].surrogateEvals, results[1].surrogateEvals);
+    EXPECT_EQ(results[0].cache.requests, results[1].cache.requests);
+    EXPECT_EQ(results[0].cache.executed, results[1].cache.executed);
+    EXPECT_EQ(results[0].cache.crossChainHits,
+              results[1].cache.crossChainHits);
+    ASSERT_EQ(results[0].chains.size(), results[1].chains.size());
+    for (std::size_t c = 0; c < results[0].chains.size(); ++c) {
+        EXPECT_EQ(results[0].chains[c].bestCost,
+                  results[1].chains[c].bestCost);
+        EXPECT_EQ(results[0].chains[c].accepted,
+                  results[1].chains[c].accepted);
+        EXPECT_EQ(results[0].chains[c].pruned,
+                  results[1].chains[c].pruned);
+        EXPECT_EQ(results[0].chains[c].bestTrace,
+                  results[1].chains[c].bestTrace);
+    }
+}
+
+TEST(Search, GroundTruthPermutationCostsAgreeThroughCache)
+{
+    // The ISSUE-level property, end to end with the *real*
+    // simulator: permuted placements share a fingerprint, so the
+    // cache serves both from one sim and their costs are equal by
+    // construction.
+    PlacementProblem problem = smallProblem();
+    PlacementCandidate a;
+    a.homes = {0b101, 0b010};
+    a.grantCapCus = {0, 0, 0};
+    PlacementCandidate b = a;
+    b.homes = {0b011, 0b100};
+
+    EvalCache cache;
+    int sims = 0;
+    const auto eval = [&](const PlacementCandidate &cand) {
+        return cache.getOrCompute(cand.fingerprint(problem), [&] {
+            ++sims;
+            return PlacementSearch::simulate(
+                cand.toClusterConfig(problem));
+        });
+    };
+    const CostSpec cost;
+    const double cost_a = cost.costOf(eval(a));
+    const double cost_b = cost.costOf(eval(b));
+    EXPECT_EQ(sims, 1);
+    EXPECT_EQ(cost_a, cost_b);
+    EXPECT_GT(cost_a, 0.0);
+}
+
+// ---- engine worker clamp -------------------------------------------
+
+TEST(EngineWorkers, OversubscriptionClampsToHardware)
+{
+    EngineConfig config;
+    config.engine = ClusterEngine::Parallel;
+    config.workers = 4096;
+    const auto fabric = makeClusterFabric(config, 2, 1000);
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_LE(fabric->stats().workersUsed, hw);
+    EXPECT_GE(fabric->stats().workersUsed, 1u);
+}
+
+// ---- report --------------------------------------------------------
+
+TEST(Report, RendersPlacementSection)
+{
+    PlacementProblem problem = smallProblem();
+    PlacementSearch search(problem, smallSearch());
+    search.setSimFn(fakeSim);
+    const SearchResult result = search.run(2);
+
+    MetricsRegistry metrics;
+    publishPlacementMetrics(metrics, problem, result, 123.0);
+
+    json::Value snapshot;
+    std::string error;
+    ASSERT_TRUE(json::parse(metrics.toJson(), snapshot, error))
+        << error;
+    const std::string report =
+        generateReport(snapshot, nullptr, {}, ReportOptions{});
+    EXPECT_NE(report.find("== placement search =="),
+              std::string::npos);
+    EXPECT_NE(report.find("best static baseline"),
+              std::string::npos);
+    EXPECT_NE(report.find("cross-chain hits"), std::string::npos);
+    EXPECT_NE(report.find("chain 0"), std::string::npos);
+
+    // A snapshot without placement gauges renders the placeholder.
+    json::Value empty;
+    ASSERT_TRUE(json::parse("{}", empty, error)) << error;
+    const std::string bare =
+        generateReport(empty, nullptr, {}, ReportOptions{});
+    EXPECT_NE(bare.find("not a search snapshot"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace krisp

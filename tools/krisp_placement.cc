@@ -1,0 +1,340 @@
+/**
+ * @file
+ * krisp-placement: run the offline placement search and replay its
+ * winners.
+ *
+ *   krisp_placement search [--shards N] [--models a,b,...]
+ *                          [--weights 1,4,...] [--rate RPS]
+ *                          [--chains N] [--steps N] [--seed S]
+ *                          [--jobs N] [--cache FILE]
+ *                          [--plan FILE] [--metrics FILE]
+ *   krisp_placement replay --plan FILE
+ *
+ * `search` anneals over (placement, caps, routing, reconfig) and
+ * writes the winning configuration as a JSON plan; `replay` loads a
+ * plan, reruns it through ClusterServer and prints the measured
+ * cost — the round trip proves a plan is self-contained.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fnv.hh"
+#include "obs/json_parse.hh"
+#include "obs/metrics.hh"
+#include "search/annealer.hh"
+
+using namespace krisp;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s search [--shards N] [--models a,b,...]\n"
+        "                 [--weights 1,4,...] [--rate RPS]\n"
+        "                 [--chains N] [--steps N] [--seed S]\n"
+        "                 [--jobs N] [--cache FILE] [--plan FILE]\n"
+        "                 [--metrics FILE] [--emulated]\n"
+        "       %s replay --plan FILE\n",
+        argv0, argv0);
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(arg.substr(start));
+            break;
+        }
+        out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Short-horizon template the search and its plans share. */
+ClusterConfig
+searchBase(double rate)
+{
+    ClusterConfig base;
+    base.arrivalRatePerSec = rate;
+    base.warmupNs = ticksFromMs(100);
+    base.measureNs = ticksFromMs(400);
+    base.maxSimNs = ticksFromSec(30.0);
+    return base;
+}
+
+void
+writePlan(const std::string &path, const PlacementProblem &problem,
+          const PlacementCandidate &winner, double cost,
+          std::uint64_t fingerprint)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write plan: %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    out << "{\n";
+    out << "  \"num_shards\": " << problem.numShards << ",\n";
+    out << "  \"arrival_rate_per_sec\": "
+        << problem.base.arrivalRatePerSec << ",\n";
+    out << "  \"seed\": " << problem.base.seed << ",\n";
+    out << "  \"routing\": \""
+        << routingPolicyName(winner.routing) << "\",\n";
+    out << "  \"reconfig\": \""
+        << reconfigPolicyName(winner.reconfig) << "\",\n";
+    out << "  \"enforcement\": \""
+        << enforcementModeName(problem.base.enforcement) << "\",\n";
+    out << "  \"cost\": " << cost << ",\n";
+    out << "  \"fingerprint\": \"" << fnvHex(fingerprint)
+        << "\",\n";
+    out << "  \"models\": [";
+    for (unsigned m = 0; m < problem.models.size(); ++m) {
+        out << (m != 0 ? ", " : "") << "{\"name\": \""
+            << problem.models[m] << "\", \"weight\": "
+            << problem.weights[m] << ", \"homes\": [";
+        bool first = true;
+        for (unsigned s = 0; s < problem.numShards; ++s)
+            if (winner.homes[m] & (1ULL << s)) {
+                out << (first ? "" : ", ") << s;
+                first = false;
+            }
+        out << "]}";
+    }
+    out << "],\n";
+    out << "  \"grant_cap_cus\": [";
+    for (unsigned s = 0; s < problem.numShards; ++s)
+        out << (s != 0 ? ", " : "") << winner.grantCapCus[s];
+    out << "]\n}\n";
+}
+
+RoutingPolicy
+routingFromName(const std::string &name)
+{
+    if (name == "round-robin")
+        return RoutingPolicy::RoundRobin;
+    if (name == "least-outstanding")
+        return RoutingPolicy::LeastOutstanding;
+    if (name == "model-affinity")
+        return RoutingPolicy::ModelAffinity;
+    std::fprintf(stderr, "unknown routing policy: %s\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+ReconfigPolicy
+reconfigFromName(const std::string &name)
+{
+    if (name == "always")
+        return ReconfigPolicy::Always;
+    if (name == "elide")
+        return ReconfigPolicy::Elide;
+    if (name == "group")
+        return ReconfigPolicy::Group;
+    std::fprintf(stderr, "unknown reconfig policy: %s\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+int
+runReplay(const std::string &plan_path)
+{
+    json::Value plan;
+    std::string error;
+    if (!json::parseFile(plan_path, plan, error)) {
+        std::fprintf(stderr, "cannot read plan %s: %s\n",
+                     plan_path.c_str(), error.c_str());
+        return 1;
+    }
+    const json::Value *models = plan.find("models");
+    if (models == nullptr || !models->isArray() ||
+        models->arr.empty()) {
+        std::fprintf(stderr, "plan has no models\n");
+        return 1;
+    }
+    auto planNum = [&plan](const char *key, double fallback) {
+        const json::Value *v = plan.find(key);
+        return v != nullptr ? v->numberOr(fallback) : fallback;
+    };
+    auto planStr = [&plan](const char *key) -> std::string {
+        const json::Value *v = plan.find(key);
+        return v != nullptr ? v->stringOr("") : "";
+    };
+
+    ClusterConfig cfg =
+        searchBase(planNum("arrival_rate_per_sec", 200.0));
+    cfg.numShards =
+        static_cast<unsigned>(planNum("num_shards", 0));
+    cfg.seed = static_cast<std::uint64_t>(planNum("seed", 1));
+    cfg.routing = routingFromName(planStr("routing"));
+    cfg.reconfig = reconfigFromName(planStr("reconfig"));
+    if (planStr("enforcement") == "emulated")
+        cfg.enforcement = EnforcementMode::Emulated;
+    cfg.models.clear();
+    for (const json::Value &m : models->arr) {
+        const json::Value *nv = m.find("name");
+        const std::string name =
+            nv != nullptr ? nv->stringOr("") : "";
+        const json::Value *wv = m.find("weight");
+        const unsigned weight = static_cast<unsigned>(
+            wv != nullptr ? wv->u64Or(1) : 1);
+        std::vector<unsigned> homes;
+        const json::Value *hv = m.find("homes");
+        if (hv != nullptr && hv->isArray())
+            for (const json::Value &h : hv->arr)
+                homes.push_back(
+                    static_cast<unsigned>(h.numberOr(0)));
+        for (unsigned w = 0; w < weight; ++w) {
+            cfg.models.push_back(name);
+            cfg.modelHomes.push_back(homes);
+        }
+    }
+    const json::Value *caps = plan.find("grant_cap_cus");
+    if (caps != nullptr && caps->isArray())
+        for (const json::Value &c : caps->arr)
+            cfg.shardGrantCapCus.push_back(
+                static_cast<unsigned>(c.numberOr(0)));
+
+    const SimOutcome outcome = PlacementSearch::simulate(cfg);
+    CostSpec cost_spec;
+    std::printf("plan:        %s\n", plan_path.c_str());
+    std::printf("fingerprint: %s\n",
+                fnvHex(cfg.fingerprint()).c_str());
+    std::printf("p50/p95/p99: %.3f / %.3f / %.3f ms\n",
+                outcome.p50Ms, outcome.p95Ms, outcome.p99Ms);
+    std::printf("energy:      %.3f J/req\n",
+                outcome.energyPerRequestJ);
+    std::printf("drop rate:   %.4f\n", outcome.dropRate);
+    std::printf("cost:        %.4f\n",
+                cost_spec.costOf(outcome));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string mode = argv[1];
+
+    std::vector<std::string> models = {"resnet152", "squeezenet"};
+    std::vector<unsigned> weights;
+    unsigned shards = 4;
+    double rate = 400.0;
+    unsigned jobs = 0;
+    std::string cache_path;
+    std::string plan_path = "placement_plan.json";
+    std::string metrics_path;
+    bool emulated = false;
+    SearchConfig search;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--shards") {
+            shards = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--models") {
+            models = splitList(next());
+        } else if (arg == "--weights") {
+            weights.clear();
+            for (const std::string &w : splitList(next()))
+                weights.push_back(
+                    static_cast<unsigned>(std::atoi(w.c_str())));
+        } else if (arg == "--rate") {
+            rate = std::atof(next());
+        } else if (arg == "--chains") {
+            search.chains =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--steps") {
+            search.stepsPerChain =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            search.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--cache") {
+            cache_path = next();
+        } else if (arg == "--plan") {
+            plan_path = next();
+        } else if (arg == "--metrics") {
+            metrics_path = next();
+        } else if (arg == "--emulated") {
+            emulated = true;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (mode == "replay")
+        return runReplay(plan_path);
+    if (mode != "search") {
+        usage(argv[0]);
+        return 2;
+    }
+
+    if (weights.empty())
+        weights.assign(models.size(), 1);
+    PlacementProblem problem;
+    problem.models = models;
+    problem.weights = weights;
+    problem.numShards = shards;
+    problem.base = searchBase(rate);
+    if (emulated)
+        problem.base.enforcement = EnforcementMode::Emulated;
+    search.cachePath = cache_path;
+
+    PlacementSearch searcher(problem, search);
+    const SearchResult result = searcher.run(jobs);
+
+    std::printf("winner: %s\n",
+                result.winner.describe(problem).c_str());
+    std::printf("cost %.4f  (p99 %.3f ms, %.3f J/req)\n",
+                result.winnerCost, result.winnerOutcome.p99Ms,
+                result.winnerOutcome.energyPerRequestJ);
+    std::printf(
+        "evals: %llu generated, %llu pruned, %llu sims run "
+        "(%llu warm, %llu shared)\n",
+        static_cast<unsigned long long>(result.generated),
+        static_cast<unsigned long long>(result.pruned),
+        static_cast<unsigned long long>(result.cache.executed),
+        static_cast<unsigned long long>(result.cache.warmHits),
+        static_cast<unsigned long long>(
+            result.cache.crossChainHits));
+
+    writePlan(plan_path, problem, result.winner, result.winnerCost,
+              result.winnerFingerprint);
+    std::printf("plan written: %s\n", plan_path.c_str());
+
+    if (!metrics_path.empty()) {
+        MetricsRegistry metrics;
+        publishPlacementMetrics(metrics, problem, result, -1.0);
+        metrics.writeJsonFile(metrics_path);
+        std::printf("metrics written: %s\n", metrics_path.c_str());
+    }
+    return 0;
+}
